@@ -1,0 +1,31 @@
+//! # `apc-analysis` — the paper's analytical models and report formatting
+//!
+//! * [`savings`] — the Sec. 2 / Eq. 1 power-savings model, the 41 % idle
+//!   saving, and an energy-proportionality score;
+//! * [`impact`] — the Sec. 6/7.3 performance-impact model
+//!   (#transitions × transition cost vs. baseline latency);
+//! * [`report`] — fixed-width table rendering shared by the experiment
+//!   harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use apc_analysis::savings::idle_savings;
+//! use apc_power::budget::PackageStatePower;
+//! use apc_soc::cstate::PackageCState;
+//!
+//! let b = PackageStatePower::skx_reference();
+//! let saving = idle_savings(
+//!     b.state_power(PackageCState::PC0Idle),
+//!     b.state_power(PackageCState::PC1A),
+//! );
+//! assert!((saving - 0.41).abs() < 0.02);
+//! ```
+
+pub mod impact;
+pub mod report;
+pub mod savings;
+
+pub use impact::ImpactInputs;
+pub use report::TextTable;
+pub use savings::SavingsInputs;

@@ -1,0 +1,127 @@
+//! Plain-text table formatting for the experiment harnesses.
+//!
+//! Every bench target prints the rows/series the corresponding paper table or
+//! figure reports; this module provides the small fixed-width table writer
+//! they share so the output is uniform and diffable.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header list are padded with
+    /// empty cells; longer rows are truncated.
+    pub fn add_row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        while row.len() < self.headers.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Convenience for rows built from string slices.
+    pub fn add_row_strs(&mut self, cells: &[&str]) {
+        self.add_row(&cells.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:<width$}", c, width = widths[i]));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats watts with two decimals.
+#[must_use]
+pub fn watts(w: apc_power::units::Watts) -> String {
+    format!("{:.2} W", w.as_f64())
+}
+
+/// Formats a duration in microseconds with one decimal.
+#[must_use]
+pub fn micros(d: apc_sim::SimDuration) -> String {
+    format!("{:.1} us", d.as_micros_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_power::units::Watts;
+    use apc_sim::SimDuration;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new("Table 1", &["state", "power"]);
+        t.add_row_strs(&["PC0idle", "49.50 W"]);
+        t.add_row(&vec!["PC1A".to_owned(), "29.10 W".to_owned()]);
+        assert_eq!(t.row_count(), 2);
+        let s = t.render();
+        assert!(s.contains("== Table 1 =="));
+        assert!(s.contains("| PC0idle | 49.50 W |"));
+        assert!(s.contains("| PC1A    | 29.10 W |"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new("x", &["a", "b", "c"]);
+        t.add_row_strs(&["1"]);
+        let s = t.render();
+        assert!(s.contains("| 1 |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.412), "41.2%");
+        assert_eq!(watts(Watts(29.1)), "29.10 W");
+        assert_eq!(micros(SimDuration::from_nanos(117_500)), "117.5 us");
+    }
+}

@@ -1,0 +1,61 @@
+//! # `apc` — AgilePkgC reproduction facade
+//!
+//! One-stop crate re-exporting the whole public API of the AgilePkgC (APC)
+//! reproduction, so applications and experiments can depend on a single
+//! crate:
+//!
+//! * [`sim`] — discrete-event engine, distributions, statistics;
+//! * [`soc`] — the Skylake-SP class SoC structural model;
+//! * [`power`] — calibrated power model, energy accounting, RAPL facade;
+//! * [`pmu`] — baseline power management (idle governor, GPMU, PC6);
+//! * [`core`] — the APC architecture (APMU, PC1A, IOSM, CLMR, latency /
+//!   power / area models);
+//! * [`workloads`] — Memcached/Kafka/MySQL load generators;
+//! * [`telemetry`] — residency, idle-period and latency telemetry;
+//! * [`server`] — the full-system server simulation;
+//! * [`analysis`] — Eq. 1 savings model, performance-impact model, report
+//!   formatting.
+//!
+//! # Quick start
+//!
+//! ```
+//! use apc::prelude::*;
+//!
+//! // Simulate 20 ms of Memcached at 10 K QPS on the APC-enhanced server.
+//! let config = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(20));
+//! let result = run_experiment(config, WorkloadSpec::memcached_etc(), 10_000.0);
+//! assert!(result.avg_soc_power.as_f64() > 10.0);
+//! ```
+
+pub use apc_analysis as analysis;
+pub use apc_core as core;
+pub use apc_pmu as pmu;
+pub use apc_power as power;
+pub use apc_server as server;
+pub use apc_sim as sim;
+pub use apc_soc as soc;
+pub use apc_telemetry as telemetry;
+pub use apc_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use apc_analysis::impact::ImpactInputs;
+    pub use apc_analysis::report::TextTable;
+    pub use apc_analysis::savings::{idle_savings, SavingsInputs};
+    pub use apc_core::apmu::{Apmu, ApmuState, WakeCause};
+    pub use apc_core::area::ApcAreaModel;
+    pub use apc_core::latency::Pc1aLatencyModel;
+    pub use apc_core::power::Pc1aPowerEstimator;
+    pub use apc_pmu::config::PlatformConfig;
+    pub use apc_power::budget::PackageStatePower;
+    pub use apc_power::model::PowerModel;
+    pub use apc_power::units::{Joules, Watts};
+    pub use apc_server::config::ServerConfig;
+    pub use apc_server::result::RunResult;
+    pub use apc_server::sim::{run_experiment, ServerSimulation};
+    pub use apc_sim::{SimDuration, SimTime};
+    pub use apc_soc::cstate::{CoreCState, PackageCState};
+    pub use apc_soc::topology::{SkxSoc, SocConfig};
+    pub use apc_workloads::loadgen::LoadGenerator;
+    pub use apc_workloads::spec::WorkloadSpec;
+}

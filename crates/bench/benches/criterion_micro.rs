@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the simulator itself: event-queue
+//! throughput, a full PC1A entry/exit cycle on the APMU FSM, and
+//! full-system simulated-time throughput. These quantify the cost of the
+//! reproduction's machinery, not any paper result.
+
+#![allow(missing_docs)] // criterion's macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use apc_core::apmu::{Apmu, WakeCause, WakeOutcome};
+use apc_server::config::ServerConfig;
+use apc_server::sim::run_experiment;
+use apc_sim::engine::EventQueue;
+use apc_sim::{SimDuration, SimTime};
+use apc_soc::cstate::CoreCState;
+use apc_soc::topology::SkxSoc;
+use apc_workloads::spec::WorkloadSpec;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        });
+    });
+}
+
+fn bench_apmu_cycle(c: &mut Criterion) {
+    c.bench_function("apmu_pc1a_entry_exit_cycle", |b| {
+        let mut soc = SkxSoc::xeon_silver_4114();
+        let mut apmu = Apmu::new();
+        let mut now = SimTime::from_micros(1);
+        b.iter(|| {
+            soc.force_all_cores(now, CoreCState::CC1);
+            for link in soc.ios_mut().iter_mut() {
+                link.end_traffic(now);
+            }
+            if let Some(deadline) = apmu.on_all_cores_idle(&mut soc, now) {
+                if let Some(resident) = apmu.on_standby_deadline(&mut soc, deadline) {
+                    apmu.on_entry_complete(resident);
+                    let wake = resident + SimDuration::from_micros(30);
+                    if let WakeOutcome::Exiting { done_at, .. } =
+                        apmu.wakeup(&mut soc, wake, WakeCause::IoTraffic)
+                    {
+                        apmu.on_exit_complete(&mut soc, done_at);
+                        apmu.on_core_active(&mut soc, done_at);
+                        now = done_at + SimDuration::from_micros(10);
+                    }
+                }
+            }
+            apmu.stats().pc1a_entries
+        });
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_system");
+    group.sample_size(10);
+    group.bench_function("memcached_cpc1a_50ms_sim", |b| {
+        b.iter(|| {
+            let cfg = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(50));
+            run_experiment(cfg, WorkloadSpec::memcached_etc(), 25_000.0).completed_requests
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_apmu_cycle, bench_full_system);
+criterion_main!(benches);

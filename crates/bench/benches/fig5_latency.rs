@@ -1,0 +1,8 @@
+//! Regenerates Fig. 5: Memcached average and tail latency, `Cshallow` vs
+//! `Cdeep`, across request rates.
+//!
+//! Run with: `cargo bench -p apc-bench --bench fig5_latency`
+
+fn main() {
+    print!("{}", apc_bench::fig5_cshallow_vs_cdeep_latency());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 6: the PC1A opportunity analysis for Memcached —
+//! (a) core C-state residency, (b) PC1A residency, (c) the fully-idle period
+//! distribution.
+//!
+//! Run with: `cargo bench -p apc-bench --bench fig6_opportunity`
+
+fn main() {
+    print!("{}", apc_bench::fig6a_core_cstate_residency());
+    println!();
+    print!("{}", apc_bench::fig6b_pc1a_residency());
+    println!();
+    print!("{}", apc_bench::fig6c_idle_period_distribution());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 7: (a) idle power per configuration, (b) power and PC1A
+//! savings vs request rate, (c) the latency impact of PC1A.
+//!
+//! Run with: `cargo bench -p apc-bench --bench fig7_power_savings`
+
+fn main() {
+    print!("{}", apc_bench::fig7a_idle_power());
+    println!();
+    print!("{}", apc_bench::fig7b_power_vs_load());
+    println!();
+    print!("{}", apc_bench::fig7c_latency_impact());
+}

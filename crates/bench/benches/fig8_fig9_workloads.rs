@@ -1,0 +1,10 @@
+//! Regenerates Fig. 8 (MySQL) and Fig. 9 (Kafka): residency and power
+//! reduction at the paper's operating points.
+//!
+//! Run with: `cargo bench -p apc-bench --bench fig8_fig9_workloads`
+
+fn main() {
+    print!("{}", apc_bench::fig8_mysql());
+    println!();
+    print!("{}", apc_bench::fig9_kafka());
+}

@@ -1,0 +1,19 @@
+//! Regenerates the closed-form artefacts of the paper: Table 1, Table 2,
+//! the Sec. 2 savings model, the Sec. 5.4 power derivation, the Sec. 5.5
+//! latency budget and the Sec. 5.1–5.3 area overhead.
+//!
+//! Run with: `cargo bench -p apc-bench --bench paper_tables`
+
+fn main() {
+    print!("{}", apc_bench::table1_package_cstate_power());
+    println!();
+    print!("{}", apc_bench::table2_cstate_characteristics());
+    println!();
+    print!("{}", apc_bench::sec2_savings_model());
+    println!();
+    print!("{}", apc_bench::sec54_pc1a_power_breakdown());
+    println!();
+    print!("{}", apc_bench::sec55_pc1a_latency());
+    println!();
+    print!("{}", apc_bench::sec5_area_overhead());
+}

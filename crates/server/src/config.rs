@@ -1,0 +1,121 @@
+//! Full-system experiment configuration.
+
+use apc_pmu::config::PlatformConfig;
+use apc_power::model::PowerModel;
+use apc_sim::SimDuration;
+use apc_soc::topology::SocConfig;
+use apc_workloads::spec::BackgroundNoise;
+
+/// Configuration of one simulated server run.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Socket topology (defaults to the Xeon Silver 4114 reference).
+    pub soc: SocConfig,
+    /// Platform power-management configuration (`Cshallow`, `Cdeep`, `CPC1A`).
+    pub platform: PlatformConfig,
+    /// Calibrated power model.
+    pub power: PowerModel,
+    /// OS background noise model (`None` disables background wakeups).
+    pub noise: Option<BackgroundNoise>,
+    /// NIC interrupt-coalescing window: requests arriving within this window
+    /// of the first buffered request are delivered together by one interrupt.
+    pub nic_coalescing: SimDuration,
+    /// Per-interrupt kernel processing overhead charged to the receiving
+    /// core before request service starts.
+    pub softirq_overhead: SimDuration,
+    /// Simulated measurement duration.
+    pub duration: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// The baseline the paper recommends against but datacenters use:
+    /// CC1-only, no package C-states.
+    #[must_use]
+    pub fn c_shallow() -> Self {
+        ServerConfig::with_platform(PlatformConfig::c_shallow())
+    }
+
+    /// All C-states enabled (CC6 + PC6).
+    #[must_use]
+    pub fn c_deep() -> Self {
+        ServerConfig::with_platform(PlatformConfig::c_deep())
+    }
+
+    /// `Cshallow` plus the APC hardware (PC1A available).
+    #[must_use]
+    pub fn c_pc1a() -> Self {
+        ServerConfig::with_platform(PlatformConfig::c_pc1a())
+    }
+
+    /// Builds a configuration around an arbitrary platform configuration.
+    #[must_use]
+    pub fn with_platform(platform: PlatformConfig) -> Self {
+        ServerConfig {
+            soc: SocConfig::xeon_silver_4114(),
+            platform,
+            power: PowerModel::skx_calibrated(),
+            noise: Some(BackgroundNoise::default_server()),
+            nic_coalescing: SimDuration::from_micros(30),
+            softirq_overhead: SimDuration::from_micros(3),
+            duration: SimDuration::from_millis(500),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Shortens the measurement window (useful for unit tests).
+    #[must_use]
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables OS background noise (for controlled experiments).
+    #[must_use]
+    pub fn without_noise(mut self) -> Self {
+        self.noise = None;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_pmu::config::PackagePolicy;
+
+    #[test]
+    fn presets_carry_their_platform_policy() {
+        assert_eq!(
+            ServerConfig::c_shallow().platform.package_policy,
+            PackagePolicy::None
+        );
+        assert_eq!(
+            ServerConfig::c_deep().platform.package_policy,
+            PackagePolicy::Pc6
+        );
+        assert_eq!(
+            ServerConfig::c_pc1a().platform.package_policy,
+            PackagePolicy::Pc1a
+        );
+    }
+
+    #[test]
+    fn builder_helpers_apply() {
+        let cfg = ServerConfig::c_pc1a()
+            .with_duration(SimDuration::from_millis(10))
+            .with_seed(7)
+            .without_noise();
+        assert_eq!(cfg.duration, SimDuration::from_millis(10));
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.noise.is_none());
+        assert_eq!(cfg.soc.cores, 10);
+    }
+}

@@ -1,0 +1,33 @@
+//! # `apc-server` — full-system datacenter server simulation
+//!
+//! The testbed substitute: an event-driven simulation of a latency-critical
+//! service running on the modelled Skylake-SP server under one of the
+//! paper's platform configurations, producing the power, residency and
+//! latency measurements every figure of the evaluation is built from.
+//!
+//! * [`config`] — [`config::ServerConfig`] (topology, platform, power model,
+//!   NIC coalescing, background noise);
+//! * [`sim`] — the [`sim::ServerSimulation`] event loop and
+//!   [`sim::run_experiment`] convenience entry point;
+//! * [`result`] — [`result::RunResult`] with derived metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use apc_server::config::ServerConfig;
+//! use apc_server::sim::run_experiment;
+//! use apc_sim::SimDuration;
+//! use apc_workloads::spec::WorkloadSpec;
+//!
+//! let cfg = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(20));
+//! let result = run_experiment(cfg, WorkloadSpec::memcached_etc(), 10_000.0);
+//! assert!(result.avg_soc_power.as_f64() > 0.0);
+//! ```
+
+pub mod config;
+pub mod result;
+pub mod sim;
+
+pub use config::ServerConfig;
+pub use result::RunResult;
+pub use sim::{run_experiment, ServerSimulation};

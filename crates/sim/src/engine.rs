@@ -1,0 +1,285 @@
+//! Discrete-event scheduling primitives.
+//!
+//! The full-system server simulation (crate `apc-server`) is written as a
+//! classic discrete-event simulation: components schedule future events into
+//! an [`EventQueue`], the main loop repeatedly pops the earliest event,
+//! advances the simulated clock to its timestamp and dispatches it.
+//!
+//! The queue is deliberately generic over the event payload so that every
+//! layer (workload generators, C-state governors, package flows) can define
+//! its own event enumeration while sharing the same scheduling machinery.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, used for cancellation.
+///
+/// Identifiers are unique within one [`EventQueue`] instance and are never
+/// reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw identifier value (mostly useful for logging).
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Internal heap entry. Ordered by `(time, seq)` so that events scheduled for
+/// the same instant are delivered in FIFO order, which makes simulations
+/// deterministic.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to obtain earliest-first ordering.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic pending-event queue for discrete-event simulation.
+///
+/// Events are delivered in non-decreasing timestamp order; ties are broken by
+/// scheduling order (FIFO). Cancellation is supported through lazy deletion,
+/// which keeps both `schedule` and `pop` at `O(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use apc_sim::engine::EventQueue;
+/// use apc_sim::time::SimTime;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(SimTime::from_nanos(20), "b");
+/// queue.schedule(SimTime::from_nanos(10), "a");
+/// let id = queue.schedule(SimTime::from_nanos(30), "cancelled");
+/// queue.cancel(id);
+///
+/// assert_eq!(queue.pop(), Some((SimTime::from_nanos(10), "a")));
+/// assert_eq!(queue.pop(), Some((SimTime::from_nanos(20), "b")));
+/// assert_eq!(queue.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    /// Timestamp of the most recently delivered event; used to detect
+    /// causality violations (scheduling into the past).
+    now: SimTime,
+    delivered: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty event queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            delivered: 0,
+        }
+    }
+
+    /// The timestamp of the most recently delivered event (the current
+    /// simulated time from the queue's perspective).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events currently pending (cancelled-but-not-yet-reaped
+    /// events are excluded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` when no live events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` for delivery at time `at` and returns a handle
+    /// that can be used to cancel it.
+    ///
+    /// Scheduling an event in the past (before the last delivered event) is a
+    /// causality violation; the event is clamped to the current time so that
+    /// it is delivered next, which mirrors how hardware would observe a
+    /// "should already have happened" condition immediately.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let time = if at < self.now { self.now } else { at };
+        let id = EventId(self.next_seq);
+        let entry = Entry {
+            time,
+            seq: self.next_seq,
+            id,
+            payload,
+        };
+        self.next_seq += 1;
+        self.heap.push(entry);
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it had
+    /// already been delivered or cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // An id maps one-to-one to a heap entry; if it is still somewhere in
+        // the heap it has not been delivered yet.
+        if self.heap.iter().any(|e| e.id == id) && !self.cancelled.contains(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.reap_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest live event together with its
+    /// timestamp, advancing the queue's notion of "now".
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let entry = self.heap.pop()?;
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.now = entry.time;
+            self.delivered += 1;
+            return Some((entry.time, entry.payload));
+        }
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn reap_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.id) {
+                let e = self.heap.pop().expect("peeked entry must exist");
+                self.cancelled.remove(&e.id);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(10), "a");
+        let b = q.schedule(SimTime::from_nanos(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert!(!q.cancel(b), "cannot cancel a delivered event");
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), "first");
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(10));
+        q.schedule(SimTime::from_micros(1), "late");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(5), "a");
+        q.schedule(SimTime::from_nanos(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
+    }
+
+    #[test]
+    fn tracks_delivered_count_and_now() {
+        let mut q = EventQueue::new();
+        let t0 = SimTime::ZERO + SimDuration::from_micros(1);
+        q.schedule(t0, ());
+        q.schedule(t0 + SimDuration::from_micros(1), ());
+        while q.pop().is_some() {}
+        assert_eq!(q.delivered(), 2);
+        assert_eq!(q.now(), SimTime::from_micros(2));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # `apc-sim` — discrete-event simulation engine
+//!
+//! Foundation crate of the AgilePkgC (APC) reproduction. It provides:
+//!
+//! * [`time`] — nanosecond-granularity [`time::SimTime`] / [`time::SimDuration`]
+//!   types used by every other crate;
+//! * [`engine`] — a deterministic discrete-event [`engine::EventQueue`];
+//! * [`rng`] — seeded, forkable random number generation;
+//! * [`dist`] — probability distributions for service-time and arrival models;
+//! * [`stats`] — streaming statistics, percentile recording and duration
+//!   histograms used to reduce simulated timelines into the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use apc_sim::engine::EventQueue;
+//! use apc_sim::time::{SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Event {
+//!     RequestArrival,
+//!     CoreWakeupDone,
+//! }
+//!
+//! let mut queue = EventQueue::new();
+//! queue.schedule(SimTime::from_micros(10), Event::RequestArrival);
+//! queue.schedule(SimTime::from_micros(10) + SimDuration::from_nanos(200),
+//!                Event::CoreWakeupDone);
+//!
+//! let (t, e) = queue.pop().unwrap();
+//! assert_eq!(e, Event::RequestArrival);
+//! assert_eq!(t, SimTime::from_micros(10));
+//! ```
+
+pub mod dist;
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

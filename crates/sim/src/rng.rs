@@ -1,0 +1,251 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component of the reproduction (arrival processes, service
+//! time draws, key popularity) pulls randomness from a [`SimRng`] seeded from
+//! an experiment-level seed, so that every table and figure is exactly
+//! reproducible run-to-run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A small, fast, deterministic RNG used throughout the simulator.
+///
+/// Wraps [`rand::rngs::SmallRng`] and adds the handful of draw helpers the
+/// simulator needs. Independent sub-streams for different components are
+/// derived with [`SimRng::fork`], which hashes a label into the parent seed so
+/// that adding a new consumer does not perturb existing streams.
+///
+/// # Examples
+///
+/// ```
+/// use apc_sim::rng::SimRng;
+///
+/// let mut a = SimRng::from_seed(42);
+/// let mut b = SimRng::from_seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let mut arrivals = a.fork("arrivals");
+/// let mut service = a.fork("service");
+/// // Forked streams are independent of each other and of the parent.
+/// assert_ne!(arrivals.next_u64(), service.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent generator for a named sub-component.
+    ///
+    /// The derivation depends only on the parent seed and the label, not on
+    /// how much randomness the parent has already consumed.
+    #[must_use]
+    pub fn fork(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, mixed with the parent seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SimRng::from_seed(self.seed ^ h.rotate_left(17))
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform value in `[lo, hi)`. Returns `lo` when the range is empty or
+    /// degenerate.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if !(hi > lo) {
+            return lo;
+        }
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.uniform() < p
+    }
+
+    /// A standard normal (mean 0, unit variance) draw using Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by sampling from (0, 1].
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// An exponentially distributed draw with the given mean.
+    ///
+    /// Returns `0.0` for non-positive or non-finite means.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if !mean.is_finite() || mean <= 0.0 {
+            return 0.0;
+        }
+        let u = 1.0 - self.uniform();
+        -mean * u.ln()
+    }
+
+    /// A Poisson-distributed draw with the given mean (Knuth's algorithm for
+    /// small means, normal approximation above 64).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if !mean.is_finite() || mean <= 0.0 {
+            return 0;
+        }
+        if mean > 64.0 {
+            let v = mean + mean.sqrt() * self.standard_normal();
+            return v.max(0.0).round() as u64;
+        }
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_is_stable_and_label_sensitive() {
+        let parent = SimRng::from_seed(99);
+        let f1 = parent.fork("arrivals");
+        let f2 = parent.fork("arrivals");
+        let f3 = parent.fork("service");
+        assert_eq!(f1.seed(), f2.seed());
+        assert_ne!(f1.seed(), f3.seed());
+        assert_ne!(f1.seed(), parent.seed());
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = SimRng::from_seed(3);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::from_seed(4);
+        let n = 50_000;
+        let mean = 25.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = sum / f64::from(n);
+        assert!(
+            (observed - mean).abs() / mean < 0.05,
+            "observed mean {observed} too far from {mean}"
+        );
+        assert_eq!(rng.exponential(-1.0), 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = SimRng::from_seed(5);
+        for &mean in &[0.5, 4.0, 30.0, 200.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| rng.poisson(mean)).sum();
+            let observed = sum as f64 / f64::from(n);
+            assert!(
+                (observed - mean).abs() / mean < 0.1,
+                "poisson({mean}) observed {observed}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut rng = SimRng::from_seed(6);
+        let hits = (0..20_000).filter(|_| rng.chance(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02);
+        assert!(!rng.chance(-1.0) || true); // clamps, never panics
+        assert!(rng.chance(2.0)); // clamped to 1.0 => always true
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = SimRng::from_seed(8);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

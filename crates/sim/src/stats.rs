@@ -1,0 +1,506 @@
+//! Streaming statistics, histograms and percentile estimation.
+//!
+//! Every figure in the paper's evaluation reduces a simulated timeline to a
+//! small set of summary statistics: mean/percentile latencies (Fig. 5, 7c),
+//! residency fractions (Fig. 6a/b, 8a, 9a), idle-period length distributions
+//! (Fig. 6c) and average power (Fig. 7a/b, 8b, 9b). The types in this module
+//! are the shared reduction machinery.
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Streaming mean / variance / extrema accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use apc_sim::stats::StreamingStats;
+///
+/// let mut s = StreamingStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 4.0).abs() < 1e-12);
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(6.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Records a full set of samples and answers percentile queries exactly.
+///
+/// The evaluation runs produce at most a few million latency samples, so an
+/// exact recorder is affordable and avoids any estimator bias in tail-latency
+/// comparisons (Fig. 5).
+#[derive(Debug, Clone, Default)]
+pub struct PercentileRecorder {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl PercentileRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        PercentileRecorder {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one sample. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) using nearest-rank interpolation.
+    /// Returns `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite samples are filtered"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            Some(self.samples[lo])
+        } else {
+            let frac = pos - lo as f64;
+            Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+        }
+    }
+
+    /// Convenience accessor for the median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Convenience accessor for the 99th percentile (the paper's tail metric).
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+/// A histogram over durations with logarithmically spaced bucket boundaries.
+///
+/// Mirrors the presentation of Fig. 6(c): "what fraction of fully-idle
+/// periods fall between 20 µs and 200 µs?".
+#[derive(Debug, Clone)]
+pub struct DurationHistogram {
+    /// Upper bounds (inclusive) of each bucket, ascending. A final implicit
+    /// overflow bucket catches everything larger.
+    bounds: Vec<SimDuration>,
+    counts: Vec<u64>,
+    overflow: u64,
+    total_duration: SimDuration,
+}
+
+impl DurationHistogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(bounds: &[SimDuration]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        DurationHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            overflow: 0,
+            total_duration: SimDuration::ZERO,
+        }
+    }
+
+    /// A standard set of log-spaced bounds from 1 µs to 10 ms, suitable for
+    /// idle-period distributions.
+    #[must_use]
+    pub fn idle_period_default() -> Self {
+        let bounds: Vec<SimDuration> = [
+            1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000,
+        ]
+        .into_iter()
+        .map(SimDuration::from_micros)
+        .collect();
+        DurationHistogram::new(&bounds)
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.total_duration += d;
+        for (i, b) in self.bounds.iter().enumerate() {
+            if d <= *b {
+                self.counts[i] += 1;
+                return;
+            }
+        }
+        self.overflow += 1;
+    }
+
+    /// Total number of recorded durations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Sum of all recorded durations.
+    #[must_use]
+    pub fn total_duration(&self) -> SimDuration {
+        self.total_duration
+    }
+
+    /// Iterator over `(upper_bound, count)` pairs, excluding the overflow
+    /// bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (SimDuration, u64)> + '_ {
+        self.bounds.iter().copied().zip(self.counts.iter().copied())
+    }
+
+    /// Count of durations exceeding the largest bound.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of recorded durations that fall inside `[lo, hi]`, judged by
+    /// bucket upper bounds (buckets whose upper bound lies in the range are
+    /// counted). Returns 0 when empty.
+    #[must_use]
+    pub fn fraction_between(&self, lo: SimDuration, hi: SimDuration) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let in_range: u64 = self
+            .buckets()
+            .filter(|(bound, _)| *bound > lo && *bound <= hi)
+            .map(|(_, c)| c)
+            .sum();
+        in_range as f64 / total as f64
+    }
+}
+
+impl fmt::Display for DurationHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.count().max(1);
+        let mut lower = SimDuration::ZERO;
+        for (bound, count) in self.buckets() {
+            writeln!(
+                f,
+                "{:>10} - {:>10}  {:>8}  {:>6.2}%",
+                lower.to_string(),
+                bound.to_string(),
+                count,
+                100.0 * count as f64 / total as f64
+            )?;
+            lower = bound;
+        }
+        writeln!(
+            f,
+            "{:>10} +             {:>8}  {:>6.2}%",
+            lower.to_string(),
+            self.overflow,
+            100.0 * self.overflow as f64 / total as f64
+        )
+    }
+}
+
+/// A simple weighted-average accumulator for time-weighted quantities
+/// (e.g. average power = energy / time).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedMean {
+    weighted_sum: f64,
+    weight: f64,
+}
+
+impl WeightedMean {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        WeightedMean::default()
+    }
+
+    /// Adds `value` with the given non-negative `weight`.
+    pub fn add(&mut self, value: f64, weight: f64) {
+        if weight <= 0.0 || !value.is_finite() {
+            return;
+        }
+        self.weighted_sum += value * weight;
+        self.weight += weight;
+    }
+
+    /// The weighted mean (0 when no weight has been added).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.weight <= 0.0 {
+            0.0
+        } else {
+            self.weighted_sum / self.weight
+        }
+    }
+
+    /// Total accumulated weight.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stats_basic_moments() {
+        let mut s = StreamingStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.variance() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+        assert!((s.sum() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_stats_ignores_non_finite() {
+        let mut s = StreamingStats::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn streaming_stats_merge_matches_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let mut all = StreamingStats::new();
+        for &x in &data {
+            all.record(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_recorder_exact_quantiles() {
+        let mut r = PercentileRecorder::new();
+        for x in (1..=100).rev() {
+            r.record(f64::from(x));
+        }
+        assert_eq!(r.count(), 100);
+        assert!((r.median().unwrap() - 50.5).abs() < 1e-9);
+        assert!((r.quantile(0.0).unwrap() - 1.0).abs() < 1e-9);
+        assert!((r.quantile(1.0).unwrap() - 100.0).abs() < 1e-9);
+        assert!((r.p99().unwrap() - 99.01).abs() < 0.02);
+        assert!((r.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_recorder_empty_is_none() {
+        let mut r = PercentileRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.quantile(0.5), None);
+        assert_eq!(r.mean(), 0.0);
+    }
+
+    #[test]
+    fn duration_histogram_buckets_and_fractions() {
+        let mut h = DurationHistogram::idle_period_default();
+        // 6 samples in 20–200 µs, 4 outside.
+        for us in [25u64, 30, 60, 100, 150, 190] {
+            h.record(SimDuration::from_micros(us));
+        }
+        for us in [2u64, 5, 500, 20_000] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.overflow(), 1);
+        let frac = h.fraction_between(SimDuration::from_micros(20), SimDuration::from_micros(200));
+        assert!((frac - 0.6).abs() < 1e-9, "fraction {frac}");
+        assert!(h.total_duration() > SimDuration::from_millis(20));
+        let rendered = h.to_string();
+        assert!(rendered.contains('%'));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn duration_histogram_rejects_unsorted_bounds() {
+        let _ = DurationHistogram::new(&[
+            SimDuration::from_micros(10),
+            SimDuration::from_micros(5),
+        ]);
+    }
+
+    #[test]
+    fn weighted_mean_weights_properly() {
+        let mut w = WeightedMean::new();
+        w.add(10.0, 1.0);
+        w.add(20.0, 3.0);
+        assert!((w.mean() - 17.5).abs() < 1e-12);
+        assert!((w.total_weight() - 4.0).abs() < 1e-12);
+        w.add(1000.0, 0.0); // ignored
+        w.add(f64::NAN, 5.0); // ignored
+        assert!((w.mean() - 17.5).abs() < 1e-12);
+    }
+}

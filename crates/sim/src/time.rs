@@ -1,0 +1,400 @@
+//! Simulation time types.
+//!
+//! The entire reproduction operates at nanosecond granularity because the
+//! paper's central claim is about *nanosecond-scale* package C-state
+//! transitions (PC1A entry ≈ 18 ns, exit ≤ 150 ns) competing against
+//! *microsecond-scale* idle periods and *millisecond-scale* measurement
+//! windows. A `u64` nanosecond counter covers ~584 years of simulated time,
+//! which is far more than any experiment needs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, measured in nanoseconds since simulation start.
+///
+/// `SimTime` is an absolute instant; [`SimDuration`] is a span between two
+/// instants. The two types are kept distinct so that latency budgets cannot be
+/// accidentally confused with absolute timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use apc_sim::time::{SimTime, SimDuration};
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_micros(5);
+/// assert_eq!(t1.as_nanos(), 5_000);
+/// assert_eq!(t1 - t0, SimDuration::from_nanos(5_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use apc_sim::time::SimDuration;
+///
+/// let d = SimDuration::from_micros(2) + SimDuration::from_nanos(500);
+/// assert_eq!(d.as_nanos(), 2_500);
+/// assert!((d.as_secs_f64() - 2.5e-6).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The maximum representable instant. Used as an "infinitely far away"
+    /// sentinel for deadlines that are never expected to fire.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from nanoseconds since simulation start.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from microseconds since simulation start.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant from milliseconds since simulation start.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant from seconds since simulation start.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start as a floating point value.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The elapsed duration since an earlier instant.
+    ///
+    /// Returns [`SimDuration::ZERO`] when `earlier` is later than `self`
+    /// instead of panicking; flows in the simulator occasionally race by a
+    /// cycle and a saturating difference keeps accounting robust.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration, `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The maximum representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Creates a duration from fractional microseconds, rounding to the
+    /// nearest nanosecond. Negative and non-finite inputs clamp to zero.
+    #[must_use]
+    pub fn from_micros_f64(us: f64) -> Self {
+        Self::from_secs_f64(us * 1e-6)
+    }
+
+    /// The duration in nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (truncated) whole microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in fractional microseconds.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The duration in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `true` when the duration is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Multiplies the duration by a non-negative floating point factor,
+    /// rounding to the nearest nanosecond.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl From<SimDuration> for std::time::Duration {
+    fn from(d: SimDuration) -> Self {
+        std::time::Duration::from_nanos(d.as_nanos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDuration::from_millis(7).as_nanos(), 7_000_000);
+        assert_eq!(SimDuration::from_secs(7).as_nanos(), 7_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic_is_saturating() {
+        let t = SimTime::MAX;
+        assert_eq!(t + SimDuration::from_nanos(10), SimTime::MAX);
+        let d = SimDuration::from_nanos(5);
+        assert_eq!(d - SimDuration::from_nanos(10), SimDuration::ZERO);
+        assert_eq!(SimTime::ZERO - SimDuration::from_nanos(1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn time_difference_yields_duration() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!(a - b, SimDuration::from_micros(6));
+        assert_eq!(b.saturating_since(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn float_conversions_round_trip() {
+        let d = SimDuration::from_secs_f64(1.5e-6);
+        assert_eq!(d.as_nanos(), 1_500);
+        assert!((d.as_micros_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_micros_f64(2.5).as_nanos(), 2_500);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_nanos(1_500).to_string(), "1.500us");
+        assert_eq!(SimDuration::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimDuration::from_secs(1).to_string(), "1.000s");
+    }
+
+    #[test]
+    fn min_max_and_mul() {
+        let a = SimDuration::from_nanos(10);
+        let b = SimDuration::from_nanos(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a * 3, SimDuration::from_nanos(30));
+        assert_eq!(b / 2, SimDuration::from_nanos(10));
+        assert_eq!(a.mul_f64(2.5).as_nanos(), 25);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3]
+            .into_iter()
+            .map(SimDuration::from_nanos)
+            .sum();
+        assert_eq!(total, SimDuration::from_nanos(6));
+    }
+
+    #[test]
+    fn std_duration_conversion() {
+        let d: std::time::Duration = SimDuration::from_micros(3).into();
+        assert_eq!(d.as_nanos(), 3_000);
+    }
+}

@@ -1,0 +1,418 @@
+//! CPU core model and its power-management agent (PMA).
+//!
+//! Each core tile of the modelled SKX SoC contains a core, its private
+//! caches, and a per-core power-management agent. The PMA knows the core's
+//! current C-state and exposes it as the `InCC1` status signal the APMU
+//! aggregates (paper Sec. 5.3).
+
+use std::fmt;
+
+use apc_sim::{SimDuration, SimTime};
+
+use crate::cstate::CoreCState;
+
+/// Identifier of a CPU core within the SoC (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// What a core is doing right now, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreActivity {
+    /// Executing a request (or OS work).
+    Busy,
+    /// Idle in some C-state, immediately schedulable after the C-state exit
+    /// latency.
+    Idle,
+    /// In transition between C-states (entry or exit in progress); cannot
+    /// execute until the transition completes.
+    Transitioning,
+}
+
+/// A CPU core together with its power-management agent.
+///
+/// The core is a passive state machine: the surrounding simulation decides
+/// *when* to request transitions, the core records the state and answers
+/// questions about latency and status signals.
+///
+/// # Examples
+///
+/// ```
+/// use apc_soc::core::{Core, CoreId};
+/// use apc_soc::cstate::CoreCState;
+/// use apc_sim::SimTime;
+///
+/// let mut core = Core::new(CoreId(0));
+/// assert!(core.cstate().is_active());
+///
+/// // The OS idles the core into CC1.
+/// let t = SimTime::from_micros(10);
+/// core.begin_idle(t, CoreCState::CC1);
+/// core.complete_transition(t + CoreCState::CC1.entry_latency());
+/// assert!(core.in_cc1_or_deeper());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Core {
+    id: CoreId,
+    cstate: CoreCState,
+    activity: CoreActivity,
+    /// Target of an in-flight transition, if any.
+    pending: Option<CoreCState>,
+    /// When the current state/activity was established.
+    since: SimTime,
+    /// Cumulative number of C-state transitions (entries into idle states).
+    idle_entries: u64,
+    /// Cumulative number of wakeups (returns to CC0).
+    wakeups: u64,
+}
+
+impl Core {
+    /// Creates a core in the active state (CC0, busy) at time zero.
+    #[must_use]
+    pub fn new(id: CoreId) -> Self {
+        Core {
+            id,
+            cstate: CoreCState::CC0,
+            activity: CoreActivity::Busy,
+            pending: None,
+            since: SimTime::ZERO,
+            idle_entries: 0,
+            wakeups: 0,
+        }
+    }
+
+    /// The core's identifier.
+    #[must_use]
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Current (established) core C-state.
+    #[must_use]
+    pub fn cstate(&self) -> CoreCState {
+        self.cstate
+    }
+
+    /// Current activity classification.
+    #[must_use]
+    pub fn activity(&self) -> CoreActivity {
+        self.activity
+    }
+
+    /// Timestamp at which the current state was established.
+    #[must_use]
+    pub fn since(&self) -> SimTime {
+        self.since
+    }
+
+    /// Number of idle-state entries so far.
+    #[must_use]
+    pub fn idle_entries(&self) -> u64 {
+        self.idle_entries
+    }
+
+    /// Number of wakeups (CC0 resumptions) so far.
+    #[must_use]
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// The `InCC1` status signal exposed by the core's PMA: `true` when the
+    /// core currently resides in CC1 or any deeper C-state (paper Sec. 5.3).
+    ///
+    /// A core that is *transitioning* does not assert the signal, matching
+    /// hardware where the status flops update only once the state is
+    /// established.
+    #[must_use]
+    pub fn in_cc1_or_deeper(&self) -> bool {
+        self.pending.is_none()
+            && self.activity != CoreActivity::Busy
+            && self.cstate.at_least_as_deep_as(CoreCState::CC1)
+    }
+
+    /// Starts an idle transition into `target` at time `now`.
+    ///
+    /// Returns the entry latency the caller should wait before calling
+    /// [`Core::complete_transition`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is `CC0` (use [`Core::begin_wakeup`]) or if the core
+    /// is already idle or transitioning.
+    pub fn begin_idle(&mut self, now: SimTime, target: CoreCState) -> SimDuration {
+        assert!(target.is_idle(), "begin_idle requires an idle target state");
+        assert_eq!(
+            self.activity,
+            CoreActivity::Busy,
+            "{}: cannot enter {target} while {:?}",
+            self.id,
+            self.activity
+        );
+        self.pending = Some(target);
+        self.activity = CoreActivity::Transitioning;
+        self.since = now;
+        self.idle_entries += 1;
+        target.entry_latency()
+    }
+
+    /// Starts a wakeup (transition back to CC0) at time `now`.
+    ///
+    /// Returns the exit latency of the state the core is leaving. Waking a
+    /// core that is still completing its idle entry is allowed (hardware
+    /// aborts the entry); the exit latency is then the target state's exit
+    /// latency, which is the conservative choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is already busy.
+    pub fn begin_wakeup(&mut self, now: SimTime) -> SimDuration {
+        assert_ne!(
+            self.activity,
+            CoreActivity::Busy,
+            "{}: busy cores cannot be woken",
+            self.id
+        );
+        let leaving = self.pending.take().unwrap_or(self.cstate);
+        self.pending = Some(CoreCState::CC0);
+        self.activity = CoreActivity::Transitioning;
+        self.since = now;
+        self.wakeups += 1;
+        leaving.exit_latency()
+    }
+
+    /// Completes an in-flight transition at time `now`, establishing the
+    /// pending state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transition is pending.
+    pub fn complete_transition(&mut self, now: SimTime) {
+        let target = self
+            .pending
+            .take()
+            .unwrap_or_else(|| panic!("{}: no transition in flight", self.id));
+        self.cstate = target;
+        self.activity = if target.is_active() {
+            CoreActivity::Busy
+        } else {
+            CoreActivity::Idle
+        };
+        self.since = now;
+    }
+
+    /// Forces the core into an established state without modelling the
+    /// transition latency. Used for initial conditions and by analytical
+    /// (non-event-driven) experiments.
+    pub fn force_state(&mut self, now: SimTime, state: CoreCState) {
+        self.pending = None;
+        self.cstate = state;
+        self.activity = if state.is_active() {
+            CoreActivity::Busy
+        } else {
+            CoreActivity::Idle
+        };
+        self.since = now;
+    }
+}
+
+/// The set of cores of a socket, with helpers for the all-core status signals
+/// the package controllers consume.
+#[derive(Debug, Clone)]
+pub struct CoreSet {
+    cores: Vec<Core>,
+}
+
+impl CoreSet {
+    /// Creates `n` cores, all active.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        CoreSet {
+            cores: (0..n).map(|i| Core::new(CoreId(i))).collect(),
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// `true` when the socket has no cores (never the case in practice, but
+    /// required for a well-behaved collection API).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Immutable access to a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn core(&self, id: CoreId) -> &Core {
+        &self.cores[id.0]
+    }
+
+    /// Mutable access to a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn core_mut(&mut self, id: CoreId) -> &mut Core {
+        &mut self.cores[id.0]
+    }
+
+    /// Iterator over all cores.
+    pub fn iter(&self) -> impl Iterator<Item = &Core> {
+        self.cores.iter()
+    }
+
+    /// The aggregated `InCC1` signal: `true` when **all** cores assert their
+    /// per-core `InCC1` (i.e. every core is established in CC1 or deeper).
+    /// This is the AND-tree the APMU consumes (paper Fig. 3).
+    #[must_use]
+    pub fn all_in_cc1_or_deeper(&self) -> bool {
+        !self.cores.is_empty() && self.cores.iter().all(Core::in_cc1_or_deeper)
+    }
+
+    /// `true` when every core is established in a state at least as deep as
+    /// `target` (the GPMU's condition for PC6 requires CC6 everywhere).
+    #[must_use]
+    pub fn all_at_least(&self, target: CoreCState) -> bool {
+        !self.cores.is_empty()
+            && self.cores.iter().all(|c| {
+                c.activity() != CoreActivity::Busy
+                    && c.activity() != CoreActivity::Transitioning
+                    && c.cstate().at_least_as_deep_as(target)
+            })
+    }
+
+    /// Number of cores currently active (CC0 established or transitioning to
+    /// it).
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.cores
+            .iter()
+            .filter(|c| c.activity() == CoreActivity::Busy)
+            .count()
+    }
+
+    /// Number of cores established in exactly the given C-state.
+    #[must_use]
+    pub fn count_in(&self, state: CoreCState) -> usize {
+        self.cores
+            .iter()
+            .filter(|c| c.activity() == CoreActivity::Idle && c.cstate() == state)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_core_is_active() {
+        let c = Core::new(CoreId(3));
+        assert_eq!(c.id(), CoreId(3));
+        assert_eq!(c.cstate(), CoreCState::CC0);
+        assert_eq!(c.activity(), CoreActivity::Busy);
+        assert!(!c.in_cc1_or_deeper());
+        assert_eq!(c.id().to_string(), "core3");
+    }
+
+    #[test]
+    fn idle_entry_and_wakeup_cycle() {
+        let mut c = Core::new(CoreId(0));
+        let t0 = SimTime::from_micros(10);
+        let entry = c.begin_idle(t0, CoreCState::CC1);
+        assert_eq!(entry, CoreCState::CC1.entry_latency());
+        assert_eq!(c.activity(), CoreActivity::Transitioning);
+        assert!(!c.in_cc1_or_deeper(), "signal not asserted mid-transition");
+
+        let t1 = t0 + entry;
+        c.complete_transition(t1);
+        assert!(c.in_cc1_or_deeper());
+        assert_eq!(c.activity(), CoreActivity::Idle);
+        assert_eq!(c.idle_entries(), 1);
+
+        let exit = c.begin_wakeup(t1 + SimDuration::from_micros(50));
+        assert_eq!(exit, CoreCState::CC1.exit_latency());
+        c.complete_transition(t1 + SimDuration::from_micros(51));
+        assert_eq!(c.cstate(), CoreCState::CC0);
+        assert_eq!(c.wakeups(), 1);
+    }
+
+    #[test]
+    fn wakeup_during_entry_uses_target_exit_latency() {
+        let mut c = Core::new(CoreId(0));
+        c.begin_idle(SimTime::ZERO, CoreCState::CC6);
+        // Interrupt arrives before the entry completed.
+        let exit = c.begin_wakeup(SimTime::from_micros(1));
+        assert_eq!(exit, CoreCState::CC6.exit_latency());
+        c.complete_transition(SimTime::from_micros(150));
+        assert!(c.cstate().is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot enter")]
+    fn cannot_idle_twice() {
+        let mut c = Core::new(CoreId(0));
+        c.begin_idle(SimTime::ZERO, CoreCState::CC1);
+        c.complete_transition(SimTime::from_nanos(500));
+        // Already idle: a second begin_idle is a protocol violation.
+        let _ = c.begin_idle(SimTime::from_micros(1), CoreCState::CC6);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy cores cannot be woken")]
+    fn cannot_wake_busy_core() {
+        let mut c = Core::new(CoreId(0));
+        let _ = c.begin_wakeup(SimTime::ZERO);
+    }
+
+    #[test]
+    fn force_state_bypasses_latency() {
+        let mut c = Core::new(CoreId(0));
+        c.force_state(SimTime::ZERO, CoreCState::CC6);
+        assert_eq!(c.cstate(), CoreCState::CC6);
+        assert!(c.in_cc1_or_deeper());
+        c.force_state(SimTime::ZERO, CoreCState::CC0);
+        assert!(c.cstate().is_active());
+    }
+
+    #[test]
+    fn coreset_aggregated_signals() {
+        let mut set = CoreSet::new(4);
+        assert_eq!(set.len(), 4);
+        assert!(!set.all_in_cc1_or_deeper());
+        assert_eq!(set.active_count(), 4);
+
+        for i in 0..4 {
+            set.core_mut(CoreId(i)).force_state(SimTime::ZERO, CoreCState::CC1);
+        }
+        assert!(set.all_in_cc1_or_deeper());
+        assert!(set.all_at_least(CoreCState::CC1));
+        assert!(!set.all_at_least(CoreCState::CC6));
+        assert_eq!(set.count_in(CoreCState::CC1), 4);
+        assert_eq!(set.active_count(), 0);
+
+        set.core_mut(CoreId(2)).force_state(SimTime::ZERO, CoreCState::CC0);
+        assert!(!set.all_in_cc1_or_deeper());
+        assert_eq!(set.active_count(), 1);
+    }
+
+    #[test]
+    fn empty_coreset_never_asserts_all_idle() {
+        let set = CoreSet::new(0);
+        assert!(set.is_empty());
+        assert!(!set.all_in_cc1_or_deeper());
+        assert!(!set.all_at_least(CoreCState::CC1));
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end request latency telemetry.
+//!
+//! The paper reports average and tail (99th percentile) end-to-end latency,
+//! where end-to-end = client-observed latency = network round trip (≈ 117 µs
+//! for their testbed) + server-side queueing + service + any C-state wakeup
+//! penalties. This module accumulates those samples and produces the summary
+//! statistics the figures plot.
+
+use apc_sim::stats::PercentileRecorder;
+use apc_sim::SimDuration;
+
+/// Summary of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of requests.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: SimDuration,
+    /// Median latency.
+    pub p50: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile (the paper's tail metric).
+    pub p99: SimDuration,
+    /// Maximum observed latency.
+    pub max: SimDuration,
+}
+
+impl LatencySummary {
+    /// An all-zero summary (no samples).
+    #[must_use]
+    pub fn empty() -> Self {
+        LatencySummary {
+            count: 0,
+            mean: SimDuration::ZERO,
+            p50: SimDuration::ZERO,
+            p95: SimDuration::ZERO,
+            p99: SimDuration::ZERO,
+            max: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Records per-request latencies.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: PercentileRecorder,
+    max: SimDuration,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one request's end-to-end latency.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples.record(latency.as_nanos() as f64);
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of recorded requests.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.count()
+    }
+
+    /// Produces the summary statistics.
+    pub fn summary(&mut self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::empty();
+        }
+        let q = |r: &mut PercentileRecorder, q: f64| {
+            SimDuration::from_nanos(r.quantile(q).unwrap_or(0.0).round() as u64)
+        };
+        LatencySummary {
+            count: self.samples.count(),
+            mean: SimDuration::from_nanos(self.samples.mean().round() as u64),
+            p50: q(&mut self.samples, 0.50),
+            p95: q(&mut self.samples, 0.95),
+            p99: q(&mut self.samples, 0.99),
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_uniform_latencies() {
+        let mut r = LatencyRecorder::new();
+        for us in 1..=100u64 {
+            r.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(r.count(), 100);
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, SimDuration::from_nanos(50_500));
+        assert_eq!(s.max, SimDuration::from_micros(100));
+        assert!(s.p99 >= SimDuration::from_micros(98));
+        assert!(s.p50 >= SimDuration::from_micros(50));
+        assert!(s.p95 >= SimDuration::from_micros(95));
+    }
+
+    #[test]
+    fn empty_recorder_yields_empty_summary() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.summary(), LatencySummary::empty());
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn tail_reflects_outliers() {
+        let mut r = LatencyRecorder::new();
+        for _ in 0..990 {
+            r.record(SimDuration::from_micros(100));
+        }
+        for _ in 0..10 {
+            r.record(SimDuration::from_micros(1_000));
+        }
+        let s = r.summary();
+        assert!(s.p99 >= SimDuration::from_micros(100));
+        assert_eq!(s.max, SimDuration::from_millis(1));
+        assert!(s.mean > SimDuration::from_micros(100));
+        assert!(s.mean < SimDuration::from_micros(120));
+    }
+}

@@ -1,0 +1,21 @@
+//! # `apc-telemetry` — residency, idle-period and latency telemetry
+//!
+//! The measurement layer of the reproduction: the counters and traces from
+//! which every figure of the paper's evaluation is computed.
+//!
+//! * [`residency`] — per-core and package C-state residency counters
+//!   (Fig. 6(a)/(b), 8(a), 9(a));
+//! * [`idle`] — fully-idle period tracking with the SoCWatch 10 µs floor
+//!   (Fig. 6(b)/(c));
+//! * [`latency`] — end-to-end latency recording (Fig. 5, 7(c));
+//! * [`tracer`] — a bounded power-event trace for flow inspection.
+
+pub mod idle;
+pub mod latency;
+pub mod residency;
+pub mod tracer;
+
+pub use idle::IdlePeriodTracker;
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use residency::{CoreResidencySet, PackageResidency, StateResidency};
+pub use tracer::{PowerTracer, TraceEvent};

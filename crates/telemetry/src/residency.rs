@@ -1,0 +1,228 @@
+//! C-state residency accounting.
+//!
+//! Reproduces what the paper obtains from the hardware residency-reporting
+//! counters (Sec. 6): the fraction of time each core spends in each core
+//! C-state and the fraction of time the package spends in each package
+//! C-state. Figures 6(a), 6(b), 8(a) and 9(a) are direct reductions of these
+//! counters.
+
+use std::collections::BTreeMap;
+
+use apc_sim::{SimDuration, SimTime};
+use apc_soc::core::CoreId;
+use apc_soc::cstate::{CoreCState, PackageCState};
+
+/// Tracks time spent per state for one state machine (a core or the package).
+#[derive(Debug, Clone)]
+pub struct StateResidency<S: Ord + Copy> {
+    current: S,
+    since: SimTime,
+    accumulated: BTreeMap<S, SimDuration>,
+    transitions: u64,
+}
+
+impl<S: Ord + Copy> StateResidency<S> {
+    /// Creates a tracker starting in `initial` at time `start`.
+    #[must_use]
+    pub fn new(initial: S, start: SimTime) -> Self {
+        StateResidency {
+            current: initial,
+            since: start,
+            accumulated: BTreeMap::new(),
+            transitions: 0,
+        }
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn current(&self) -> S {
+        self.current
+    }
+
+    /// Number of state transitions recorded.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Records a transition to `next` at time `now`. Transitions to the same
+    /// state are ignored (no counter bump).
+    pub fn transition(&mut self, now: SimTime, next: S) {
+        if next == self.current {
+            return;
+        }
+        let dwell = now.saturating_since(self.since);
+        *self
+            .accumulated
+            .entry(self.current)
+            .or_insert(SimDuration::ZERO) += dwell;
+        self.current = next;
+        self.since = now;
+        self.transitions += 1;
+    }
+
+    /// Closes the accounting window at `now` without changing state (call at
+    /// the end of a run before reading residencies).
+    pub fn finish(&mut self, now: SimTime) {
+        let dwell = now.saturating_since(self.since);
+        *self
+            .accumulated
+            .entry(self.current)
+            .or_insert(SimDuration::ZERO) += dwell;
+        self.since = now;
+    }
+
+    /// Total time attributed to `state`.
+    #[must_use]
+    pub fn time_in(&self, state: S) -> SimDuration {
+        self.accumulated
+            .get(&state)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Total accounted time across all states.
+    #[must_use]
+    pub fn total(&self) -> SimDuration {
+        self.accumulated.values().copied().sum()
+    }
+
+    /// Fraction of accounted time spent in `state` (0 when nothing has been
+    /// accounted yet).
+    #[must_use]
+    pub fn fraction_in(&self, state: S) -> f64 {
+        let total = self.total().as_nanos();
+        if total == 0 {
+            return 0.0;
+        }
+        self.time_in(state).as_nanos() as f64 / total as f64
+    }
+}
+
+/// Per-core core-C-state residency for a whole socket.
+#[derive(Debug, Clone)]
+pub struct CoreResidencySet {
+    cores: Vec<StateResidency<CoreCState>>,
+}
+
+impl CoreResidencySet {
+    /// Creates trackers for `n` cores, all starting in CC0.
+    #[must_use]
+    pub fn new(n: usize, start: SimTime) -> Self {
+        CoreResidencySet {
+            cores: (0..n)
+                .map(|_| StateResidency::new(CoreCState::CC0, start))
+                .collect(),
+        }
+    }
+
+    /// Number of cores tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// `true` when no cores are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Records a core's transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn transition(&mut self, core: CoreId, now: SimTime, next: CoreCState) {
+        self.cores[core.0].transition(now, next);
+    }
+
+    /// Closes all windows at `now`.
+    pub fn finish(&mut self, now: SimTime) {
+        for c in &mut self.cores {
+            c.finish(now);
+        }
+    }
+
+    /// Residency tracker of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    #[must_use]
+    pub fn core(&self, core: CoreId) -> &StateResidency<CoreCState> {
+        &self.cores[core.0]
+    }
+
+    /// The average (across cores) fraction of time spent in `state`
+    /// — what Fig. 6(a) plots.
+    #[must_use]
+    pub fn average_fraction_in(&self, state: CoreCState) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores.iter().map(|c| c.fraction_in(state)).sum::<f64>() / self.cores.len() as f64
+    }
+
+    /// Total number of core C-state transitions across the socket.
+    #[must_use]
+    pub fn total_transitions(&self) -> u64 {
+        self.cores.iter().map(StateResidency::transitions).sum()
+    }
+}
+
+/// Package C-state residency (Fig. 6(b)'s PC1A residency is
+/// `fraction_in(PackageCState::PC1A)` under the `CPC1A` configuration, or the
+/// fraction of time all cores are simultaneously idle under the baselines).
+pub type PackageResidency = StateResidency<PackageCState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tracker_accumulates_dwell_times() {
+        let mut r = StateResidency::new(CoreCState::CC0, SimTime::ZERO);
+        r.transition(SimTime::from_micros(10), CoreCState::CC1);
+        r.transition(SimTime::from_micros(30), CoreCState::CC0);
+        r.finish(SimTime::from_micros(40));
+        assert_eq!(r.time_in(CoreCState::CC0), SimDuration::from_micros(20));
+        assert_eq!(r.time_in(CoreCState::CC1), SimDuration::from_micros(20));
+        assert_eq!(r.total(), SimDuration::from_micros(40));
+        assert!((r.fraction_in(CoreCState::CC1) - 0.5).abs() < 1e-12);
+        assert_eq!(r.transitions(), 2);
+        assert_eq!(r.current(), CoreCState::CC0);
+    }
+
+    #[test]
+    fn same_state_transitions_are_ignored() {
+        let mut r = StateResidency::new(CoreCState::CC1, SimTime::ZERO);
+        r.transition(SimTime::from_micros(5), CoreCState::CC1);
+        assert_eq!(r.transitions(), 0);
+        assert_eq!(r.fraction_in(CoreCState::CC1), 0.0, "nothing accounted yet");
+    }
+
+    #[test]
+    fn core_set_average_fraction() {
+        let mut set = CoreResidencySet::new(2, SimTime::ZERO);
+        // Core 0 idles the whole window; core 1 stays active.
+        set.transition(CoreId(0), SimTime::ZERO, CoreCState::CC1);
+        set.finish(SimTime::from_millis(1));
+        assert!((set.average_fraction_in(CoreCState::CC1) - 0.5).abs() < 1e-9);
+        assert!((set.average_fraction_in(CoreCState::CC0) - 0.5).abs() < 1e-9);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_transitions(), 1);
+        assert!(set.core(CoreId(0)).fraction_in(CoreCState::CC1) > 0.99);
+    }
+
+    #[test]
+    fn package_residency_tracks_pc1a() {
+        let mut p = PackageResidency::new(PackageCState::PC0, SimTime::ZERO);
+        p.transition(SimTime::from_micros(100), PackageCState::PC0Idle);
+        p.transition(SimTime::from_micros(110), PackageCState::PC1A);
+        p.transition(SimTime::from_micros(210), PackageCState::PC0);
+        p.finish(SimTime::from_micros(400));
+        assert_eq!(p.time_in(PackageCState::PC1A), SimDuration::from_micros(100));
+        assert!((p.fraction_in(PackageCState::PC1A) - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! Power event tracer (the SoCWatch-equivalent event log).
+//!
+//! Records a bounded timeline of power-management events so that experiments
+//! (and the `pc1a_flow_trace` example) can inspect *why* the package entered
+//! or left a state, mirroring the event traces the paper collects with
+//! SoCWatch for its opportunity analysis.
+
+use std::fmt;
+
+use apc_sim::SimTime;
+use apc_soc::core::CoreId;
+use apc_soc::cstate::{CoreCState, PackageCState};
+
+/// A power-management event on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A core changed C-state.
+    CoreCState {
+        /// Which core.
+        core: CoreId,
+        /// The state it entered.
+        state: CoreCState,
+    },
+    /// The package changed C-state.
+    PackageCState {
+        /// The state the package entered.
+        state: PackageCState,
+    },
+    /// A request arrived at the NIC.
+    RequestArrival,
+    /// A request completed service.
+    RequestCompletion,
+    /// A PC1A entry was aborted by a racing wakeup.
+    Pc1aEntryAborted,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::CoreCState { core, state } => write!(f, "{core} -> {state}"),
+            TraceEvent::PackageCState { state } => write!(f, "package -> {state}"),
+            TraceEvent::RequestArrival => f.write_str("request arrival"),
+            TraceEvent::RequestCompletion => f.write_str("request completion"),
+            TraceEvent::Pc1aEntryAborted => f.write_str("PC1A entry aborted"),
+        }
+    }
+}
+
+/// A bounded in-memory event trace.
+///
+/// The trace keeps the first `capacity` events and counts (but does not
+/// store) the rest, so long experiment runs cannot exhaust memory while short
+/// flow traces remain fully inspectable.
+#[derive(Debug, Clone)]
+pub struct PowerTracer {
+    events: Vec<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl PowerTracer {
+    /// Creates a tracer retaining up to `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        PowerTracer {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled tracer (zero overhead for large sweeps).
+    #[must_use]
+    pub fn disabled() -> Self {
+        let mut t = PowerTracer::new(0);
+        t.enabled = false;
+        t
+    }
+
+    /// Whether the tracer stores events.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push((at, event));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events in arrival order.
+    #[must_use]
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of events that did not fit in the buffer.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Count of retained events matching a predicate.
+    pub fn count_matching<F: Fn(&TraceEvent) -> bool>(&self, pred: F) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+}
+
+impl fmt::Display for PowerTracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, e) in &self.events {
+            writeln!(f, "[{t}] {e}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... {} further events not retained", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_formats_events() {
+        let mut t = PowerTracer::new(16);
+        t.record(
+            SimTime::from_micros(1),
+            TraceEvent::CoreCState {
+                core: CoreId(2),
+                state: CoreCState::CC1,
+            },
+        );
+        t.record(
+            SimTime::from_micros(2),
+            TraceEvent::PackageCState {
+                state: PackageCState::PC1A,
+            },
+        );
+        assert_eq!(t.events().len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("core2 -> CC1"));
+        assert!(s.contains("package -> PC1A"));
+        assert_eq!(
+            t.count_matching(|e| matches!(e, TraceEvent::PackageCState { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut t = PowerTracer::new(2);
+        for i in 0..5 {
+            t.record(SimTime::from_nanos(i), TraceEvent::RequestArrival);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.to_string().contains("3 further events"));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = PowerTracer::disabled();
+        assert!(!t.is_enabled());
+        t.record(SimTime::ZERO, TraceEvent::RequestArrival);
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Arrival processes.
+//!
+//! The paper's workloads are driven by open-loop load generators (Mutilate,
+//! Kafka perf clients, sysbench) whose request streams are bursty at the
+//! microsecond scale: requests arrive over the network, are coalesced by the
+//! NIC, and exhibit on/off behaviour from client-side batching and TCP
+//! dynamics. The reproduction models arrivals as either a plain Poisson
+//! process or a two-state Markov-modulated Poisson process (MMPP), which is
+//! the standard way to introduce controlled burstiness.
+
+use apc_sim::rng::SimRng;
+use apc_sim::SimDuration;
+
+/// An open-loop arrival process producing inter-arrival gaps.
+pub trait ArrivalProcess: std::fmt::Debug + Send {
+    /// Draws the gap until the next request arrival.
+    fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration;
+
+    /// The long-run average arrival rate in requests per second.
+    fn rate_per_sec(&self) -> f64;
+}
+
+/// A Poisson arrival process with exponential inter-arrival gaps.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson process with the given request rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    #[must_use]
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive"
+        );
+        PoissonArrivals { rate_per_sec }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration {
+        let mean_ns = 1e9 / self.rate_per_sec;
+        SimDuration::from_nanos(rng.exponential(mean_ns).round() as u64)
+    }
+
+    fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+}
+
+/// A two-state (burst / quiet) Markov-modulated Poisson process.
+///
+/// While in the *burst* state arrivals follow a Poisson process at
+/// `burst_multiplier ×` the average rate; in the *quiet* state the rate drops
+/// so that the long-run average equals the configured rate. State holding
+/// times are exponential. This captures the "bursty and unpredictable load"
+/// the paper attributes to user-facing services.
+#[derive(Debug, Clone)]
+pub struct MmppArrivals {
+    rate_per_sec: f64,
+    burst_multiplier: f64,
+    burst_fraction: f64,
+    mean_burst: SimDuration,
+    in_burst: bool,
+    state_left: SimDuration,
+}
+
+impl MmppArrivals {
+    /// Creates an MMPP with the given average rate.
+    ///
+    /// * `burst_multiplier` — how much faster arrivals come during a burst
+    ///   (e.g. 3.0);
+    /// * `burst_fraction` — long-run fraction of time spent in the burst
+    ///   state (0–1);
+    /// * `mean_burst` — mean burst episode duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive, the multiplier is < 1, or the
+    /// fraction is outside (0, 1).
+    #[must_use]
+    pub fn new(
+        rate_per_sec: f64,
+        burst_multiplier: f64,
+        burst_fraction: f64,
+        mean_burst: SimDuration,
+    ) -> Self {
+        assert!(rate_per_sec.is_finite() && rate_per_sec > 0.0);
+        assert!(burst_multiplier >= 1.0, "burst multiplier must be >= 1");
+        assert!(
+            burst_fraction > 0.0 && burst_fraction < 1.0,
+            "burst fraction must be in (0, 1)"
+        );
+        MmppArrivals {
+            rate_per_sec,
+            burst_multiplier,
+            burst_fraction,
+            mean_burst,
+            in_burst: false,
+            state_left: SimDuration::ZERO,
+        }
+    }
+
+    /// The arrival rate in the quiet state, derived so that the long-run
+    /// average matches `rate_per_sec`.
+    fn quiet_rate(&self) -> f64 {
+        let burst_rate = self.rate_per_sec * self.burst_multiplier;
+        let quiet = (self.rate_per_sec - self.burst_fraction * burst_rate)
+            / (1.0 - self.burst_fraction);
+        quiet.max(self.rate_per_sec * 0.01)
+    }
+
+    fn mean_quiet(&self) -> SimDuration {
+        // Holding times chosen so the stationary burst fraction is honoured.
+        let ratio = (1.0 - self.burst_fraction) / self.burst_fraction;
+        self.mean_burst.mul_f64(ratio)
+    }
+
+    fn maybe_switch_state(&mut self, rng: &mut SimRng, consumed: SimDuration) {
+        if self.state_left > consumed {
+            self.state_left -= consumed;
+            return;
+        }
+        // Switch states and draw a new holding time.
+        self.in_burst = !self.in_burst;
+        let mean = if self.in_burst {
+            self.mean_burst
+        } else {
+            self.mean_quiet()
+        };
+        self.state_left =
+            SimDuration::from_nanos(rng.exponential(mean.as_nanos() as f64).round() as u64);
+    }
+}
+
+impl ArrivalProcess for MmppArrivals {
+    fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration {
+        let rate = if self.in_burst {
+            self.rate_per_sec * self.burst_multiplier
+        } else {
+            self.quiet_rate()
+        };
+        let gap = SimDuration::from_nanos(rng.exponential(1e9 / rate).round() as u64);
+        self.maybe_switch_state(rng, gap);
+        gap
+    }
+
+    fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured_rate<A: ArrivalProcess>(a: &mut A, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::from_seed(seed);
+        let total: SimDuration = (0..n).map(|_| a.next_gap(&mut rng)).sum();
+        n as f64 / total.as_secs_f64()
+    }
+
+    #[test]
+    fn poisson_rate_matches_configuration() {
+        let mut p = PoissonArrivals::new(50_000.0);
+        let r = measured_rate(&mut p, 100_000, 1);
+        assert!((r - 50_000.0).abs() / 50_000.0 < 0.02, "rate {r}");
+        assert_eq!(p.rate_per_sec(), 50_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn poisson_rejects_zero_rate() {
+        let _ = PoissonArrivals::new(0.0);
+    }
+
+    #[test]
+    fn mmpp_long_run_rate_matches_configuration() {
+        let mut m = MmppArrivals::new(20_000.0, 4.0, 0.2, SimDuration::from_millis(2));
+        let r = measured_rate(&mut m, 200_000, 2);
+        assert!((r - 20_000.0).abs() / 20_000.0 < 0.10, "rate {r}");
+        assert_eq!(m.rate_per_sec(), 20_000.0);
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Compare the coefficient of variation of inter-arrival gaps.
+        let cv = |gaps: &[f64]| {
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        let mut rng = SimRng::from_seed(3);
+        let mut p = PoissonArrivals::new(10_000.0);
+        let pg: Vec<f64> = (0..50_000)
+            .map(|_| p.next_gap(&mut rng).as_nanos() as f64)
+            .collect();
+        let mut m = MmppArrivals::new(10_000.0, 6.0, 0.15, SimDuration::from_millis(1));
+        let mg: Vec<f64> = (0..50_000)
+            .map(|_| m.next_gap(&mut rng).as_nanos() as f64)
+            .collect();
+        assert!(cv(&mg) > cv(&pg), "MMPP cv {} vs Poisson cv {}", cv(&mg), cv(&pg));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst fraction")]
+    fn mmpp_rejects_bad_fraction() {
+        let _ = MmppArrivals::new(1000.0, 2.0, 1.5, SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,32 @@
+//! # `apc-workloads` — latency-critical datacenter workload models
+//!
+//! Synthetic stand-ins for the three services the paper evaluates
+//! (Memcached with the Facebook ETC mix, Kafka, MySQL/sysbench OLTP) plus the
+//! OS background noise that bounds full-system idleness.
+//!
+//! * [`request`] — request/class types;
+//! * [`arrival`] — Poisson and bursty (MMPP) arrival processes;
+//! * [`spec`] — per-service specifications, operating points and the
+//!   background-noise model;
+//! * [`loadgen`] — the open-loop load generator.
+//!
+//! # Example
+//!
+//! ```
+//! use apc_workloads::loadgen::LoadGenerator;
+//! use apc_workloads::spec::WorkloadSpec;
+//! use apc_sim::SimTime;
+//!
+//! let mut gen = LoadGenerator::new(WorkloadSpec::memcached_etc(), 4_000.0, 1);
+//! let first = gen.next_request();
+//! assert!(first.arrival > SimTime::ZERO);
+//! ```
+
+pub mod arrival;
+pub mod loadgen;
+pub mod request;
+pub mod spec;
+
+pub use loadgen::LoadGenerator;
+pub use request::{Request, RequestClass, RequestId};
+pub use spec::{BackgroundNoise, OperatingPoint, WorkloadSpec};

@@ -1,0 +1,68 @@
+//! Energy-proportionality sweep across the paper's three services
+//! (the Fig. 7(b) / Fig. 8 / Fig. 9 scenario).
+//!
+//! For each workload and operating point, runs the `Cshallow` baseline and
+//! the `CPC1A` configuration and reports utilisation, all-idle residency,
+//! average power and the PC1A power saving.
+//!
+//! Run with: `cargo run --release --example energy_proportionality_sweep`
+
+use apc::prelude::*;
+
+fn main() {
+    let duration = SimDuration::from_millis(400);
+    let workloads: Vec<(fn() -> WorkloadSpec, &str)> = vec![
+        (WorkloadSpec::memcached_etc, "memcached"),
+        (WorkloadSpec::mysql_oltp, "mysql"),
+        (WorkloadSpec::kafka, "kafka"),
+    ];
+
+    let mut table = TextTable::new(
+        "PC1A power savings across services and operating points",
+        &[
+            "workload",
+            "point",
+            "QPS",
+            "util",
+            "all-idle",
+            "Cshallow W",
+            "CPC1A W",
+            "saving",
+        ],
+    );
+
+    for (make, name) in workloads {
+        let points = make().operating_points.clone();
+        for point in points {
+            let baseline = run_experiment(
+                ServerConfig::c_shallow().with_duration(duration),
+                make(),
+                point.rate_per_sec,
+            );
+            let apc = run_experiment(
+                ServerConfig::c_pc1a().with_duration(duration),
+                make(),
+                point.rate_per_sec,
+            );
+            table.add_row(&[
+                name.to_owned(),
+                point.label.to_owned(),
+                format!("{:.0}", point.rate_per_sec),
+                format!("{:.1}%", baseline.cpu_utilization * 100.0),
+                format!("{:.1}%", baseline.all_idle_fraction * 100.0),
+                format!("{:.2}", baseline.avg_total_power().as_f64()),
+                format!("{:.2}", apc.avg_total_power().as_f64()),
+                format!("{:.1}%", apc.power_saving_vs(&baseline) * 100.0),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+
+    // The idle-server headline number (Fig. 7(a)).
+    let budget = PackageStatePower::skx_reference();
+    let saving = idle_savings(
+        budget.state_power(PackageCState::PC0Idle),
+        budget.state_power(PackageCState::PC1A),
+    );
+    println!("\nfully idle server: PC1A reduces SoC+DRAM power by {:.1}%", saving * 100.0);
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: full-system simulation under the three
+//! platform configurations, checking the paper's headline claims end to end.
+
+use apc::prelude::*;
+
+fn run(config: ServerConfig, rate: f64) -> RunResult {
+    run_experiment(
+        config.with_duration(SimDuration::from_millis(250)),
+        WorkloadSpec::memcached_etc(),
+        rate,
+    )
+}
+
+#[test]
+fn pc1a_saves_power_at_low_load_with_negligible_latency_impact() {
+    let rate = 25_000.0; // ~5 % utilisation
+    let baseline = run(ServerConfig::c_shallow(), rate);
+    let apc = run(ServerConfig::c_pc1a(), rate);
+
+    // Substantial savings at low load (the paper reports ~23 % at 5 % load,
+    // 37 % at 4 K QPS; we only require the shape).
+    let saving = apc.power_saving_vs(&baseline);
+    assert!(saving > 0.10, "saving {saving}");
+    assert!(saving < 0.45, "saving {saving}");
+
+    // Negligible latency impact (paper: < 0.1 %; we allow measurement noise
+    // up to 1 %).
+    let impact = apc.latency_overhead_vs(&baseline);
+    assert!(impact < 0.01, "latency impact {impact}");
+
+    // The APC configuration actually used PC1A.
+    assert!(apc.pc1a_transitions > 50, "transitions {}", apc.pc1a_transitions);
+    assert!(apc.pc1a_residency > 0.2, "residency {}", apc.pc1a_residency);
+}
+
+#[test]
+fn savings_shrink_as_load_grows() {
+    let mut savings = Vec::new();
+    for rate in [4_000.0, 50_000.0, 150_000.0] {
+        let baseline = run(ServerConfig::c_shallow(), rate);
+        let apc = run(ServerConfig::c_pc1a(), rate);
+        savings.push(apc.power_saving_vs(&baseline));
+    }
+    assert!(
+        savings[0] > savings[1] && savings[1] > savings[2],
+        "savings not monotonically decreasing: {savings:?}"
+    );
+}
+
+#[test]
+fn cdeep_latency_penalty_motivates_the_paper() {
+    let rate = 25_000.0;
+    let shallow = run(ServerConfig::c_shallow(), rate);
+    let deep = run(ServerConfig::c_deep(), rate);
+    let apc = run(ServerConfig::c_pc1a(), rate);
+
+    // Cdeep is visibly slower than Cshallow (Fig. 5), CPC1A is not.
+    assert!(
+        deep.latency.mean.as_micros_f64() > shallow.latency.mean.as_micros_f64() * 1.2,
+        "deep {} shallow {}",
+        deep.latency.mean,
+        shallow.latency.mean
+    );
+    assert!(
+        apc.latency.mean.as_micros_f64() < shallow.latency.mean.as_micros_f64() * 1.01,
+        "apc {} shallow {}",
+        apc.latency.mean,
+        shallow.latency.mean
+    );
+}
+
+#[test]
+fn baseline_power_matches_calibration_at_idle() {
+    // A practically idle Cshallow server sits near the 49.5 W SoC+DRAM level
+    // of Table 1 (background noise adds a little core activity).
+    let mut cfg = ServerConfig::c_shallow().with_duration(SimDuration::from_millis(200));
+    cfg.noise = None;
+    let result = run_experiment(cfg, WorkloadSpec::memcached_etc(), 1.0);
+    let total = result.avg_total_power().as_f64();
+    assert!((total - 49.5).abs() < 1.5, "idle Cshallow power {total}");
+}
+
+#[test]
+fn run_results_are_internally_consistent() {
+    let r = run(ServerConfig::c_pc1a(), 50_000.0);
+    // Residency fractions are valid probabilities.
+    for f in [
+        r.cc0_fraction,
+        r.cc1_fraction,
+        r.cc6_fraction,
+        r.all_idle_fraction,
+        r.pc1a_residency,
+        r.pc6_residency,
+        r.cpu_utilization,
+    ] {
+        assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+    }
+    // Core residencies sum to ~1.
+    let sum = r.cc0_fraction + r.cc1_fraction + r.cc6_fraction;
+    assert!((sum - 1.0).abs() < 0.05, "core residency sum {sum}");
+    // PC1A residency cannot exceed the all-idle opportunity by more than the
+    // tracker floor effects.
+    assert!(r.pc1a_residency <= r.all_idle_fraction + 0.1);
+    // Latency includes at least the network RTT.
+    assert!(r.latency.mean >= SimDuration::from_micros(117));
+    assert!(r.latency.p99 >= r.latency.p50);
+    assert!(r.throughput() > 0.0);
+}

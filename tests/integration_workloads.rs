@@ -1,0 +1,88 @@
+//! Integration tests of the workload calibration: the synthetic services
+//! must land in the paper's utilisation ranges and produce the idle-period
+//! structure the evaluation relies on.
+
+use apc::prelude::*;
+
+fn run(spec: WorkloadSpec, rate: f64) -> RunResult {
+    run_experiment(
+        ServerConfig::c_shallow().with_duration(SimDuration::from_millis(250)),
+        spec,
+        rate,
+    )
+}
+
+#[test]
+fn memcached_utilization_tracks_the_offered_load() {
+    let low = run(WorkloadSpec::memcached_etc(), 25_000.0);
+    let high = run(WorkloadSpec::memcached_etc(), 100_000.0);
+    assert!(low.cpu_utilization > 0.04 && low.cpu_utilization < 0.12,
+        "5% point measured {}", low.cpu_utilization);
+    assert!(high.cpu_utilization > 0.15 && high.cpu_utilization < 0.35,
+        "20% point measured {}", high.cpu_utilization);
+    assert!(high.all_idle_fraction < low.all_idle_fraction);
+}
+
+#[test]
+fn memcached_low_load_idle_periods_are_microsecond_scale() {
+    // Fig. 6(c): at low load the bulk of fully-idle periods fall between
+    // 20 µs and 200 µs.
+    let r = run(WorkloadSpec::memcached_etc(), 10_000.0);
+    assert!(r.idle_periods > 100, "idle periods {}", r.idle_periods);
+    assert!(
+        r.idle_periods_20_200us > 0.35,
+        "fraction in 20-200us {}",
+        r.idle_periods_20_200us
+    );
+    assert!(r.all_idle_fraction > 0.3, "all idle {}", r.all_idle_fraction);
+}
+
+#[test]
+fn mysql_operating_points_match_the_paper_loads() {
+    let spec = WorkloadSpec::mysql_oltp();
+    let points = spec.operating_points.clone();
+    let low = run(WorkloadSpec::mysql_oltp(), points[0].rate_per_sec);
+    let high = run(WorkloadSpec::mysql_oltp(), points[2].rate_per_sec);
+    assert!((low.cpu_utilization - 0.08).abs() < 0.05, "low {}", low.cpu_utilization);
+    assert!((high.cpu_utilization - 0.42).abs() < 0.12, "high {}", high.cpu_utilization);
+    // All-idle opportunity exists at every rate (paper: 20-37 %).
+    assert!(low.all_idle_fraction > 0.15);
+}
+
+#[test]
+fn kafka_shows_all_idle_opportunity_at_both_loads() {
+    let spec = WorkloadSpec::kafka();
+    let points = spec.operating_points.clone();
+    let low = run(WorkloadSpec::kafka(), points[0].rate_per_sec);
+    let high = run(WorkloadSpec::kafka(), points[1].rate_per_sec);
+    assert!(low.all_idle_fraction > high.all_idle_fraction);
+    assert!(low.all_idle_fraction > 0.2, "low {}", low.all_idle_fraction);
+    assert!(high.all_idle_fraction > 0.05, "high {}", high.all_idle_fraction);
+}
+
+#[test]
+fn kafka_and_mysql_gain_power_savings_from_pc1a() {
+    for (spec, rate) in [
+        (WorkloadSpec::kafka(), 8_000.0),
+        (WorkloadSpec::mysql_oltp(), 800.0),
+    ] {
+        let name = spec.name;
+        let baseline = run_experiment(
+            ServerConfig::c_shallow().with_duration(SimDuration::from_millis(250)),
+            spec,
+            rate,
+        );
+        let apc = run_experiment(
+            ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(250)),
+            match name {
+                "kafka" => WorkloadSpec::kafka(),
+                _ => WorkloadSpec::mysql_oltp(),
+            },
+            rate,
+        );
+        let saving = apc.power_saving_vs(&baseline);
+        assert!(saving > 0.03, "{name} saving {saving}");
+        let impact = apc.latency_overhead_vs(&baseline);
+        assert!(impact < 0.01, "{name} impact {impact}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of core invariants across the stack.
+
+use apc::prelude::*;
+use apc::core::apmu::{Apmu, WakeCause};
+use apc::sim::engine::EventQueue;
+use apc::sim::stats::{PercentileRecorder, StreamingStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue always delivers events in non-decreasing time order,
+    /// regardless of the insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Streaming statistics agree with a direct two-pass computation.
+    #[test]
+    fn streaming_stats_match_naive(values in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut s = StreamingStats::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+    }
+
+    /// Quantiles are monotonic in the quantile parameter and bounded by the
+    /// sample extremes.
+    #[test]
+    fn quantiles_are_monotonic(values in proptest::collection::vec(0f64..1e9, 2..200)) {
+        let mut r = PercentileRecorder::new();
+        for &v in &values {
+            r.record(v);
+        }
+        let lo = r.quantile(0.1).unwrap();
+        let mid = r.quantile(0.5).unwrap();
+        let hi = r.quantile(0.99).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo <= mid && mid <= hi);
+        prop_assert!(lo >= min - 1e-9 && hi <= max + 1e-9);
+    }
+
+    /// The power model never produces negative power, and deeper package
+    /// states never consume more than shallower ones.
+    #[test]
+    fn package_power_ordering_holds(util in 0.0f64..1.0) {
+        let budget = PackageStatePower::skx_reference();
+        let pc0idle = budget.state_power(PackageCState::PC0Idle).total().as_f64();
+        let pc1a = budget.state_power(PackageCState::PC1A).total().as_f64();
+        let pc6 = budget.state_power(PackageCState::PC6).total().as_f64();
+        prop_assert!(pc6 > 0.0 && pc1a > 0.0 && pc0idle > 0.0);
+        prop_assert!(pc6 < pc1a && pc1a < pc0idle);
+        // DRAM utilisation never makes idle states more expensive.
+        let model = PowerModel::skx_calibrated();
+        let soc = SkxSoc::xeon_silver_4114();
+        let snap = model.snapshot(&soc, util);
+        prop_assert!(snap.soc_total().as_f64() > 0.0);
+        prop_assert!(snap.dram.as_f64() >= 5.5 - 1e-9);
+    }
+
+    /// However the APMU is driven (random wake/idle sequences), its PC1A
+    /// residency accounting never exceeds wall-clock time and entries never
+    /// exceed all-idle episodes.
+    #[test]
+    fn apmu_statistics_are_consistent(gaps in proptest::collection::vec(1u64..500, 1..40)) {
+        let mut soc = SkxSoc::xeon_silver_4114();
+        let mut apmu = Apmu::new();
+        let mut now = SimTime::from_micros(1);
+        for (i, gap) in gaps.iter().enumerate() {
+            // All cores idle, links idle.
+            soc.force_all_cores(now, CoreCState::CC1);
+            for link in soc.ios_mut().iter_mut() {
+                link.end_traffic(now);
+            }
+            if let Some(deadline) = apmu.on_all_cores_idle(&mut soc, now) {
+                if let Some(resident) = apmu.on_standby_deadline(&mut soc, deadline) {
+                    apmu.on_entry_complete(resident);
+                    now = resident + SimDuration::from_micros(*gap);
+                    let cause = if i % 2 == 0 { WakeCause::IoTraffic } else { WakeCause::CoreInterrupt };
+                    if let apc::core::apmu::WakeOutcome::Exiting { done_at, .. } =
+                        apmu.wakeup(&mut soc, now, cause)
+                    {
+                        apmu.on_exit_complete(&mut soc, done_at);
+                        apmu.on_core_active(&mut soc, done_at);
+                        now = done_at + SimDuration::from_micros(5);
+                    }
+                } else {
+                    now = now + SimDuration::from_micros(*gap);
+                    let _ = apmu.wakeup(&mut soc, now, WakeCause::CoreInterrupt);
+                    now = now + SimDuration::from_micros(5);
+                }
+            }
+        }
+        let stats = apmu.stats();
+        prop_assert!(stats.pc1a_entries <= stats.acc1_entries);
+        prop_assert!(stats.pc1a_residency <= now - SimTime::ZERO);
+        prop_assert!(stats.io_wakeups + stats.event_wakeups >= stats.pc1a_entries);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Short full-system runs never violate basic accounting invariants,
+    /// whatever the (low) request rate and seed.
+    #[test]
+    fn full_system_runs_are_well_formed(rate in 1_000f64..40_000.0, seed in 0u64..1_000) {
+        let cfg = ServerConfig::c_pc1a()
+            .with_duration(SimDuration::from_millis(50))
+            .with_seed(seed);
+        let result = run_experiment(cfg, WorkloadSpec::memcached_etc(), rate);
+        prop_assert!(result.avg_soc_power.as_f64() > 10.0);
+        prop_assert!(result.avg_soc_power.as_f64() < 90.0);
+        prop_assert!(result.pc1a_residency >= 0.0 && result.pc1a_residency <= 1.0);
+        prop_assert!(result.latency.mean >= SimDuration::from_micros(117));
+        prop_assert!(result.cpu_utilization <= 1.0);
+    }
+}
