@@ -6,8 +6,8 @@
 //! compared against the ≈ 117 µs end-to-end latency — amounts to less than
 //! 0.1 % average-latency degradation.
 
-use apc_sim::SimDuration;
 use apc_server::result::RunResult;
+use apc_sim::SimDuration;
 
 /// Inputs of the analytical impact model.
 #[derive(Debug, Clone, Copy, PartialEq)]

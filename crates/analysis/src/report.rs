@@ -102,7 +102,7 @@ mod tests {
     fn renders_aligned_table() {
         let mut t = TextTable::new("Table 1", &["state", "power"]);
         t.add_row_strs(&["PC0idle", "49.50 W"]);
-        t.add_row(&vec!["PC1A".to_owned(), "29.10 W".to_owned()]);
+        t.add_row(&["PC1A".to_owned(), "29.10 W".to_owned()]);
         assert_eq!(t.row_count(), 2);
         let s = t.render();
         assert!(s.contains("== Table 1 =="));

@@ -161,8 +161,7 @@ mod tests {
     fn baseline_power_is_residency_weighted() {
         let b = budget();
         let inputs = SavingsInputs::from_budget(&b, 0.5);
-        let expected =
-            0.5 * inputs.p_pc0.as_f64() + 0.5 * inputs.p_pc0idle.as_f64();
+        let expected = 0.5 * inputs.p_pc0.as_f64() + 0.5 * inputs.p_pc0idle.as_f64();
         assert!((inputs.baseline_power().as_f64() - expected).abs() < 1e-9);
     }
 

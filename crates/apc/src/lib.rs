@@ -51,8 +51,10 @@ pub mod prelude {
     pub use apc_power::model::PowerModel;
     pub use apc_power::units::{Joules, Watts};
     pub use apc_server::config::ServerConfig;
+    pub use apc_server::fleet::{Fleet, FleetResult};
     pub use apc_server::result::RunResult;
     pub use apc_server::sim::{run_experiment, ServerSimulation};
+    pub use apc_sim::component::{EventHandler, Simulation, SimulationContext};
     pub use apc_sim::{SimDuration, SimTime};
     pub use apc_soc::cstate::{CoreCState, PackageCState};
     pub use apc_soc::topology::{SkxSoc, SocConfig};

@@ -32,6 +32,29 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+fn bench_event_queue_cancel(c: &mut Criterion) {
+    // Timer-heavy pattern: every scheduled event is re-armed (cancel + new
+    // schedule) against a standing population of pending events, the worst
+    // case for a cancel implementation that scans the heap.
+    c.bench_function("event_queue_cancel_rearm_4k_pending", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut ids = Vec::with_capacity(4_096);
+            for i in 0..4_096u64 {
+                ids.push(q.schedule(SimTime::from_nanos(1_000_000 + i), i));
+            }
+            let mut cancelled = 0u64;
+            for (round, slot) in ids.iter_mut().enumerate() {
+                if q.cancel(*slot) {
+                    cancelled += 1;
+                }
+                *slot = q.schedule(SimTime::from_nanos(2_000_000 + round as u64), round as u64);
+            }
+            cancelled
+        });
+    });
+}
+
 fn bench_apmu_cycle(c: &mut Criterion) {
     c.bench_function("apmu_pc1a_entry_exit_cycle", |b| {
         let mut soc = SkxSoc::xeon_silver_4114();
@@ -72,5 +95,11 @@ fn bench_full_system(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_apmu_cycle, bench_full_system);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_event_queue_cancel,
+    bench_apmu_cycle,
+    bench_full_system
+);
 criterion_main!(benches);

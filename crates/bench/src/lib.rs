@@ -75,7 +75,9 @@ pub fn table1_package_cstate_power() -> String {
 pub fn table2_cstate_characteristics() -> String {
     let mut t = TextTable::new(
         "Table 2: package C-state characteristics",
-        &["PCx", "cores in", "L3 cache", "PLLs", "PCIe/DMI", "UPI", "DRAM"],
+        &[
+            "PCx", "cores in", "L3 cache", "PLLs", "PCIe/DMI", "UPI", "DRAM",
+        ],
     );
     for state in [PackageCState::PC0, PackageCState::PC6, PackageCState::PC1A] {
         let r = PackageStateRecipe::for_state(state);
@@ -102,10 +104,20 @@ pub fn table2_cstate_characteristics() -> String {
 pub fn fig5_cshallow_vs_cdeep_latency() -> String {
     let mut t = TextTable::new(
         "Fig. 5: Memcached latency, Cshallow vs Cdeep (us)",
-        &["QPS", "Cshallow avg", "Cshallow p99", "Cdeep avg", "Cdeep p99"],
+        &[
+            "QPS",
+            "Cshallow avg",
+            "Cshallow p99",
+            "Cdeep avg",
+            "Cdeep p99",
+        ],
     );
     for rate in [4_000.0, 25_000.0, 50_000.0, 100_000.0, 200_000.0, 300_000.0] {
-        let shallow = run(ServerConfig::c_shallow(), WorkloadSpec::memcached_etc(), rate);
+        let shallow = run(
+            ServerConfig::c_shallow(),
+            WorkloadSpec::memcached_etc(),
+            rate,
+        );
         let deep = run(ServerConfig::c_deep(), WorkloadSpec::memcached_etc(), rate);
         t.add_row(&[
             format!("{rate:.0}"),
@@ -126,8 +138,16 @@ pub fn fig6a_core_cstate_residency() -> String {
         &["QPS", "CC0", "CC1"],
     );
     for rate in [4_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0] {
-        let r = run(ServerConfig::c_shallow(), WorkloadSpec::memcached_etc(), rate);
-        t.add_row(&[format!("{rate:.0}"), pct(r.cc0_fraction), pct(r.cc1_fraction)]);
+        let r = run(
+            ServerConfig::c_shallow(),
+            WorkloadSpec::memcached_etc(),
+            rate,
+        );
+        t.add_row(&[
+            format!("{rate:.0}"),
+            pct(r.cc0_fraction),
+            pct(r.cc1_fraction),
+        ]);
     }
     t.render()
 }
@@ -141,7 +161,11 @@ pub fn fig6b_pc1a_residency() -> String {
         &["QPS", "all-idle (Cshallow)", "PC1A residency (CPC1A)"],
     );
     for rate in [4_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0] {
-        let base = run(ServerConfig::c_shallow(), WorkloadSpec::memcached_etc(), rate);
+        let base = run(
+            ServerConfig::c_shallow(),
+            WorkloadSpec::memcached_etc(),
+            rate,
+        );
         let apc = run(ServerConfig::c_pc1a(), WorkloadSpec::memcached_etc(), rate);
         t.add_row(&[
             format!("{rate:.0}"),
@@ -155,12 +179,19 @@ pub fn fig6b_pc1a_residency() -> String {
 /// **Fig. 6(c)** — distribution of fully-idle period lengths at low load.
 #[must_use]
 pub fn fig6c_idle_period_distribution() -> String {
-    let r = run(ServerConfig::c_shallow(), WorkloadSpec::memcached_etc(), 10_000.0);
+    let r = run(
+        ServerConfig::c_shallow(),
+        WorkloadSpec::memcached_etc(),
+        10_000.0,
+    );
     let mut t = TextTable::new(
         "Fig. 6c: fully-idle periods at 10K QPS (Cshallow)",
         &["metric", "value"],
     );
-    t.add_row(&["idle periods (>=10us)".to_owned(), r.idle_periods.to_string()]);
+    t.add_row(&[
+        "idle periods (>=10us)".to_owned(),
+        r.idle_periods.to_string(),
+    ]);
     t.add_row(&[
         "fraction 20us-200us".to_owned(),
         pct(r.idle_periods_20_200us),
@@ -206,12 +237,22 @@ pub fn fig7b_power_vs_load() -> String {
     );
     t.add_row(&[
         "0 (idle)".to_owned(),
-        format!("{:.2}", budget.state_power(PackageCState::PC0Idle).total().as_f64()),
-        format!("{:.2}", budget.state_power(PackageCState::PC1A).total().as_f64()),
+        format!(
+            "{:.2}",
+            budget.state_power(PackageCState::PC0Idle).total().as_f64()
+        ),
+        format!(
+            "{:.2}",
+            budget.state_power(PackageCState::PC1A).total().as_f64()
+        ),
         pct(idle_saving),
     ]);
     for rate in [4_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0] {
-        let base = run(ServerConfig::c_shallow(), WorkloadSpec::memcached_etc(), rate);
+        let base = run(
+            ServerConfig::c_shallow(),
+            WorkloadSpec::memcached_etc(),
+            rate,
+        );
         let apc = run(ServerConfig::c_pc1a(), WorkloadSpec::memcached_etc(), rate);
         t.add_row(&[
             format!("{rate:.0}"),
@@ -228,10 +269,20 @@ pub fn fig7b_power_vs_load() -> String {
 pub fn fig7c_latency_impact() -> String {
     let mut t = TextTable::new(
         "Fig. 7c: Memcached average latency and PC1A impact",
-        &["QPS", "Cshallow avg us", "CPC1A avg us", "measured impact", "model impact"],
+        &[
+            "QPS",
+            "Cshallow avg us",
+            "CPC1A avg us",
+            "measured impact",
+            "model impact",
+        ],
     );
     for rate in [4_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0] {
-        let base = run(ServerConfig::c_shallow(), WorkloadSpec::memcached_etc(), rate);
+        let base = run(
+            ServerConfig::c_shallow(),
+            WorkloadSpec::memcached_etc(),
+            rate,
+        );
         let apc = run(ServerConfig::c_pc1a(), WorkloadSpec::memcached_etc(), rate);
         let model = ImpactInputs::from_runs(&apc, &base).relative_impact();
         t.add_row(&[
@@ -260,7 +311,15 @@ pub fn fig9_kafka() -> String {
 fn workload_figure(title: &str, make: fn() -> WorkloadSpec) -> String {
     let mut t = TextTable::new(
         title,
-        &["point", "rate/s", "util", "CC0", "all-idle", "PC1A res", "power saving"],
+        &[
+            "point",
+            "rate/s",
+            "util",
+            "CC0",
+            "all-idle",
+            "PC1A res",
+            "power saving",
+        ],
     );
     let points = make().operating_points.clone();
     for point in points {
@@ -288,7 +347,11 @@ pub fn sec2_savings_model() -> String {
         "Sec. 2: Eq. 1 savings model",
         &["all-idle residency", "baseline W", "savings"],
     );
-    for (label, r_idle) in [("57% (5% load)", 0.57), ("39% (10% load)", 0.39), ("100% (idle)", 1.0)] {
+    for (label, r_idle) in [
+        ("57% (5% load)", 0.57),
+        ("39% (10% load)", 0.39),
+        ("100% (idle)", 1.0),
+    ] {
         let inputs = SavingsInputs::from_budget(&budget, r_idle)
             .with_active_power(apc_power::units::Watts(60.0));
         t.add_row(&[

@@ -102,9 +102,7 @@ impl WakeOutcome {
     #[must_use]
     pub fn latency(&self) -> SimDuration {
         match self {
-            WakeOutcome::NotResident { latency } | WakeOutcome::Exiting { latency, .. } => {
-                *latency
-            }
+            WakeOutcome::NotResident { latency } | WakeOutcome::Exiting { latency, .. } => *latency,
         }
     }
 }
@@ -534,7 +532,10 @@ mod tests {
         assert_eq!(deadline, None, "busy link means no standby deadline");
         assert_eq!(apmu.state(), ApmuState::Acc1);
         // Even if the caller polls later, entry does not start while busy.
-        assert_eq!(apmu.on_standby_deadline(&mut soc, t0 + SimDuration::from_micros(1)), None);
+        assert_eq!(
+            apmu.on_standby_deadline(&mut soc, t0 + SimDuration::from_micros(1)),
+            None
+        );
     }
 
     #[test]
@@ -558,7 +559,11 @@ mod tests {
         let mut soc = idle_soc(t0);
         let mut apmu = Apmu::new();
         apmu.on_all_cores_idle(&mut soc, t0).unwrap();
-        let outcome = apmu.wakeup(&mut soc, t0 + SimDuration::from_nanos(8), WakeCause::CoreInterrupt);
+        let outcome = apmu.wakeup(
+            &mut soc,
+            t0 + SimDuration::from_nanos(8),
+            WakeCause::CoreInterrupt,
+        );
         assert!(matches!(outcome, WakeOutcome::NotResident { .. }));
         assert_eq!(apmu.state(), ApmuState::Pc0);
     }
@@ -569,7 +574,11 @@ mod tests {
         let mut soc = idle_soc(t0);
         let mut apmu = Apmu::new();
         apmu.on_all_cores_idle(&mut soc, t0).unwrap();
-        let outcome = apmu.wakeup(&mut soc, t0 + SimDuration::from_nanos(8), WakeCause::IoTraffic);
+        let outcome = apmu.wakeup(
+            &mut soc,
+            t0 + SimDuration::from_nanos(8),
+            WakeCause::IoTraffic,
+        );
         assert!(matches!(outcome, WakeOutcome::NotResident { .. }));
         assert_eq!(apmu.state(), ApmuState::Acc1);
     }

@@ -57,11 +57,7 @@ impl ClmRetention {
     /// and, once `PwrOk`, ungate the clock tree. Returns
     /// `(ramp_latency, ungate_latency)`; the exit critical path is their sum,
     /// dominated by the 150 ns ramp.
-    pub fn exit_retention(
-        &mut self,
-        soc: &mut SkxSoc,
-        now: SimTime,
-    ) -> (SimDuration, SimDuration) {
+    pub fn exit_retention(&mut self, soc: &mut SkxSoc, now: SimTime) -> (SimDuration, SimDuration) {
         let ramp = soc.clm_mut().deassert_retention(now);
         // The clock may only be ungated once PwrOk asserts; the caller waits
         // `ramp`, calls `exit_complete`, and the ungate latency is the tail.

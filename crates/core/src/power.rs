@@ -97,8 +97,16 @@ mod tests {
     fn eq2_estimate_matches_paper_numbers() {
         let est = Pc1aPowerEstimator::skx_reference().estimate();
         assert!((est.pc6.soc.as_f64() - 11.9).abs() < 0.35);
-        assert!((est.pc1a.soc.as_f64() - 27.5).abs() < 0.4, "SoC {}", est.pc1a.soc);
-        assert!((est.pc1a.dram.as_f64() - 1.6).abs() < 0.1, "DRAM {}", est.pc1a.dram);
+        assert!(
+            (est.pc1a.soc.as_f64() - 27.5).abs() < 0.4,
+            "SoC {}",
+            est.pc1a.soc
+        );
+        assert!(
+            (est.pc1a.dram.as_f64() - 1.6).abs() < 0.1,
+            "DRAM {}",
+            est.pc1a.dram
+        );
         assert!((est.pc1a.total().as_f64() - 29.1).abs() < 0.5);
     }
 

@@ -309,18 +309,12 @@ mod tests {
         assert_eq!(gpmu.pc6_entries(), 1);
 
         // Component states while resident in PC6.
-        assert!(soc
-            .ios()
-            .iter()
-            .all(|c| c.state() == LinkPowerState::L1));
+        assert!(soc.ios().iter().all(|c| c.state() == LinkPowerState::L1));
         assert!(soc
             .memory()
             .iter()
             .all(|m| m.mode() == DramPowerMode::SelfRefresh));
-        assert!(soc
-            .plls()
-            .uncore_plls()
-            .all(|p| p.state() == PllState::Off));
+        assert!(soc.plls().uncore_plls().all(|p| p.state() == PllState::Off));
         assert!(soc.clm().clock().is_gated());
 
         // Reside for 1 ms, then a wakeup arrives.

@@ -143,7 +143,11 @@ impl PackageStatePower {
     /// utilisation is zero for every idle state.
     #[must_use]
     pub fn state_power(&self, state: PackageCState) -> StatePower {
-        let util = if state == PackageCState::PC0 { 1.0 } else { 0.0 };
+        let util = if state == PackageCState::PC0 {
+            1.0
+        } else {
+            0.0
+        };
         self.power_for(&PackageStateRecipe::for_state(state), util)
     }
 
@@ -202,7 +206,8 @@ impl PackageStatePower {
         };
         let ios_diff = io_of(&pc1a) - io_of(&pc6);
         let plls_diff = m.pll_locked * (self.config.io_kinds.len() as f64 + 2.0);
-        let dram_diff = m.dram_power(pc1a.dram, 0.0).as_f64() - m.dram_power(pc6.dram, 0.0).as_f64();
+        let dram_diff =
+            m.dram_power(pc1a.dram, 0.0).as_f64() - m.dram_power(pc6.dram, 0.0).as_f64();
 
         ComponentDeltas {
             cores: Watts(cores_diff),

@@ -225,9 +225,7 @@ impl PowerModel {
         let u = utilization.clamp(0.0, 1.0);
         Watts(match mode {
             DramPowerMode::Active => self.dram_idle + self.dram_active_extra * u,
-            DramPowerMode::ActivePowerDown | DramPowerMode::PrechargePowerDown => {
-                self.dram_cke_off
-            }
+            DramPowerMode::ActivePowerDown | DramPowerMode::PrechargePowerDown => self.dram_cke_off,
             DramPowerMode::SelfRefresh => self.dram_self_refresh,
         })
     }
@@ -413,10 +411,10 @@ mod tests {
     fn l0s_saves_about_half_of_l0() {
         let m = model();
         let saving = 1.0 - m.pcie_l0s / m.pcie_l0;
-        assert!(saving >= 0.45 && saving <= 0.65, "L0s saving {saving}");
+        assert!((0.45..=0.65).contains(&saving), "L0s saving {saving}");
         let upi_saving = 1.0 - m.upi_l0p / m.upi_l0;
         assert!(
-            upi_saving >= 0.20 && upi_saving <= 0.40,
+            (0.20..=0.40).contains(&upi_saving),
             "L0p saving {upi_saving}"
         );
     }

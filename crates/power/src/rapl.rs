@@ -113,11 +113,7 @@ impl RaplSample {
     /// Average power between two samples of the same counter, handling
     /// counter wrap-around. Returns zero power for a non-positive window.
     #[must_use]
-    pub fn average_power_since(
-        &self,
-        earlier: &RaplSample,
-        energy_unit_uj: f64,
-    ) -> Watts {
+    pub fn average_power_since(&self, earlier: &RaplSample, energy_unit_uj: f64) -> Watts {
         let window: SimDuration = self.at - earlier.at;
         if window.is_zero() {
             return Watts::ZERO;
@@ -200,7 +196,11 @@ mod tests {
             c.add_energy(Joules(1e-6)); // 1 µJ
         }
         // 1000 µJ / 61.035 µJ ≈ 16 units.
-        assert!(c.read_raw() >= 15 && c.read_raw() <= 17, "raw {}", c.read_raw());
+        assert!(
+            c.read_raw() >= 15 && c.read_raw() <= 17,
+            "raw {}",
+            c.read_raw()
+        );
         // Invalid inputs are ignored.
         c.add_energy(Joules(-5.0));
         c.add_energy(Joules(f64::NAN));

@@ -1,0 +1,243 @@
+//! Per-core execution component: wake transitions, request service, idle
+//! entry and OS background noise.
+
+use apc_core::apmu::WakeCause;
+use apc_pmu::config::PackagePolicy;
+use apc_pmu::governor::IdleGovernor;
+use apc_sim::component::{EventHandler, SimulationContext};
+use apc_sim::SimTime;
+use apc_soc::core::CoreId;
+use apc_soc::cstate::CoreCState;
+use apc_workloads::spec::BackgroundNoise;
+
+use super::state::ServerState;
+use super::{ServerEvent, WorkItem};
+
+/// One simulated core: executes assigned work, runs the OS idle governor
+/// when the run queue drains, and fires the periodic background (OS) timer.
+///
+/// Each instance is registered as its own component (`core 0` … `core N-1`)
+/// with a private RNG stream for noise sampling and a private transition
+/// epoch: the epoch is bumped whenever a new C-state transition starts, so
+/// completion events from superseded transitions are recognised as stale and
+/// dropped.
+pub struct CoreExec {
+    index: usize,
+    governor: IdleGovernor,
+    noise: Option<BackgroundNoise>,
+    epoch: u64,
+}
+
+impl CoreExec {
+    /// Creates the execution component for core `index`.
+    #[must_use]
+    pub fn new(index: usize, governor: IdleGovernor, noise: Option<BackgroundNoise>) -> Self {
+        CoreExec {
+            index,
+            governor,
+            noise,
+            epoch: 0,
+        }
+    }
+
+    fn core_id(&self) -> CoreId {
+        CoreId(self.index)
+    }
+
+    fn on_background_tick(
+        &mut self,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        let Some(noise) = self.noise.clone() else {
+            return;
+        };
+        let work = noise.sample_work(ctx.rng());
+        shared.sched.background[self.index].push_back(work);
+        // Background work is initiated by a timer interrupt: it wakes the
+        // package if necessary, then the scheduler places it. Under
+        // `PackagePolicy::None` a wake is always a no-op — skip the event.
+        if shared.config.platform.package_policy != PackagePolicy::None {
+            ctx.emit_now(
+                shared.addrs.package,
+                ServerEvent::PackageWake {
+                    cause: WakeCause::CoreInterrupt,
+                },
+            );
+        }
+        ctx.emit_now(shared.addrs.scheduler, ServerEvent::Dispatch);
+        // Arm the next tick.
+        let next = ctx.now() + noise.sample_interval(ctx.rng());
+        shared.sched.next_background_at[self.index] = next;
+        ctx.emit_self_at(next, ServerEvent::BackgroundTick);
+    }
+
+    fn on_begin_wake(
+        &mut self,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        let now = ctx.now();
+        let exit = shared
+            .soc
+            .cores_mut()
+            .core_mut(self.core_id())
+            .begin_wakeup(now);
+        shared.telemetry.idle_tracker.core_active(now);
+        self.epoch += 1;
+        ctx.emit_self(exit, ServerEvent::WakeDone { epoch: self.epoch });
+    }
+
+    fn on_wake_done(
+        &mut self,
+        epoch: u64,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        if self.epoch != epoch {
+            return;
+        }
+        let now = ctx.now();
+        shared
+            .soc
+            .cores_mut()
+            .core_mut(self.core_id())
+            .complete_transition(now);
+        shared
+            .telemetry
+            .core_residency
+            .transition(self.core_id(), now, CoreCState::CC0);
+        // Leaving ACC1: the first core to run again clears AllowL0s (the
+        // package controller owns that edge; the edge only exists under the
+        // PC1A policy).
+        if shared.config.platform.package_policy == PackagePolicy::Pc1a {
+            ctx.emit_now(shared.addrs.package, ServerEvent::CoreActive);
+        }
+        let item = shared.sched.pending_start[self.index]
+            .take()
+            .expect("a waking core must have pending work");
+        self.start_service(item, shared, ctx);
+    }
+
+    fn start_service(
+        &mut self,
+        item: WorkItem,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        let service = match &item {
+            WorkItem::Client(r) => r.service + shared.config.softirq_overhead,
+            WorkItem::Background { work } => *work,
+        };
+        shared.sched.running[self.index] = Some(item);
+        ctx.emit_self(service, ServerEvent::ServiceDone);
+    }
+
+    fn on_service_done(
+        &mut self,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        let now = ctx.now();
+        let item = shared.sched.running[self.index]
+            .take()
+            .expect("core had no running work");
+        match item {
+            WorkItem::Client(request) => {
+                let server_side = now.saturating_since(request.arrival);
+                let total = server_side + shared.network_rtt;
+                if request.class.is_client_visible() {
+                    shared.telemetry.latency.record(total);
+                    shared.telemetry.completed_requests += 1;
+                }
+                shared.telemetry.busy_core_time += request.service + shared.config.softirq_overhead;
+            }
+            WorkItem::Background { work } => {
+                shared.telemetry.busy_core_time += work;
+            }
+        }
+        // Pick up more work without sleeping if any is available.
+        if let Some(next) = shared.sched.client_queue.pop_front() {
+            self.start_service(WorkItem::Client(next), shared, ctx);
+            return;
+        }
+        if let Some(work) = shared.sched.background[self.index].pop_front() {
+            self.start_service(WorkItem::Background { work }, shared, ctx);
+            return;
+        }
+        self.begin_idle(now, shared, ctx);
+    }
+
+    fn begin_idle(
+        &mut self,
+        now: SimTime,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        // Predicted idle: the time until this core's next background tick
+        // (the OS knows its own timers; client arrivals are unpredictable).
+        let predicted = shared.sched.next_background_at[self.index].saturating_since(now);
+        let target = self.governor.select(predicted);
+        let entry = shared
+            .soc
+            .cores_mut()
+            .core_mut(self.core_id())
+            .begin_idle(now, target);
+        shared.telemetry.idle_tracker.core_idle(now);
+        self.epoch += 1;
+        ctx.emit_self(entry, ServerEvent::IdleEntered { epoch: self.epoch });
+    }
+
+    fn on_idle_entered(
+        &mut self,
+        epoch: u64,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        if self.epoch != epoch {
+            return;
+        }
+        let now = ctx.now();
+        shared
+            .soc
+            .cores_mut()
+            .core_mut(self.core_id())
+            .complete_transition(now);
+        let state = shared.soc.cores().core(self.core_id()).cstate();
+        shared
+            .telemetry
+            .core_residency
+            .transition(self.core_id(), now, state);
+        // Package-level opportunity check (PC1A / PC6) is the package
+        // controller's call to make. Skip the event when it cannot matter:
+        // no package policy, or (PC1A) some core is still awake — the
+        // controller would re-check and bail anyway.
+        let emit_check = match shared.config.platform.package_policy {
+            PackagePolicy::None => false,
+            PackagePolicy::Pc1a => shared.soc.cores().all_in_cc1_or_deeper(),
+            PackagePolicy::Pc6 => true,
+        };
+        if emit_check {
+            ctx.emit_now(shared.addrs.package, ServerEvent::AllIdleCheck);
+        }
+    }
+}
+
+impl EventHandler<ServerEvent, ServerState> for CoreExec {
+    fn on_event(
+        &mut self,
+        event: ServerEvent,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        match event {
+            ServerEvent::BackgroundTick => self.on_background_tick(shared, ctx),
+            ServerEvent::InitIdle => self.begin_idle(ctx.now(), shared, ctx),
+            ServerEvent::BeginWake => self.on_begin_wake(shared, ctx),
+            ServerEvent::WakeDone { epoch } => self.on_wake_done(epoch, shared, ctx),
+            ServerEvent::ServiceDone => self.on_service_done(shared, ctx),
+            ServerEvent::IdleEntered { epoch } => self.on_idle_entered(epoch, shared, ctx),
+            other => unreachable!("core {} received unexpected event {other:?}", self.index),
+        }
+    }
+}

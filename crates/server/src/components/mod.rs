@@ -1,0 +1,128 @@
+//! The full-system server simulation, decomposed into registered components.
+//!
+//! Each module implements one focused piece of the modelled server as an
+//! [`apc_sim::component::EventHandler`]:
+//!
+//! * [`nic`] — client arrival process and NIC interrupt coalescing;
+//! * [`core_exec`] — one component per core: wake transitions, request
+//!   execution, idle entry and OS background noise;
+//! * [`scheduler`] — work dispatch onto free cores (gated on uncore
+//!   availability);
+//! * [`package`] — the package controllers: firmware GPMU (PC6) and, under
+//!   `CPC1A`, the APC APMU (PC1A entry/abort/exit flows);
+//! * [`power`] — power/energy attribution and the optional power trace.
+//!
+//! Cross-component state (the SoC structural model, work queues, uncore
+//! availability, telemetry) lives in [`state::ServerState`]; everything else
+//! is private to its component. Components communicate only by events:
+//! zero-delay events model same-instant hardware signals (e.g. the NIC
+//! raising `PackageWake` before the scheduler's `Dispatch` runs) and the
+//! FIFO tie-break of the event queue keeps those exchanges deterministic.
+
+pub mod core_exec;
+pub mod nic;
+pub mod package;
+pub mod power;
+pub mod scheduler;
+pub mod state;
+
+use apc_core::apmu::WakeCause;
+use apc_sim::component::ComponentId;
+use apc_sim::SimDuration;
+use apc_workloads::request::Request;
+
+/// Events driving the simulation. Routing is by destination [`ComponentId`];
+/// the comments note the component each variant is addressed to.
+#[derive(Debug, Clone)]
+pub enum ServerEvent {
+    /// The next client request arrives at the NIC. (→ `nic`)
+    ClientArrival,
+    /// The NIC raises an interrupt delivering the coalesced batch. (→ `nic`)
+    NicDeliver,
+    /// A core's periodic background (OS) wakeup fires. (→ `core <i>`)
+    BackgroundTick,
+    /// Bootstrap: put the freshly booted core to sleep. (→ `core <i>`)
+    InitIdle,
+    /// The scheduler assigned work; begin the wake transition. (→ `core <i>`)
+    BeginWake,
+    /// The core finished its wake transition and starts executing.
+    /// (→ `core <i>`)
+    WakeDone {
+        /// Transition epoch the event belongs to (stale events are ignored).
+        epoch: u64,
+    },
+    /// The core finished executing its current work item. (→ `core <i>`)
+    ServiceDone,
+    /// The core finished entering its idle C-state. (→ `core <i>`)
+    IdleEntered {
+        /// Transition epoch the event belongs to (stale events are ignored).
+        epoch: u64,
+    },
+    /// Try to place queued work onto free cores. (→ `scheduler`)
+    Dispatch,
+    /// An interrupt or IO traffic wakes the package. (→ `package`)
+    PackageWake {
+        /// What triggered the wake.
+        cause: WakeCause,
+    },
+    /// A core returned to CC0 (the ACC1 → PC0 edge). (→ `package`)
+    CoreActive,
+    /// A core finished entering idle; check the PC1A/PC6 opportunity.
+    /// (→ `package`)
+    AllIdleCheck,
+    /// The APMU's IO-standby deadline elapsed (try to enter PC1A).
+    /// (→ `package`)
+    StandbyDeadline,
+    /// The PC1A entry flow completed. (→ `package`)
+    ApmuEntryDone,
+    /// The PC1A exit flow completed. (→ `package`)
+    ApmuExitDone,
+    /// The PC6 entry flow completed. (→ `package`)
+    GpmuEntryDone,
+    /// The PC6 exit flow completed. (→ `package`)
+    GpmuExitDone,
+    /// Periodic power-trace sample. (→ `power`)
+    PowerSample,
+}
+
+/// A unit of work a core can execute.
+#[derive(Debug, Clone)]
+pub enum WorkItem {
+    /// A client request (latency-accounted).
+    Client(Request),
+    /// OS background work (not latency-accounted).
+    Background {
+        /// CPU time the background task consumes.
+        work: SimDuration,
+    },
+}
+
+/// Component ids every component needs to address its peers. Lives in the
+/// shared [`state::ServerState`] and is filled by the driver with the real
+/// ids returned from registration, before any event is scheduled.
+#[derive(Debug, Clone)]
+pub struct Addresses {
+    /// The NIC / arrival component.
+    pub nic: ComponentId,
+    /// The dispatch scheduler.
+    pub scheduler: ComponentId,
+    /// The package controller.
+    pub package: ComponentId,
+    /// Per-core execution components, indexed by core number.
+    pub cores: Vec<ComponentId>,
+}
+
+impl Default for Addresses {
+    /// Placeholder ids that no simulation ever issues: an event emitted
+    /// through an unfilled `Addresses` panics loudly at dispatch instead of
+    /// silently reaching component 0.
+    fn default() -> Self {
+        let unset = ComponentId::from_raw(usize::MAX);
+        Addresses {
+            nic: unset,
+            scheduler: unset,
+            package: unset,
+            cores: Vec::new(),
+        }
+    }
+}

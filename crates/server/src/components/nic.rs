@@ -1,0 +1,96 @@
+//! NIC / arrival component: client request generation and interrupt
+//! coalescing.
+
+use std::collections::VecDeque;
+
+use apc_core::apmu::WakeCause;
+use apc_pmu::config::PackagePolicy;
+use apc_sim::component::{EventHandler, SimulationContext};
+use apc_soc::io::IoId;
+use apc_workloads::loadgen::LoadGenerator;
+use apc_workloads::request::Request;
+
+use super::state::ServerState;
+use super::ServerEvent;
+
+/// Generates the client arrival process and models the NIC's interrupt
+/// coalescing window: requests arriving within the window of the first
+/// buffered request are delivered together by one interrupt, which both
+/// batches work and lengthens package idle periods.
+pub struct NicArrival {
+    loadgen: LoadGenerator,
+    buffer: VecDeque<Request>,
+    deliver_pending: bool,
+}
+
+impl NicArrival {
+    /// Creates the NIC component driving `loadgen`.
+    #[must_use]
+    pub fn new(loadgen: LoadGenerator) -> Self {
+        NicArrival {
+            loadgen,
+            buffer: VecDeque::new(),
+            deliver_pending: false,
+        }
+    }
+
+    fn on_client_arrival(
+        &mut self,
+        shared: &ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        let request = self.loadgen.next_request();
+        self.buffer.push_back(request);
+        if !self.deliver_pending {
+            self.deliver_pending = true;
+            ctx.emit_self(shared.config.nic_coalescing, ServerEvent::NicDeliver);
+        }
+        ctx.emit_self_at(self.loadgen.peek_next_arrival(), ServerEvent::ClientArrival);
+    }
+
+    fn on_nic_deliver(
+        &mut self,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        self.deliver_pending = false;
+        if self.buffer.is_empty() {
+            return;
+        }
+        // The NIC's PCIe link sees traffic: it leaves L0s and the package, if
+        // resident in PC1A or PC6, starts its exit flow before the batch can
+        // be dispatched.
+        let nic = IoId(0);
+        let now = ctx.now();
+        shared.soc.ios_mut().controller_mut(nic).begin_traffic(now);
+        shared.soc.ios_mut().controller_mut(nic).end_traffic(now);
+        // Under `PackagePolicy::None` a package wake is always a no-op.
+        if shared.config.platform.package_policy != PackagePolicy::None {
+            ctx.emit_now(
+                shared.addrs.package,
+                ServerEvent::PackageWake {
+                    cause: WakeCause::IoTraffic,
+                },
+            );
+        }
+        while let Some(r) = self.buffer.pop_front() {
+            shared.sched.client_queue.push_back(r);
+        }
+        ctx.emit_now(shared.addrs.scheduler, ServerEvent::Dispatch);
+    }
+}
+
+impl EventHandler<ServerEvent, ServerState> for NicArrival {
+    fn on_event(
+        &mut self,
+        event: ServerEvent,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        match event {
+            ServerEvent::ClientArrival => self.on_client_arrival(shared, ctx),
+            ServerEvent::NicDeliver => self.on_nic_deliver(shared, ctx),
+            other => unreachable!("NIC received unexpected event {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Power and energy accounting component.
+
+use apc_sim::component::{EventHandler, SimulationContext};
+use apc_sim::{SimDuration, SimTime};
+
+use super::state::ServerState;
+use super::ServerEvent;
+
+/// Attributes elapsed simulated time to the power state that held during it.
+///
+/// The pre-dispatch hook runs before *every* event's state changes are
+/// applied, so each interval between events is charged at the power level
+/// that actually held across it — the same invariant the monolithic loop
+/// maintained by calling `account_power` at the top of its event loop.
+///
+/// When a sampling interval is configured the component also records an
+/// instantaneous SoC power trace, useful for debugging entry/exit flows.
+pub struct PowerTelemetry {
+    sample_every: Option<SimDuration>,
+}
+
+impl PowerTelemetry {
+    /// Creates the accounting component; `sample_every` enables the optional
+    /// instantaneous power trace. A zero interval is treated as disabled —
+    /// re-arming a sample at the current timestamp would stall the event
+    /// loop at one instant forever.
+    #[must_use]
+    pub fn new(sample_every: Option<SimDuration>) -> Self {
+        PowerTelemetry {
+            sample_every: sample_every.filter(|d| !d.is_zero()),
+        }
+    }
+}
+
+impl EventHandler<ServerEvent, ServerState> for PowerTelemetry {
+    fn on_event(
+        &mut self,
+        event: ServerEvent,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        debug_assert!(matches!(event, ServerEvent::PowerSample));
+        let _ = event;
+        let Some(every) = self.sample_every else {
+            return;
+        };
+        let busy = shared.sched.busy_cores() as f64;
+        let mem_util = busy / shared.soc.cores().len().max(1) as f64;
+        let snapshot = shared.config.power.snapshot(&shared.soc, mem_util);
+        shared
+            .telemetry
+            .power_trace
+            .push((ctx.now(), snapshot.soc_total()));
+        ctx.emit_self(every, ServerEvent::PowerSample);
+    }
+
+    fn observes_dispatch(&self) -> bool {
+        true
+    }
+
+    fn on_pre_dispatch(&mut self, now: SimTime, shared: &mut ServerState) {
+        shared.account_power(now);
+    }
+}

@@ -1,0 +1,66 @@
+//! Dispatch scheduler: places queued work onto free cores.
+
+use apc_sim::component::{EventHandler, SimulationContext};
+
+use super::state::ServerState;
+use super::{ServerEvent, WorkItem};
+
+/// Places queued work onto free cores whenever a `Dispatch` event fires.
+///
+/// Dispatch is gated on uncore availability: while a package C-state exit
+/// flow is in flight, work stays queued and the package controller emits a
+/// fresh `Dispatch` the moment the uncore is back. Background work is pinned
+/// to its core; client requests go to any free core.
+pub struct Scheduler;
+
+impl EventHandler<ServerEvent, ServerState> for Scheduler {
+    fn on_event(
+        &mut self,
+        event: ServerEvent,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        debug_assert!(matches!(event, ServerEvent::Dispatch));
+        let _ = event;
+        if !shared.uncore.available {
+            // Every path that makes the uncore available again (ApmuExitDone,
+            // GpmuExitDone) emits a Dispatch, so there is nothing to re-arm.
+            return;
+        }
+        let cores = shared.sched.running.len();
+        // Background work is pinned to its core.
+        for core in 0..cores {
+            if shared.sched.core_is_free(&shared.soc, core)
+                && !shared.sched.background[core].is_empty()
+            {
+                let work = shared.sched.background[core].pop_front().expect("checked");
+                self.assign(shared, ctx, core, WorkItem::Background { work });
+            }
+        }
+        // Client requests go to any free core.
+        while !shared.sched.client_queue.is_empty() {
+            let Some(core) = (0..cores).find(|&c| shared.sched.core_is_free(&shared.soc, c)) else {
+                break;
+            };
+            let request = shared.sched.client_queue.pop_front().expect("checked");
+            self.assign(shared, ctx, core, WorkItem::Client(request));
+        }
+    }
+}
+
+impl Scheduler {
+    /// Reserves `core` for `item` and tells the core to begin its wake
+    /// transition. The reservation (`pending_start`) makes the core non-free
+    /// immediately, so one dispatch round never double-assigns.
+    fn assign(
+        &self,
+        shared: &mut ServerState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+        core: usize,
+        item: WorkItem,
+    ) {
+        let dst = shared.addrs.cores[core];
+        shared.sched.pending_start[core] = Some(item);
+        ctx.emit_now(dst, ServerEvent::BeginWake);
+    }
+}

@@ -1,0 +1,197 @@
+//! State shared by every simulation component.
+//!
+//! The rule of thumb: state mutated by one component but *observed* by
+//! another (the SoC models, work queues, uncore availability, telemetry)
+//! lives here; state with a single owner (the APMU FSM, a core's transition
+//! epoch, the NIC's coalescing buffer) lives inside its component.
+
+use std::collections::VecDeque;
+
+use apc_power::energy::EnergyMeter;
+use apc_power::units::Watts;
+use apc_sim::{SimDuration, SimTime};
+use apc_soc::core::CoreActivity;
+use apc_soc::cstate::PackageCState;
+use apc_soc::topology::SkxSoc;
+use apc_telemetry::idle::IdlePeriodTracker;
+use apc_telemetry::latency::LatencyRecorder;
+use apc_telemetry::residency::{CoreResidencySet, PackageResidency};
+use apc_workloads::request::Request;
+
+use super::{Addresses, WorkItem};
+use crate::config::ServerConfig;
+
+/// Work-queue and per-core occupancy state, read by the scheduler and
+/// mutated by the NIC, the cores and the scheduler.
+#[derive(Debug)]
+pub struct SchedState {
+    /// Client requests delivered by the NIC, waiting for a free core.
+    pub client_queue: VecDeque<Request>,
+    /// Per-core queues of pinned OS background work.
+    pub background: Vec<VecDeque<SimDuration>>,
+    /// Work currently executing on each core.
+    pub running: Vec<Option<WorkItem>>,
+    /// Work assigned to a core that is still completing its wake transition.
+    pub pending_start: Vec<Option<WorkItem>>,
+    /// When each core's next background timer fires (the OS knows its own
+    /// timers, so the idle governor uses this as the predicted idle bound).
+    pub next_background_at: Vec<SimTime>,
+}
+
+impl SchedState {
+    /// Empty scheduling state for `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        SchedState {
+            client_queue: VecDeque::new(),
+            background: vec![VecDeque::new(); cores],
+            running: vec![None; cores],
+            pending_start: vec![None; cores],
+            next_background_at: vec![SimTime::MAX; cores],
+        }
+    }
+
+    /// `true` when `core` can accept new work.
+    #[must_use]
+    pub fn core_is_free(&self, soc: &SkxSoc, core: usize) -> bool {
+        self.running[core].is_none()
+            && self.pending_start[core].is_none()
+            && soc.cores().core(apc_soc::core::CoreId(core)).activity() != CoreActivity::Busy
+    }
+
+    /// Number of cores currently executing work.
+    #[must_use]
+    pub fn busy_cores(&self) -> usize {
+        self.running.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// `true` when any core is running or about to run work.
+    #[must_use]
+    pub fn any_work_in_flight(&self) -> bool {
+        self.running.iter().any(Option::is_some) || self.pending_start.iter().any(Option::is_some)
+    }
+}
+
+/// Availability of the shared uncore (LLC, memory path), maintained by the
+/// package controller and read by the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct UncoreStatus {
+    /// `true` when requests can execute (no package C-state in the way).
+    /// While `false`, queued work stays put; the package controller emits a
+    /// `Dispatch` the moment its exit flow completes.
+    pub available: bool,
+}
+
+impl Default for UncoreStatus {
+    fn default() -> Self {
+        UncoreStatus { available: true }
+    }
+}
+
+/// All measurement state: power/energy, latency, residencies, idle periods
+/// and run counters.
+#[derive(Debug)]
+pub struct TelemetryState {
+    /// Energy accumulation (power attribution over elapsed intervals).
+    pub energy: EnergyMeter,
+    /// Client-visible request latency.
+    pub latency: LatencyRecorder,
+    /// Per-core C-state residency.
+    pub core_residency: CoreResidencySet,
+    /// Package C-state residency.
+    pub package_residency: PackageResidency,
+    /// Fully-idle period statistics (SoCWatch floor applied).
+    pub idle_tracker: IdlePeriodTracker,
+    /// Client-visible requests completed.
+    pub completed_requests: u64,
+    /// Total busy core-time accumulated.
+    pub busy_core_time: SimDuration,
+    /// Optional instantaneous power trace `(time, soc_power)`, filled by the
+    /// power component when sampling is enabled.
+    pub power_trace: Vec<(SimTime, Watts)>,
+}
+
+impl TelemetryState {
+    /// Fresh telemetry for `cores` cores starting at t = 0.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        TelemetryState {
+            energy: EnergyMeter::new(SimTime::ZERO),
+            latency: LatencyRecorder::new(),
+            core_residency: CoreResidencySet::new(cores, SimTime::ZERO),
+            package_residency: PackageResidency::new(PackageCState::PC0, SimTime::ZERO),
+            idle_tracker: IdlePeriodTracker::with_socwatch_floor(cores, SimTime::ZERO),
+            completed_requests: 0,
+            busy_core_time: SimDuration::ZERO,
+            power_trace: Vec::new(),
+        }
+    }
+}
+
+/// The state shared by every component of one server simulation.
+#[derive(Debug)]
+pub struct ServerState {
+    /// The run configuration (platform, power model, NIC, noise).
+    pub config: ServerConfig,
+    /// Peer component ids, filled by the driver after registration.
+    pub addrs: Addresses,
+    /// The SoC structural model.
+    pub soc: SkxSoc,
+    /// Work queues and per-core occupancy.
+    pub sched: SchedState,
+    /// Uncore availability, maintained by the package controller.
+    pub uncore: UncoreStatus,
+    /// Measurements.
+    pub telemetry: TelemetryState,
+    /// Workload name (for the run result).
+    pub workload_name: &'static str,
+    /// Offered request rate (for the run result).
+    pub offered_rate: f64,
+    /// Client network round-trip added to server-side latency.
+    pub network_rtt: SimDuration,
+}
+
+impl ServerState {
+    /// Builds the shared state for `config`; the SoC is constructed from the
+    /// configured topology.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        let soc = config.soc.build();
+        let cores = soc.cores().len();
+        ServerState {
+            soc,
+            addrs: Addresses::default(),
+            sched: SchedState::new(cores),
+            uncore: UncoreStatus::default(),
+            telemetry: TelemetryState::new(cores),
+            workload_name: "",
+            offered_rate: 0.0,
+            network_rtt: SimDuration::ZERO,
+            config,
+        }
+    }
+
+    /// `true` when any core is active or has work in flight (the package
+    /// cannot be considered idle).
+    #[must_use]
+    pub fn any_core_active(&self) -> bool {
+        self.soc.cores().active_count() > 0 || self.sched.any_work_in_flight()
+    }
+
+    /// Attributes the interval since the last accounting point to the power
+    /// state currently held, advancing the energy meter to `to`.
+    pub fn account_power(&mut self, to: SimTime) {
+        let busy = self.sched.busy_cores() as f64;
+        let mem_util = busy / self.soc.cores().len().max(1) as f64;
+        let breakdown = self.config.power.snapshot(&self.soc, mem_util);
+        self.telemetry.energy.advance(to, &breakdown);
+    }
+
+    /// Closes every telemetry stream at the end of the measurement window.
+    pub fn finish_telemetry(&mut self, end: SimTime) {
+        self.account_power(end);
+        self.telemetry.core_residency.finish(end);
+        self.telemetry.package_residency.finish(end);
+        self.telemetry.idle_tracker.finish(end);
+    }
+}

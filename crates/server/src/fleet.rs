@@ -1,0 +1,202 @@
+//! Multi-server fleet runner.
+//!
+//! A [`Fleet`] executes N independent server simulations — typically the
+//! same platform configuration under distinct seeds, but arbitrary
+//! per-member configs/workloads/rates are supported — and aggregates their
+//! [`RunResult`]s into a [`FleetResult`]. This is the entry point for
+//! scenario sweeps that need fleet-level statistics (aggregate throughput,
+//! mean power, worst-case tail latency) rather than a single server's view.
+//!
+//! Determinism: member seeds are derived from the fleet seed with the same
+//! label-fork scheme components use ([`apc_sim::rng::SimRng::fork`]), so a
+//! fleet is exactly reproducible run-to-run while its members remain
+//! pairwise independent.
+
+use apc_sim::rng::SimRng;
+use apc_sim::SimDuration;
+use apc_workloads::loadgen::LoadGenerator;
+use apc_workloads::spec::WorkloadSpec;
+
+use crate::config::ServerConfig;
+use crate::result::RunResult;
+use crate::sim::ServerSimulation;
+
+/// One server instance within a fleet.
+#[derive(Debug)]
+pub struct FleetMember {
+    /// The server's configuration (carries its own seed).
+    pub config: ServerConfig,
+    /// The workload it serves.
+    pub spec: WorkloadSpec,
+    /// Offered request rate (requests per second).
+    pub rate_per_sec: f64,
+}
+
+/// A set of independent server simulations run back-to-back.
+#[derive(Debug, Default)]
+pub struct Fleet {
+    members: Vec<FleetMember>,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    #[must_use]
+    pub fn new() -> Self {
+        Fleet::default()
+    }
+
+    /// A fleet of `n` servers sharing one configuration and workload but
+    /// running under distinct, deterministically derived seeds.
+    ///
+    /// `spec_fn` builds one [`WorkloadSpec`] per member (specs own boxed
+    /// distributions and cannot be cloned).
+    #[must_use]
+    pub fn homogeneous(
+        config: &ServerConfig,
+        spec_fn: impl Fn() -> WorkloadSpec,
+        rate_per_sec: f64,
+        n: usize,
+    ) -> Self {
+        let root = SimRng::from_seed(config.seed);
+        let mut fleet = Fleet::new();
+        for i in 0..n {
+            let seed = root.fork(&format!("server {i}")).seed();
+            fleet.push(FleetMember {
+                config: config.clone().with_seed(seed),
+                spec: spec_fn(),
+                rate_per_sec,
+            });
+        }
+        fleet
+    }
+
+    /// Adds one member to the fleet.
+    pub fn push(&mut self, member: FleetMember) -> &mut Self {
+        self.members.push(member);
+        self
+    }
+
+    /// Number of servers in the fleet.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the fleet has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Runs every member to completion and aggregates the results.
+    #[must_use]
+    pub fn run(self) -> FleetResult {
+        let runs: Vec<RunResult> = self
+            .members
+            .into_iter()
+            .map(|m| {
+                let seed = m.config.seed;
+                let loadgen = LoadGenerator::new(m.spec, m.rate_per_sec, seed);
+                ServerSimulation::new(m.config, loadgen).run()
+            })
+            .collect();
+        FleetResult { runs }
+    }
+}
+
+/// The aggregated outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-server results, in member order.
+    pub runs: Vec<RunResult>,
+}
+
+impl FleetResult {
+    /// Number of servers that ran.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total client-visible requests completed across the fleet.
+    #[must_use]
+    pub fn total_completed_requests(&self) -> u64 {
+        self.runs.iter().map(|r| r.completed_requests).sum()
+    }
+
+    /// Aggregate achieved throughput (requests per second) across the fleet.
+    #[must_use]
+    pub fn aggregate_throughput(&self) -> f64 {
+        self.runs.iter().map(RunResult::throughput).sum()
+    }
+
+    /// Mean average SoC power per server, in watts.
+    #[must_use]
+    pub fn mean_soc_power_w(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .map(|r| r.avg_soc_power.as_f64())
+            .sum::<f64>()
+            / self.runs.len() as f64
+    }
+
+    /// Total average power (SoC + DRAM) summed over the fleet, in watts.
+    #[must_use]
+    pub fn total_power_w(&self) -> f64 {
+        self.runs.iter().map(|r| r.avg_total_power().as_f64()).sum()
+    }
+
+    /// Mean PC1A residency fraction across the fleet.
+    #[must_use]
+    pub fn mean_pc1a_residency(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.pc1a_residency).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Total PC1A transitions across the fleet.
+    #[must_use]
+    pub fn total_pc1a_transitions(&self) -> u64 {
+        self.runs.iter().map(|r| r.pc1a_transitions).sum()
+    }
+
+    /// The worst p99 latency any server observed.
+    #[must_use]
+    pub fn worst_p99(&self) -> SimDuration {
+        self.runs
+            .iter()
+            .map(|r| r.latency.p99)
+            .fold(SimDuration::ZERO, SimDuration::max)
+    }
+
+    /// Mean request latency across the fleet, weighted by completed
+    /// requests.
+    #[must_use]
+    pub fn mean_latency(&self) -> SimDuration {
+        let total: u64 = self.total_completed_requests();
+        if total == 0 {
+            return SimDuration::ZERO;
+        }
+        let weighted: f64 = self
+            .runs
+            .iter()
+            .map(|r| r.latency.mean.as_secs_f64() * r.completed_requests as f64)
+            .sum();
+        SimDuration::from_secs_f64(weighted / total as f64)
+    }
+
+    /// Fleet-level power saving relative to a baseline fleet (positive when
+    /// this fleet uses less total power).
+    #[must_use]
+    pub fn power_saving_vs(&self, baseline: &FleetResult) -> f64 {
+        let base = baseline.total_power_w();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.total_power_w() / base
+    }
+}

@@ -7,8 +7,14 @@
 //!
 //! * [`config`] — [`config::ServerConfig`] (topology, platform, power model,
 //!   NIC coalescing, background noise);
-//! * [`sim`] — the [`sim::ServerSimulation`] event loop and
-//!   [`sim::run_experiment`] convenience entry point;
+//! * [`components`] — the simulation decomposed into registered
+//!   [`apc_sim::component::EventHandler`] components (NIC/arrival, dispatch
+//!   scheduler, per-core execution, package controller, power/telemetry)
+//!   over a shared [`components::state::ServerState`];
+//! * [`sim`] — the thin [`sim::ServerSimulation`] driver wiring the
+//!   components together, and the [`sim::run_experiment`] entry point;
+//! * [`fleet`] — the [`fleet::Fleet`] runner executing many independent
+//!   server instances and aggregating their results;
 //! * [`result`] — [`result::RunResult`] with derived metrics.
 //!
 //! # Example
@@ -24,10 +30,13 @@
 //! assert!(result.avg_soc_power.as_f64() > 0.0);
 //! ```
 
+pub mod components;
 pub mod config;
+pub mod fleet;
 pub mod result;
 pub mod sim;
 
 pub use config::ServerConfig;
+pub use fleet::{Fleet, FleetResult};
 pub use result::RunResult;
 pub use sim::{run_experiment, ServerSimulation};

@@ -1,122 +1,37 @@
-//! The full-system discrete-event server simulation.
+//! The full-system server simulation: a thin driver over the component
+//! architecture.
 //!
-//! [`ServerSimulation`] binds the workload generators, the OS idle governor,
-//! the socket component models, the package controllers (firmware GPMU and,
-//! under `CPC1A`, the APC APMU) and the power/telemetry layers into one
-//! event-driven run. It is the substitute for the paper's physical testbed:
-//! every figure of the evaluation is produced by running it under different
-//! platform configurations and request rates.
+//! [`ServerSimulation`] registers the five component kinds of
+//! [`crate::components`] — NIC/arrival, dispatch scheduler, one execution
+//! component per core, the package controller and power/telemetry — with an
+//! [`apc_sim::component::Simulation`], bootstraps the initial events and
+//! runs the event loop to the configured horizon. All simulation behaviour
+//! lives in the components; this module only wires them together and reduces
+//! the shared telemetry into a [`RunResult`].
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
+use std::rc::Rc;
 
-use apc_core::apmu::{Apmu, ApmuState, WakeCause, WakeOutcome};
-use apc_pmu::config::PackagePolicy;
-use apc_pmu::governor::IdleGovernor;
-use apc_pmu::gpmu::{Gpmu, GpmuPhase};
-use apc_sim::engine::EventQueue;
-use apc_sim::rng::SimRng;
+use apc_sim::component::Simulation;
 use apc_sim::{SimDuration, SimTime};
-use apc_soc::core::{CoreActivity, CoreId};
 use apc_soc::cstate::{CoreCState, PackageCState};
-use apc_soc::io::IoId;
-use apc_soc::topology::SkxSoc;
-use apc_telemetry::idle::IdlePeriodTracker;
-use apc_telemetry::latency::LatencyRecorder;
-use apc_telemetry::residency::{CoreResidencySet, PackageResidency};
 use apc_workloads::loadgen::LoadGenerator;
-use apc_workloads::request::Request;
-use apc_power::energy::EnergyMeter;
 
+use crate::components::core_exec::CoreExec;
+use crate::components::nic::NicArrival;
+use crate::components::package::PackageController;
+use crate::components::power::PowerTelemetry;
+use crate::components::scheduler::Scheduler;
+use crate::components::state::ServerState;
+use crate::components::{Addresses, ServerEvent};
 use crate::config::ServerConfig;
 use crate::result::RunResult;
-
-/// Events driving the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
-    /// The next client request arrives at the NIC.
-    ClientArrival,
-    /// The NIC raises an interrupt delivering the coalesced batch.
-    NicDeliver,
-    /// A core's periodic background (OS) wakeup fires.
-    BackgroundWake { core: usize },
-    /// A core finished its wake transition and starts executing.
-    CoreWakeDone {
-        /// Core index.
-        core: usize,
-        /// Transition epoch the event belongs to (stale events are ignored).
-        epoch: u64,
-    },
-    /// A core finished executing its current work item.
-    CoreServiceDone { core: usize },
-    /// A core finished entering its idle C-state.
-    CoreIdleEntered {
-        /// Core index.
-        core: usize,
-        /// Transition epoch the event belongs to (stale events are ignored).
-        epoch: u64,
-    },
-    /// The APMU's IO-standby deadline elapsed (try to enter PC1A).
-    ApmuStandbyDeadline,
-    /// The PC1A entry flow completed.
-    ApmuEntryDone,
-    /// The PC1A exit flow completed.
-    ApmuExitDone,
-    /// The PC6 entry flow completed.
-    GpmuEntryDone,
-    /// The PC6 exit flow completed.
-    GpmuExitDone,
-    /// Retry dispatching queued work (used when the uncore was unavailable).
-    DispatchRetry,
-    /// End of the measurement window.
-    EndOfRun,
-}
-
-/// A unit of work a core can execute.
-#[derive(Debug, Clone)]
-enum WorkItem {
-    /// A client request (latency-accounted).
-    Client(Request),
-    /// OS background work (not latency-accounted).
-    Background {
-        /// CPU time the background task consumes.
-        work: SimDuration,
-    },
-}
+use apc_pmu::governor::IdleGovernor;
 
 /// The full-system simulation.
 pub struct ServerSimulation {
-    config: ServerConfig,
-    soc: SkxSoc,
-    governor: IdleGovernor,
-    gpmu: Gpmu,
-    apmu: Apmu,
-    loadgen: LoadGenerator,
-    rng: SimRng,
-    queue: EventQueue<Event>,
-
-    // Scheduling state.
-    client_queue: VecDeque<Request>,
-    nic_buffer: VecDeque<Request>,
-    nic_deliver_pending: bool,
-    background_queue: Vec<VecDeque<SimDuration>>,
-    running: Vec<Option<WorkItem>>,
-    pending_start: Vec<Option<WorkItem>>,
-    /// Per-core transition epoch: bumped whenever a new C-state transition
-    /// starts, so completion events from superseded transitions are ignored.
-    core_epoch: Vec<u64>,
-    next_background_at: Vec<SimTime>,
-    gpmu_pending_wake: bool,
-    uncore_ready_at: Option<SimTime>,
-
-    // Telemetry.
-    energy: EnergyMeter,
-    latency: LatencyRecorder,
-    core_residency: CoreResidencySet,
-    package_residency: PackageResidency,
-    idle_tracker: IdlePeriodTracker,
-    completed_requests: u64,
-    busy_core_time: SimDuration,
-    now: SimTime,
+    sim: Simulation<ServerEvent, ServerState>,
+    package: Rc<RefCell<PackageController>>,
     end_at: SimTime,
 }
 
@@ -124,461 +39,150 @@ impl ServerSimulation {
     /// Builds a simulation for `config` driving `loadgen`.
     #[must_use]
     pub fn new(config: ServerConfig, loadgen: LoadGenerator) -> Self {
-        let soc = config.soc.build();
-        let cores = soc.cores().len();
-        let governor = IdleGovernor::new(&config.platform);
-        let gpmu = Gpmu::new(config.platform.package_cstate_limit());
-        let apmu = if config.platform.package_policy == PackagePolicy::Pc1a {
-            Apmu::new()
-        } else {
-            Apmu::disabled()
+        let mut state = ServerState::new(config);
+        state.workload_name = loadgen.spec().name;
+        state.offered_rate = loadgen.rate_per_sec();
+        state.network_rtt = loadgen.spec().network_rtt;
+        let cores = state.soc.cores().len();
+        let end_at = SimTime::ZERO + state.config.duration;
+        let first_arrival = loadgen.peek_next_arrival();
+        let noise = state.config.noise.clone();
+        let platform = state.config.platform.clone();
+        let sample_every = state.config.power_sample_interval;
+        let seed = state.config.seed;
+
+        // Components address their peers through `ServerState::addrs`,
+        // filled here with the real registration ids before any event is
+        // scheduled (the components reference each other cyclically).
+        let mut sim = Simulation::new(seed, state);
+        let power = sim.add_component("power", PowerTelemetry::new(sample_every));
+        let package = Rc::new(RefCell::new(PackageController::new(
+            platform.package_policy,
+            platform.package_cstate_limit(),
+        )));
+        let addrs = Addresses {
+            package: sim.add_component("package", Rc::clone(&package)),
+            scheduler: sim.add_component("scheduler", Scheduler),
+            nic: sim.add_component("nic", NicArrival::new(loadgen)),
+            cores: (0..cores)
+                .map(|i| {
+                    let governor = IdleGovernor::new(&platform);
+                    sim.add_component(
+                        format!("core {i}"),
+                        CoreExec::new(i, governor, noise.clone()),
+                    )
+                })
+                .collect(),
         };
-        let rng = SimRng::from_seed(config.seed).fork("server");
-        let end_at = SimTime::ZERO + config.duration;
+        sim.shared_mut().addrs = addrs.clone();
+
+        // Bootstrap: first client arrival, one background timer per core
+        // (offsets drawn from a driver-level RNG stream so component streams
+        // stay stable), and an immediate idle entry for every booted core.
+        sim.schedule(addrs.nic, first_arrival, ServerEvent::ClientArrival);
+        if let Some(noise) = noise {
+            let mut boot_rng = sim.fork_rng("bootstrap");
+            for i in 0..cores {
+                let at = SimTime::ZERO + noise.sample_interval(&mut boot_rng);
+                sim.shared_mut().sched.next_background_at[i] = at;
+                sim.schedule(addrs.cores[i], at, ServerEvent::BackgroundTick);
+            }
+        }
+        for i in 0..cores {
+            sim.schedule(addrs.cores[i], SimTime::ZERO, ServerEvent::InitIdle);
+        }
+        if sample_every.is_some() {
+            sim.schedule(power, SimTime::ZERO, ServerEvent::PowerSample);
+        }
+
         ServerSimulation {
-            governor,
-            gpmu,
-            apmu,
-            loadgen,
-            rng,
-            queue: EventQueue::new(),
-            client_queue: VecDeque::new(),
-            nic_buffer: VecDeque::new(),
-            nic_deliver_pending: false,
-            background_queue: vec![VecDeque::new(); cores],
-            running: vec![None; cores],
-            pending_start: vec![None; cores],
-            core_epoch: vec![0; cores],
-            next_background_at: vec![SimTime::MAX; cores],
-            gpmu_pending_wake: false,
-            uncore_ready_at: None,
-            energy: EnergyMeter::new(SimTime::ZERO),
-            latency: LatencyRecorder::new(),
-            core_residency: CoreResidencySet::new(cores, SimTime::ZERO),
-            package_residency: PackageResidency::new(PackageCState::PC0, SimTime::ZERO),
-            idle_tracker: IdlePeriodTracker::with_socwatch_floor(cores, SimTime::ZERO),
-            completed_requests: 0,
-            busy_core_time: SimDuration::ZERO,
-            now: SimTime::ZERO,
+            sim,
+            package,
             end_at,
-            soc,
-            config,
         }
     }
 
     /// Runs the simulation to completion and returns the result.
-    pub fn run(mut self) -> RunResult {
-        self.bootstrap();
-        while let Some((t, event)) = self.queue.pop() {
-            // Attribute the elapsed interval to the power state that held
-            // during it, *before* applying the event's changes.
-            self.account_power(t);
-            self.now = t;
-            if event == Event::EndOfRun {
-                break;
-            }
-            self.handle(event);
-            self.track_package_state();
-        }
-        self.finalize()
+    #[must_use]
+    pub fn run(self) -> RunResult {
+        self.run_into_state().0
     }
 
-    // ------------------------------------------------------------------
-    // Setup and teardown.
-    // ------------------------------------------------------------------
-
-    fn bootstrap(&mut self) {
-        // First client arrival.
-        self.queue
-            .schedule(self.loadgen.peek_next_arrival(), Event::ClientArrival);
-        // Background wakeups per core.
-        if let Some(noise) = self.config.noise.clone() {
-            for core in 0..self.soc.cores().len() {
-                let at = SimTime::ZERO + noise.sample_interval(&mut self.rng);
-                self.next_background_at[core] = at;
-                self.queue.schedule(at, Event::BackgroundWake { core });
-            }
-        }
-        // All cores start busy (boot); idle them immediately.
-        for core in 0..self.soc.cores().len() {
-            self.begin_core_idle(core, SimTime::ZERO);
-        }
-        self.queue.schedule(self.end_at, Event::EndOfRun);
-    }
-
-    fn finalize(mut self) -> RunResult {
+    /// Runs the simulation to completion and returns the result together
+    /// with the final shared state (queues, telemetry, power trace).
+    #[must_use]
+    pub fn run_into_state(mut self) -> (RunResult, ServerState) {
+        self.sim.run_until(self.end_at);
         let end = self.end_at;
-        self.account_power(end);
-        self.core_residency.finish(end);
-        self.package_residency.finish(end);
-        self.idle_tracker.finish(end);
+        let package = self.package.borrow();
+        let apmu_stats = package.apmu().stats();
+        let pc6_entries = package.gpmu().pc6_entries();
+        drop(package);
 
-        let cores = self.soc.cores().len() as f64;
-        let util = self.busy_core_time.as_secs_f64() / (self.config.duration.as_secs_f64() * cores);
-        let cc1 = self.core_residency.average_fraction_in(CoreCState::CC1)
-            + self.core_residency.average_fraction_in(CoreCState::CC1E);
-        RunResult {
-            config_name: self.config.platform.name,
-            workload: self.loadgen.spec().name,
-            offered_rate: self.loadgen.rate_per_sec(),
-            duration: self.config.duration,
-            completed_requests: self.completed_requests,
-            latency: self.latency.summary(),
-            avg_soc_power: self.energy.average_soc_power(),
-            avg_dram_power: self.energy.average_dram_power(),
+        let state = self.sim.shared_mut();
+        state.finish_telemetry(end);
+        let cores = state.soc.cores().len() as f64;
+        let util = state.telemetry.busy_core_time.as_secs_f64()
+            / (state.config.duration.as_secs_f64() * cores);
+        let cc1 = state
+            .telemetry
+            .core_residency
+            .average_fraction_in(CoreCState::CC1)
+            + state
+                .telemetry
+                .core_residency
+                .average_fraction_in(CoreCState::CC1E);
+        let result = RunResult {
+            config_name: state.config.platform.name,
+            workload: state.workload_name,
+            offered_rate: state.offered_rate,
+            duration: state.config.duration,
+            completed_requests: state.telemetry.completed_requests,
+            latency: state.telemetry.latency.summary(),
+            avg_soc_power: state.telemetry.energy.average_soc_power(),
+            avg_dram_power: state.telemetry.energy.average_dram_power(),
             cpu_utilization: util,
-            cc0_fraction: self.core_residency.average_fraction_in(CoreCState::CC0),
+            cc0_fraction: state
+                .telemetry
+                .core_residency
+                .average_fraction_in(CoreCState::CC0),
             cc1_fraction: cc1,
-            cc6_fraction: self.core_residency.average_fraction_in(CoreCState::CC6),
-            all_idle_fraction: self.idle_tracker.idle_fraction(),
-            pc1a_residency: self.package_residency.fraction_in(PackageCState::PC1A),
-            pc6_residency: self.package_residency.fraction_in(PackageCState::PC6),
-            pc1a_transitions: self.apmu.stats().pc1a_entries,
-            pc1a_aborted: self.apmu.stats().aborted_entries,
-            pc6_transitions: self.gpmu.pc6_entries(),
-            idle_periods: self.idle_tracker.period_count(),
-            idle_periods_20_200us: self
+            cc6_fraction: state
+                .telemetry
+                .core_residency
+                .average_fraction_in(CoreCState::CC6),
+            all_idle_fraction: state.telemetry.idle_tracker.idle_fraction(),
+            pc1a_residency: state
+                .telemetry
+                .package_residency
+                .fraction_in(PackageCState::PC1A),
+            pc6_residency: state
+                .telemetry
+                .package_residency
+                .fraction_in(PackageCState::PC6),
+            pc1a_transitions: apmu_stats.pc1a_entries,
+            pc1a_aborted: apmu_stats.aborted_entries,
+            pc6_transitions: pc6_entries,
+            idle_periods: state.telemetry.idle_tracker.period_count(),
+            idle_periods_20_200us: state
+                .telemetry
                 .idle_tracker
                 .fraction_between(SimDuration::from_micros(20), SimDuration::from_micros(200)),
             finished_at: end,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Power and residency accounting.
-    // ------------------------------------------------------------------
-
-    fn account_power(&mut self, to: SimTime) {
-        let busy = self
-            .running
-            .iter()
-            .filter(|w| w.is_some())
-            .count() as f64;
-        let mem_util = busy / self.soc.cores().len().max(1) as f64;
-        let breakdown = self.config.power.snapshot(&self.soc, mem_util);
-        self.energy.advance(to, &breakdown);
-    }
-
-    fn track_package_state(&mut self) {
-        let any_active = self.soc.cores().active_count() > 0
-            || self.running.iter().any(Option::is_some)
-            || self.pending_start.iter().any(Option::is_some);
-        let state = match self.config.platform.package_policy {
-            PackagePolicy::Pc1a => self.apmu.package_state(any_active),
-            PackagePolicy::Pc6 => self.gpmu.package_state(!any_active),
-            PackagePolicy::None => {
-                if any_active {
-                    PackageCState::PC0
-                } else {
-                    PackageCState::PC0Idle
-                }
-            }
         };
-        self.package_residency.transition(self.now, state);
+        (result, self.sim.into_shared())
     }
 
-    // ------------------------------------------------------------------
-    // Event handlers.
-    // ------------------------------------------------------------------
-
-    fn handle(&mut self, event: Event) {
-        match event {
-            Event::ClientArrival => self.on_client_arrival(),
-            Event::NicDeliver => self.on_nic_deliver(),
-            Event::BackgroundWake { core } => self.on_background_wake(core),
-            Event::CoreWakeDone { core, epoch } => self.on_core_wake_done(core, epoch),
-            Event::CoreServiceDone { core } => self.on_core_service_done(core),
-            Event::CoreIdleEntered { core, epoch } => self.on_core_idle_entered(core, epoch),
-            Event::ApmuStandbyDeadline => self.on_apmu_standby_deadline(),
-            Event::ApmuEntryDone => self.on_apmu_entry_done(),
-            Event::ApmuExitDone => self.on_apmu_exit_done(),
-            Event::GpmuEntryDone => self.on_gpmu_entry_done(),
-            Event::GpmuExitDone => self.on_gpmu_exit_done(),
-            Event::DispatchRetry => self.try_dispatch(),
-            Event::EndOfRun => {}
-        }
+    /// Read access to the shared state (for tests and tracing).
+    #[must_use]
+    pub fn state(&self) -> &ServerState {
+        self.sim.shared()
     }
 
-    fn on_client_arrival(&mut self) {
-        let request = self.loadgen.next_request();
-        self.nic_buffer.push_back(request);
-        if !self.nic_deliver_pending {
-            self.nic_deliver_pending = true;
-            self.queue
-                .schedule(self.now + self.config.nic_coalescing, Event::NicDeliver);
-        }
-        self.queue
-            .schedule(self.loadgen.peek_next_arrival(), Event::ClientArrival);
-    }
-
-    fn on_nic_deliver(&mut self) {
-        self.nic_deliver_pending = false;
-        if self.nic_buffer.is_empty() {
-            return;
-        }
-        // The NIC's PCIe link sees traffic: it leaves L0s and the package, if
-        // resident in PC1A or PC6, starts its exit flow.
-        let nic = IoId(0);
-        self.soc.ios_mut().controller_mut(nic).begin_traffic(self.now);
-        self.soc.ios_mut().controller_mut(nic).end_traffic(self.now);
-        self.wake_package(WakeCause::IoTraffic);
-
-        while let Some(r) = self.nic_buffer.pop_front() {
-            self.client_queue.push_back(r);
-        }
-        self.try_dispatch();
-    }
-
-    fn on_background_wake(&mut self, core: usize) {
-        if let Some(noise) = self.config.noise.clone() {
-            let work = noise.sample_work(&mut self.rng);
-            self.background_queue[core].push_back(work);
-            // Background work is initiated by a timer interrupt: it wakes the
-            // package if necessary.
-            self.wake_package(WakeCause::CoreInterrupt);
-            self.try_dispatch();
-            // Schedule the next tick.
-            let next = self.now + noise.sample_interval(&mut self.rng);
-            self.next_background_at[core] = next;
-            self.queue.schedule(next, Event::BackgroundWake { core });
-        }
-    }
-
-    fn on_core_wake_done(&mut self, core: usize, epoch: u64) {
-        if self.core_epoch[core] != epoch {
-            return;
-        }
-        self.soc
-            .cores_mut()
-            .core_mut(CoreId(core))
-            .complete_transition(self.now);
-        self.core_residency
-            .transition(CoreId(core), self.now, CoreCState::CC0);
-        // Leaving ACC1: the first core to run again clears AllowL0s.
-        if self.apmu.state() == ApmuState::Acc1 {
-            self.apmu.on_core_active(&mut self.soc, self.now);
-        }
-        let item = self.pending_start[core]
-            .take()
-            .expect("a waking core must have pending work");
-        self.start_service(core, item);
-    }
-
-    fn start_service(&mut self, core: usize, item: WorkItem) {
-        let service = match &item {
-            WorkItem::Client(r) => r.service + self.config.softirq_overhead,
-            WorkItem::Background { work } => *work,
-        };
-        self.running[core] = Some(item);
-        self.queue
-            .schedule(self.now + service, Event::CoreServiceDone { core });
-    }
-
-    fn on_core_service_done(&mut self, core: usize) {
-        let item = self.running[core].take().expect("core had no running work");
-        match item {
-            WorkItem::Client(request) => {
-                let server_side = self.now.saturating_since(request.arrival);
-                let total = server_side + self.loadgen.spec().network_rtt;
-                if request.class.is_client_visible() {
-                    self.latency.record(total);
-                    self.completed_requests += 1;
-                }
-                self.busy_core_time += request.service + self.config.softirq_overhead;
-            }
-            WorkItem::Background { work } => {
-                self.busy_core_time += work;
-            }
-        }
-        // Pick up more work without sleeping if any is available.
-        if let Some(next) = self.client_queue.pop_front() {
-            self.start_service(core, WorkItem::Client(next));
-            return;
-        }
-        if let Some(work) = self.background_queue[core].pop_front() {
-            self.start_service(core, WorkItem::Background { work });
-            return;
-        }
-        self.begin_core_idle(core, self.now);
-    }
-
-    fn begin_core_idle(&mut self, core: usize, now: SimTime) {
-        // Predicted idle: the time until this core's next background tick
-        // (the OS knows its own timers; client arrivals are unpredictable).
-        let predicted = self.next_background_at[core].saturating_since(now);
-        let target = self.governor.select(predicted);
-        let entry = self
-            .soc
-            .cores_mut()
-            .core_mut(CoreId(core))
-            .begin_idle(now, target);
-        self.idle_tracker.core_idle(now);
-        self.core_epoch[core] += 1;
-        let epoch = self.core_epoch[core];
-        self.queue
-            .schedule(now + entry, Event::CoreIdleEntered { core, epoch });
-    }
-
-    fn on_core_idle_entered(&mut self, core: usize, epoch: u64) {
-        if self.core_epoch[core] != epoch {
-            return;
-        }
-        self.soc
-            .cores_mut()
-            .core_mut(CoreId(core))
-            .complete_transition(self.now);
-        let state = self.soc.cores().core(CoreId(core)).cstate();
-        self.core_residency.transition(CoreId(core), self.now, state);
-
-        // Package-level opportunity checks.
-        match self.config.platform.package_policy {
-            PackagePolicy::Pc1a => {
-                if self.soc.cores().all_in_cc1_or_deeper() {
-                    if let Some(deadline) = self.apmu.on_all_cores_idle(&mut self.soc, self.now) {
-                        self.queue.schedule(deadline, Event::ApmuStandbyDeadline);
-                    }
-                }
-            }
-            PackagePolicy::Pc6 => {
-                if self.gpmu.can_enter_pc6(&self.soc) {
-                    let entry = self.gpmu.begin_entry(&mut self.soc, self.now);
-                    self.queue.schedule(self.now + entry, Event::GpmuEntryDone);
-                }
-            }
-            PackagePolicy::None => {}
-        }
-    }
-
-    fn on_apmu_standby_deadline(&mut self) {
-        if let Some(done_at) = self.apmu.on_standby_deadline(&mut self.soc, self.now) {
-            self.queue.schedule(done_at, Event::ApmuEntryDone);
-        }
-    }
-
-    fn on_apmu_entry_done(&mut self) {
-        if matches!(self.apmu.state(), ApmuState::Entering { .. }) {
-            self.apmu.on_entry_complete(self.now);
-        }
-    }
-
-    fn on_apmu_exit_done(&mut self) {
-        if matches!(self.apmu.state(), ApmuState::Exiting { .. }) {
-            self.apmu.on_exit_complete(&mut self.soc, self.now);
-        }
-        self.uncore_ready_at = None;
-        self.try_dispatch();
-    }
-
-    fn on_gpmu_entry_done(&mut self) {
-        if self.gpmu.phase() == GpmuPhase::Entering {
-            self.gpmu.complete_entry(&mut self.soc, self.now);
-        }
-        if self.gpmu_pending_wake {
-            self.gpmu_pending_wake = false;
-            let exit = self.gpmu.begin_exit(&mut self.soc, self.now);
-            self.uncore_ready_at = Some(self.now + exit);
-            self.queue.schedule(self.now + exit, Event::GpmuExitDone);
-        }
-    }
-
-    fn on_gpmu_exit_done(&mut self) {
-        if self.gpmu.phase() == GpmuPhase::Exiting {
-            self.gpmu.complete_exit(&mut self.soc, self.now);
-        }
-        self.uncore_ready_at = None;
-        self.try_dispatch();
-    }
-
-    /// Wakes the package (APMU or GPMU) in response to an interrupt or IO
-    /// traffic. Sets `uncore_ready_at` when an exit flow has to run first.
-    fn wake_package(&mut self, cause: WakeCause) {
-        match self.config.platform.package_policy {
-            PackagePolicy::Pc1a => match self.apmu.state() {
-                ApmuState::InPc1a { .. } | ApmuState::Entering { .. } => {
-                    if let WakeOutcome::Exiting { done_at, .. } =
-                        self.apmu.wakeup(&mut self.soc, self.now, cause)
-                    {
-                        self.uncore_ready_at = Some(done_at);
-                        self.queue.schedule(done_at, Event::ApmuExitDone);
-                    }
-                }
-                ApmuState::Acc1 => {
-                    let _ = self.apmu.wakeup(&mut self.soc, self.now, cause);
-                }
-                ApmuState::Pc0 | ApmuState::Exiting { .. } => {}
-            },
-            PackagePolicy::Pc6 => match self.gpmu.phase() {
-                GpmuPhase::InPc6 => {
-                    let exit = self.gpmu.begin_exit(&mut self.soc, self.now);
-                    self.uncore_ready_at = Some(self.now + exit);
-                    self.queue.schedule(self.now + exit, Event::GpmuExitDone);
-                }
-                GpmuPhase::Entering => {
-                    self.gpmu_pending_wake = true;
-                    // Ready time unknown until the entry completes; dispatch
-                    // is retried from on_gpmu_entry_done / on_gpmu_exit_done.
-                    self.uncore_ready_at = Some(SimTime::MAX);
-                }
-                GpmuPhase::Active | GpmuPhase::Exiting => {}
-            },
-            PackagePolicy::None => {}
-        }
-    }
-
-    /// `true` when the shared uncore (LLC, memory path) is available for
-    /// request execution.
-    fn uncore_available(&self) -> bool {
-        match self.config.platform.package_policy {
-            PackagePolicy::Pc1a => matches!(self.apmu.state(), ApmuState::Pc0 | ApmuState::Acc1),
-            PackagePolicy::Pc6 => self.gpmu.phase() == GpmuPhase::Active,
-            PackagePolicy::None => true,
-        }
-    }
-
-    fn try_dispatch(&mut self) {
-        if !self.uncore_available() {
-            if let Some(ready) = self.uncore_ready_at {
-                if ready != SimTime::MAX {
-                    self.queue.schedule(ready, Event::DispatchRetry);
-                }
-            }
-            return;
-        }
-        // Background work is pinned to its core.
-        for core in 0..self.soc.cores().len() {
-            if self.core_is_free(core) && !self.background_queue[core].is_empty() {
-                let work = self.background_queue[core].pop_front().expect("checked");
-                self.wake_core_with(core, WorkItem::Background { work });
-            }
-        }
-        // Client requests go to any free core.
-        while !self.client_queue.is_empty() {
-            let Some(core) = (0..self.soc.cores().len()).find(|&c| self.core_is_free(c)) else {
-                break;
-            };
-            let request = self.client_queue.pop_front().expect("checked");
-            self.wake_core_with(core, WorkItem::Client(request));
-        }
-    }
-
-    fn core_is_free(&self, core: usize) -> bool {
-        self.running[core].is_none()
-            && self.pending_start[core].is_none()
-            && self.soc.cores().core(CoreId(core)).activity() != CoreActivity::Busy
-    }
-
-    fn wake_core_with(&mut self, core: usize, item: WorkItem) {
-        let exit = self
-            .soc
-            .cores_mut()
-            .core_mut(CoreId(core))
-            .begin_wakeup(self.now);
-        self.idle_tracker.core_active(self.now);
-        self.pending_start[core] = Some(item);
-        self.core_epoch[core] += 1;
-        let epoch = self.core_epoch[core];
-        self.queue
-            .schedule(self.now + exit, Event::CoreWakeDone { core, epoch });
+    /// The underlying component simulation (for tests and tracing).
+    #[must_use]
+    pub fn simulation(&self) -> &Simulation<ServerEvent, ServerState> {
+        &self.sim
     }
 }
 
@@ -592,112 +196,4 @@ pub fn run_experiment(
     let seed = config.seed;
     let loadgen = LoadGenerator::new(spec, rate_per_sec, seed);
     ServerSimulation::new(config, loadgen).run()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use apc_workloads::spec::WorkloadSpec;
-
-    fn quick(config: ServerConfig, rate: f64) -> RunResult {
-        run_experiment(
-            config.with_duration(SimDuration::from_millis(200)),
-            WorkloadSpec::memcached_etc(),
-            rate,
-        )
-    }
-
-    #[test]
-    fn cshallow_run_completes_requests_and_tracks_power() {
-        let r = quick(ServerConfig::c_shallow(), 20_000.0);
-        assert!(r.completed_requests > 3_000, "completed {}", r.completed_requests);
-        assert!(r.latency.mean >= SimDuration::from_micros(117));
-        assert!(r.latency.mean <= SimDuration::from_micros(400));
-        // No package savings: power close to the 44 W idle floor plus some
-        // core activity, never below it.
-        assert!(r.avg_soc_power.as_f64() >= 43.0, "power {}", r.avg_soc_power);
-        assert!(r.avg_soc_power.as_f64() <= 60.0, "power {}", r.avg_soc_power);
-        assert_eq!(r.pc1a_transitions, 0);
-        assert_eq!(r.pc6_transitions, 0);
-        assert!(r.all_idle_fraction > 0.1, "all idle {}", r.all_idle_fraction);
-        assert!(r.cpu_utilization > 0.01 && r.cpu_utilization < 0.2);
-        assert_eq!(r.config_name, "Cshallow");
-    }
-
-    #[test]
-    fn cpc1a_enters_pc1a_and_saves_power() {
-        let base = quick(ServerConfig::c_shallow(), 20_000.0);
-        let apc = quick(ServerConfig::c_pc1a(), 20_000.0);
-        assert!(apc.pc1a_transitions > 10, "transitions {}", apc.pc1a_transitions);
-        assert!(apc.pc1a_residency > 0.05, "residency {}", apc.pc1a_residency);
-        let saving = apc.power_saving_vs(&base);
-        assert!(saving > 0.05, "saving {saving}");
-        // Latency impact is tiny.
-        let overhead = apc.latency_overhead_vs(&base);
-        assert!(overhead.abs() < 0.02, "overhead {overhead}");
-    }
-
-    #[test]
-    fn idle_server_saves_about_41_percent_with_pc1a() {
-        let mut shallow_cfg = ServerConfig::c_shallow().with_duration(SimDuration::from_millis(100));
-        shallow_cfg.noise = None;
-        let mut apc_cfg = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(100));
-        apc_cfg.noise = None;
-        // Effectively no load: 1 request per second.
-        let base = run_experiment(shallow_cfg, WorkloadSpec::memcached_etc(), 1.0);
-        let apc = run_experiment(apc_cfg, WorkloadSpec::memcached_etc(), 1.0);
-        let saving = apc.power_saving_vs(&base);
-        assert!(
-            (saving - 0.41).abs() < 0.05,
-            "idle saving {saving} should be ~0.41"
-        );
-        assert!(apc.pc1a_residency > 0.95, "residency {}", apc.pc1a_residency);
-    }
-
-    #[test]
-    fn cdeep_has_higher_latency_than_cshallow() {
-        let shallow = quick(ServerConfig::c_shallow(), 20_000.0);
-        let deep = quick(ServerConfig::c_deep(), 20_000.0);
-        assert!(
-            deep.latency.mean > shallow.latency.mean,
-            "deep {} vs shallow {}",
-            deep.latency.mean,
-            shallow.latency.mean
-        );
-        // Deep C-states save power relative to the shallow baseline.
-        assert!(deep.avg_soc_power < shallow.avg_soc_power);
-    }
-
-    #[test]
-    fn pc1a_residency_decreases_with_load() {
-        let low = quick(ServerConfig::c_pc1a(), 4_000.0);
-        let high = quick(ServerConfig::c_pc1a(), 100_000.0);
-        assert!(
-            low.pc1a_residency > high.pc1a_residency,
-            "low {} high {}",
-            low.pc1a_residency,
-            high.pc1a_residency
-        );
-        assert!(low.pc1a_residency > 0.4, "low-load residency {}", low.pc1a_residency);
-    }
-
-    #[test]
-    fn deterministic_across_identical_runs() {
-        let a = quick(ServerConfig::c_pc1a().with_seed(9), 10_000.0);
-        let b = quick(ServerConfig::c_pc1a().with_seed(9), 10_000.0);
-        assert_eq!(a.completed_requests, b.completed_requests);
-        assert_eq!(a.pc1a_transitions, b.pc1a_transitions);
-        assert!((a.avg_soc_power.as_f64() - b.avg_soc_power.as_f64()).abs() < 1e-9);
-        assert_eq!(a.latency.mean, b.latency.mean);
-    }
-
-    #[test]
-    fn throughput_tracks_offered_load() {
-        let r = quick(ServerConfig::c_shallow(), 50_000.0);
-        let achieved = r.throughput();
-        assert!(
-            (achieved - 50_000.0).abs() / 50_000.0 < 0.15,
-            "achieved {achieved}"
-        );
-    }
 }

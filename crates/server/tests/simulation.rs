@@ -1,0 +1,178 @@
+//! Behavioural tests of the full-system simulation, carried over from the
+//! pre-refactor monolithic event loop and extended with component-dispatch
+//! checks. These pin the paper-level results (power savings, latency
+//! impact, residency trends) that every figure depends on.
+
+use apc_server::config::ServerConfig;
+use apc_server::result::RunResult;
+use apc_server::sim::run_experiment;
+use apc_sim::SimDuration;
+use apc_workloads::spec::WorkloadSpec;
+
+fn quick(config: ServerConfig, rate: f64) -> RunResult {
+    run_experiment(
+        config.with_duration(SimDuration::from_millis(200)),
+        WorkloadSpec::memcached_etc(),
+        rate,
+    )
+}
+
+#[test]
+fn cshallow_run_completes_requests_and_tracks_power() {
+    let r = quick(ServerConfig::c_shallow(), 20_000.0);
+    assert!(
+        r.completed_requests > 3_000,
+        "completed {}",
+        r.completed_requests
+    );
+    assert!(r.latency.mean >= SimDuration::from_micros(117));
+    assert!(r.latency.mean <= SimDuration::from_micros(400));
+    // No package savings: power close to the 44 W idle floor plus some
+    // core activity, never below it.
+    assert!(
+        r.avg_soc_power.as_f64() >= 43.0,
+        "power {}",
+        r.avg_soc_power
+    );
+    assert!(
+        r.avg_soc_power.as_f64() <= 60.0,
+        "power {}",
+        r.avg_soc_power
+    );
+    assert_eq!(r.pc1a_transitions, 0);
+    assert_eq!(r.pc6_transitions, 0);
+    assert!(
+        r.all_idle_fraction > 0.1,
+        "all idle {}",
+        r.all_idle_fraction
+    );
+    assert!(r.cpu_utilization > 0.01 && r.cpu_utilization < 0.2);
+    assert_eq!(r.config_name, "Cshallow");
+}
+
+#[test]
+fn cpc1a_enters_pc1a_and_saves_power() {
+    let base = quick(ServerConfig::c_shallow(), 20_000.0);
+    let apc = quick(ServerConfig::c_pc1a(), 20_000.0);
+    assert!(
+        apc.pc1a_transitions > 10,
+        "transitions {}",
+        apc.pc1a_transitions
+    );
+    assert!(
+        apc.pc1a_residency > 0.05,
+        "residency {}",
+        apc.pc1a_residency
+    );
+    let saving = apc.power_saving_vs(&base);
+    assert!(saving > 0.05, "saving {saving}");
+    // Latency impact is tiny.
+    let overhead = apc.latency_overhead_vs(&base);
+    assert!(overhead.abs() < 0.02, "overhead {overhead}");
+}
+
+#[test]
+fn idle_server_saves_about_41_percent_with_pc1a() {
+    let mut shallow_cfg = ServerConfig::c_shallow().with_duration(SimDuration::from_millis(100));
+    shallow_cfg.noise = None;
+    let mut apc_cfg = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(100));
+    apc_cfg.noise = None;
+    // Effectively no load: 1 request per second.
+    let base = run_experiment(shallow_cfg, WorkloadSpec::memcached_etc(), 1.0);
+    let apc = run_experiment(apc_cfg, WorkloadSpec::memcached_etc(), 1.0);
+    let saving = apc.power_saving_vs(&base);
+    assert!(
+        (saving - 0.41).abs() < 0.05,
+        "idle saving {saving} should be ~0.41"
+    );
+    assert!(
+        apc.pc1a_residency > 0.95,
+        "residency {}",
+        apc.pc1a_residency
+    );
+}
+
+#[test]
+fn cdeep_has_higher_latency_than_cshallow() {
+    let shallow = quick(ServerConfig::c_shallow(), 20_000.0);
+    let deep = quick(ServerConfig::c_deep(), 20_000.0);
+    assert!(
+        deep.latency.mean > shallow.latency.mean,
+        "deep {} vs shallow {}",
+        deep.latency.mean,
+        shallow.latency.mean
+    );
+    // Deep C-states save power relative to the shallow baseline.
+    assert!(deep.avg_soc_power < shallow.avg_soc_power);
+}
+
+#[test]
+fn pc1a_residency_decreases_with_load() {
+    let low = quick(ServerConfig::c_pc1a(), 4_000.0);
+    let high = quick(ServerConfig::c_pc1a(), 100_000.0);
+    assert!(
+        low.pc1a_residency > high.pc1a_residency,
+        "low {} high {}",
+        low.pc1a_residency,
+        high.pc1a_residency
+    );
+    assert!(
+        low.pc1a_residency > 0.4,
+        "low-load residency {}",
+        low.pc1a_residency
+    );
+}
+
+#[test]
+fn throughput_tracks_offered_load() {
+    let r = quick(ServerConfig::c_shallow(), 50_000.0);
+    let achieved = r.throughput();
+    assert!(
+        (achieved - 50_000.0).abs() / 50_000.0 < 0.15,
+        "achieved {achieved}"
+    );
+}
+
+#[test]
+fn power_trace_records_samples_when_enabled() {
+    let config = ServerConfig::c_pc1a()
+        .with_duration(SimDuration::from_millis(20))
+        .with_power_trace(SimDuration::from_millis(1));
+    let loadgen = apc_workloads::loadgen::LoadGenerator::new(
+        WorkloadSpec::memcached_etc(),
+        10_000.0,
+        config.seed,
+    );
+    let sim = apc_server::sim::ServerSimulation::new(config, loadgen);
+    assert!(sim.state().telemetry.power_trace.is_empty());
+    let (result, state) = sim.run_into_state();
+    assert!(result.completed_requests > 0);
+    // 20 ms at a 1 ms sampling interval: expect on the order of 20 samples.
+    assert!(
+        state.telemetry.power_trace.len() >= 15,
+        "trace has {} samples",
+        state.telemetry.power_trace.len()
+    );
+    assert!(state
+        .telemetry
+        .power_trace
+        .iter()
+        .all(|(_, w)| w.as_f64() > 0.0));
+}
+
+#[test]
+fn zero_power_trace_interval_is_treated_as_disabled() {
+    // A zero sampling interval would re-arm PowerSample at the same instant
+    // forever; it must degrade to "trace off", not hang the event loop.
+    let config = ServerConfig::c_shallow()
+        .with_duration(SimDuration::from_millis(5))
+        .with_power_trace(SimDuration::ZERO);
+    let loadgen = apc_workloads::loadgen::LoadGenerator::new(
+        WorkloadSpec::memcached_etc(),
+        1_000.0,
+        config.seed,
+    );
+    let (result, state) = apc_server::sim::ServerSimulation::new(config, loadgen).run_into_state();
+    assert!(state.telemetry.power_trace.is_empty());
+    assert!(result.finished_at == apc_sim::SimTime::from_millis(5));
+}

@@ -1,0 +1,594 @@
+//! Component registry, event dispatch and the simulation driver.
+//!
+//! This module turns the bare scheduling primitives of [`crate::engine`] into
+//! a full discrete-event simulation framework in the style of DSLab's
+//! simulation core: user-defined *components* are registered with a
+//! [`Simulation`], each receives events through the [`EventHandler`] trait,
+//! and produces new events through a [`SimulationContext`] that exposes the
+//! clock, the event queue and a per-component deterministic RNG stream.
+//!
+//! Two type parameters thread through everything:
+//!
+//! * `E` — the event payload type, typically one enum shared by all
+//!   components of a simulation;
+//! * `S` — the *shared state* visible to every component (the modelled
+//!   hardware, work queues, telemetry). Component-private state lives inside
+//!   the component struct itself; anything two components must both observe
+//!   belongs in `S`.
+//!
+//! Determinism: [`Simulation::new`] seeds one root [`SimRng`]; every
+//! registered component receives a stream forked from that root by component
+//! name, so identical seeds yield bit-identical runs regardless of how much
+//! randomness any individual component consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use apc_sim::component::{EventHandler, Simulation, SimulationContext};
+//! use apc_sim::{SimDuration, SimTime};
+//!
+//! #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+//! enum Event {
+//!     Ping,
+//!     Pong,
+//! }
+//!
+//! #[derive(Default)]
+//! struct Counter {
+//!     pings: u64,
+//! }
+//!
+//! struct PingPong;
+//!
+//! impl EventHandler<Event, Counter> for PingPong {
+//!     fn on_event(
+//!         &mut self,
+//!         event: Event,
+//!         shared: &mut Counter,
+//!         ctx: &mut SimulationContext<'_, Event>,
+//!     ) {
+//!         if event == Event::Ping {
+//!             shared.pings += 1;
+//!             if shared.pings < 3 {
+//!                 ctx.emit_self(SimDuration::from_micros(1), Event::Ping);
+//!             }
+//!             ctx.emit_self(SimDuration::ZERO, Event::Pong);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42, Counter::default());
+//! let player = sim.add_component("player", PingPong);
+//! sim.schedule(player, SimTime::from_micros(1), Event::Ping);
+//! sim.run_until(SimTime::from_millis(1));
+//! assert_eq!(sim.shared().pings, 3);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::engine::{EventId, EventQueue};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Identifier of a registered simulation component. Returned by
+/// [`Simulation::add_component`] and used as the destination of emitted
+/// events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(usize);
+
+impl ComponentId {
+    /// The raw index value (useful for logging).
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0
+    }
+
+    /// Builds an id from a raw index.
+    ///
+    /// Ids are assigned by [`Simulation::add_component`] in registration
+    /// order starting at 0, so a driver with a fixed registration layout can
+    /// pre-compute peer ids for components that reference each other
+    /// cyclically (and should assert the layout with the returned ids).
+    #[must_use]
+    pub const fn from_raw(index: usize) -> Self {
+        ComponentId(index)
+    }
+}
+
+/// An event in flight: destination component plus user payload.
+#[derive(Debug)]
+struct Envelope<E> {
+    dst: ComponentId,
+    payload: E,
+}
+
+/// The per-component face of the simulation: clock access, event emission and
+/// a deterministic private RNG stream.
+///
+/// A fresh context is constructed for every dispatched event, borrowing the
+/// queue and the receiving component's RNG from the [`Simulation`].
+pub struct SimulationContext<'a, E> {
+    now: SimTime,
+    self_id: ComponentId,
+    queue: &'a mut EventQueue<Envelope<E>>,
+    rng: &'a mut SimRng,
+}
+
+impl<E> SimulationContext<'_, E> {
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component this context belongs to.
+    #[must_use]
+    pub fn id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// The component's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Emits an event to `dst` at absolute time `at`.
+    pub fn emit_at(&mut self, dst: ComponentId, at: SimTime, payload: E) -> EventId {
+        self.queue.schedule(at, Envelope { dst, payload })
+    }
+
+    /// Emits an event to `dst` after `delay`.
+    pub fn emit(
+        &mut self,
+        dst: ComponentId,
+        delay: crate::time::SimDuration,
+        payload: E,
+    ) -> EventId {
+        self.emit_at(dst, self.now + delay, payload)
+    }
+
+    /// Emits a zero-delay event to `dst`, delivered at the current timestamp
+    /// after all events already queued for this instant (FIFO).
+    pub fn emit_now(&mut self, dst: ComponentId, payload: E) -> EventId {
+        self.emit_at(dst, self.now, payload)
+    }
+
+    /// Emits an event to the component itself after `delay`.
+    pub fn emit_self(&mut self, delay: crate::time::SimDuration, payload: E) -> EventId {
+        self.emit(self.self_id, delay, payload)
+    }
+
+    /// Emits an event to the component itself at absolute time `at`.
+    pub fn emit_self_at(&mut self, at: SimTime, payload: E) -> EventId {
+        self.emit_at(self.self_id, at, payload)
+    }
+
+    /// Cancels a previously emitted event in O(1).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+}
+
+/// A simulation component: consumes events addressed to it and may observe
+/// every dispatch through the pre/post hooks.
+///
+/// Components receive `&mut` access to the shared state `S` and produce new
+/// events through the [`SimulationContext`]. The hooks default to no-ops; a
+/// telemetry component typically overrides them to attribute elapsed
+/// simulated time to the power state that held during it *before* an event
+/// mutates that state ([`EventHandler::on_pre_dispatch`]) and to sample
+/// derived state after the mutation ([`EventHandler::on_post_dispatch`]).
+pub trait EventHandler<E, S> {
+    /// Delivers an event addressed to this component.
+    fn on_event(&mut self, event: E, shared: &mut S, ctx: &mut SimulationContext<'_, E>);
+
+    /// Whether this component wants its dispatch hooks invoked. Sampled once
+    /// at registration time; only observing components pay the per-event
+    /// hook cost, so the main loop stays O(observers) rather than
+    /// O(components) per event. Components overriding
+    /// [`EventHandler::on_pre_dispatch`] or [`EventHandler::on_post_dispatch`]
+    /// must also override this to return `true`.
+    fn observes_dispatch(&self) -> bool {
+        false
+    }
+
+    /// Called for every observing component immediately before an event is
+    /// dispatched (the clock has already advanced to the event's timestamp).
+    fn on_pre_dispatch(&mut self, _now: SimTime, _shared: &mut S) {}
+
+    /// Called for every observing component immediately after an event was
+    /// dispatched.
+    fn on_post_dispatch(&mut self, _now: SimTime, _shared: &mut S) {}
+}
+
+/// Registering an `Rc<RefCell<T>>` lets the caller keep a handle to the
+/// component and inspect its private state after (or between) runs, in the
+/// style of DSLab's shared component handles.
+impl<E, S, T: EventHandler<E, S>> EventHandler<E, S> for Rc<RefCell<T>> {
+    fn on_event(&mut self, event: E, shared: &mut S, ctx: &mut SimulationContext<'_, E>) {
+        self.borrow_mut().on_event(event, shared, ctx);
+    }
+
+    fn observes_dispatch(&self) -> bool {
+        self.borrow().observes_dispatch()
+    }
+
+    fn on_pre_dispatch(&mut self, now: SimTime, shared: &mut S) {
+        self.borrow_mut().on_pre_dispatch(now, shared);
+    }
+
+    fn on_post_dispatch(&mut self, now: SimTime, shared: &mut S) {
+        self.borrow_mut().on_post_dispatch(now, shared);
+    }
+}
+
+struct ComponentSlot<E, S> {
+    name: String,
+    rng: SimRng,
+    // `Option` so the handler can be moved out while it runs, letting it
+    // borrow the queue and shared state without aliasing itself.
+    handler: Option<Box<dyn EventHandler<E, S>>>,
+}
+
+/// The simulation driver: owns the clock, the event queue, the root RNG, the
+/// shared state and the registered components, and runs the main loop.
+pub struct Simulation<E, S> {
+    queue: EventQueue<Envelope<E>>,
+    clock: SimTime,
+    root_rng: SimRng,
+    components: Vec<ComponentSlot<E, S>>,
+    /// Indices of components whose [`EventHandler::observes_dispatch`]
+    /// returned `true` at registration; only these pay the per-event hook
+    /// cost.
+    observers: Vec<usize>,
+    shared: S,
+}
+
+impl<E, S> Simulation<E, S> {
+    /// Creates a simulation with the given root seed and shared state.
+    #[must_use]
+    pub fn new(seed: u64, shared: S) -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            clock: SimTime::ZERO,
+            root_rng: SimRng::from_seed(seed),
+            components: Vec::new(),
+            observers: Vec::new(),
+            shared,
+        }
+    }
+
+    /// Registers a component under a unique name and returns its id.
+    ///
+    /// The component's RNG stream is forked from the root seed by name, so
+    /// registration order does not affect determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered.
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        handler: impl EventHandler<E, S> + 'static,
+    ) -> ComponentId {
+        let name = name.into();
+        assert!(
+            self.lookup(&name).is_none(),
+            "component name {name:?} registered twice"
+        );
+        let rng = self.root_rng.fork(&name);
+        if handler.observes_dispatch() {
+            self.observers.push(self.components.len());
+        }
+        self.components.push(ComponentSlot {
+            name,
+            rng,
+            handler: Some(Box::new(handler)),
+        });
+        ComponentId(self.components.len() - 1)
+    }
+
+    /// Finds a component id by registration name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<ComponentId> {
+        self.components
+            .iter()
+            .position(|c| c.name == name)
+            .map(ComponentId)
+    }
+
+    /// The registration name of a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this simulation.
+    #[must_use]
+    pub fn name(&self, id: ComponentId) -> &str {
+        &self.components[id.0].name
+    }
+
+    /// The number of registered components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events dispatched so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.queue.delivered()
+    }
+
+    /// Shared state, read-only.
+    #[must_use]
+    pub fn shared(&self) -> &S {
+        &self.shared
+    }
+
+    /// Shared state, mutable (for bootstrap and result extraction).
+    pub fn shared_mut(&mut self) -> &mut S {
+        &mut self.shared
+    }
+
+    /// Consumes the simulation and returns the shared state.
+    #[must_use]
+    pub fn into_shared(self) -> S {
+        self.shared
+    }
+
+    /// Forks a named RNG stream off the root seed (for driver-level draws
+    /// that should not perturb component streams).
+    #[must_use]
+    pub fn fork_rng(&self, label: &str) -> SimRng {
+        self.root_rng.fork(label)
+    }
+
+    /// Schedules an event from outside any component (bootstrap).
+    pub fn schedule(&mut self, dst: ComponentId, at: SimTime, payload: E) -> EventId {
+        self.queue.schedule(at, Envelope { dst, payload })
+    }
+
+    /// Cancels a previously scheduled event in O(1).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Dispatches the next event: advances the clock, runs every component's
+    /// pre-dispatch hook, delivers the event to its destination, then runs
+    /// every post-dispatch hook. Returns the event's timestamp, or `None`
+    /// when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses an unregistered component.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (time, envelope) = self.queue.pop()?;
+        self.clock = time;
+        self.run_hooks(time, true);
+        let dst = envelope.dst.0;
+        assert!(
+            dst < self.components.len(),
+            "event addressed to unregistered component {dst}"
+        );
+        let mut handler = self.components[dst]
+            .handler
+            .take()
+            .expect("component handler is re-entrant");
+        {
+            let mut ctx = SimulationContext {
+                now: time,
+                self_id: envelope.dst,
+                queue: &mut self.queue,
+                rng: &mut self.components[dst].rng,
+            };
+            handler.on_event(envelope.payload, &mut self.shared, &mut ctx);
+        }
+        self.components[dst].handler = Some(handler);
+        self.run_hooks(time, false);
+        Some(time)
+    }
+
+    /// Runs the simulation until the queue drains or the next event's
+    /// timestamp reaches `horizon` (events at or after the horizon stay
+    /// queued; the clock stays at the last dispatched event). Returns the
+    /// number of events dispatched.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut dispatched = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            self.step();
+            dispatched += 1;
+        }
+        dispatched
+    }
+
+    fn run_hooks(&mut self, now: SimTime, pre: bool) {
+        for idx in 0..self.observers.len() {
+            let i = self.observers[idx];
+            let mut handler = self.components[i]
+                .handler
+                .take()
+                .expect("component handler is re-entrant");
+            if pre {
+                handler.on_pre_dispatch(now, &mut self.shared);
+            } else {
+                handler.on_post_dispatch(now, &mut self.shared);
+            }
+            self.components[i].handler = Some(handler);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        Tick,
+        Forward,
+        Noise,
+    }
+
+    #[derive(Default)]
+    struct Shared {
+        ticks: u64,
+        forwards: u64,
+        pre_calls: u64,
+        post_calls: u64,
+        draws: Vec<u64>,
+    }
+
+    struct Ticker {
+        peer: Option<ComponentId>,
+    }
+
+    impl EventHandler<Ev, Shared> for Ticker {
+        fn on_event(
+            &mut self,
+            event: Ev,
+            shared: &mut Shared,
+            ctx: &mut SimulationContext<'_, Ev>,
+        ) {
+            match event {
+                Ev::Tick => {
+                    shared.ticks += 1;
+                    if let Some(peer) = self.peer {
+                        ctx.emit_now(peer, Ev::Forward);
+                    }
+                    if shared.ticks < 5 {
+                        ctx.emit_self(SimDuration::from_micros(10), Ev::Tick);
+                    }
+                }
+                Ev::Noise => shared.draws.push(ctx.rng().next_u64()),
+                Ev::Forward => unreachable!("ticker never receives forwards"),
+            }
+        }
+    }
+
+    struct Sink;
+
+    impl EventHandler<Ev, Shared> for Sink {
+        fn on_event(
+            &mut self,
+            event: Ev,
+            shared: &mut Shared,
+            _ctx: &mut SimulationContext<'_, Ev>,
+        ) {
+            assert_eq!(event, Ev::Forward);
+            shared.forwards += 1;
+        }
+
+        fn observes_dispatch(&self) -> bool {
+            true
+        }
+
+        fn on_pre_dispatch(&mut self, _now: SimTime, shared: &mut Shared) {
+            shared.pre_calls += 1;
+        }
+
+        fn on_post_dispatch(&mut self, _now: SimTime, shared: &mut Shared) {
+            shared.post_calls += 1;
+        }
+    }
+
+    fn build() -> (Simulation<Ev, Shared>, ComponentId, ComponentId) {
+        let mut sim = Simulation::new(7, Shared::default());
+        let sink = sim.add_component("sink", Sink);
+        let ticker = sim.add_component("ticker", Ticker { peer: Some(sink) });
+        (sim, ticker, sink)
+    }
+
+    #[test]
+    fn events_route_to_their_destination() {
+        let (mut sim, ticker, _sink) = build();
+        sim.schedule(ticker, SimTime::from_micros(1), Ev::Tick);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.shared().ticks, 5);
+        assert_eq!(sim.shared().forwards, 5);
+        assert_eq!(sim.now(), SimTime::from_micros(41));
+    }
+
+    #[test]
+    fn hooks_fire_once_per_dispatch() {
+        let (mut sim, ticker, _sink) = build();
+        sim.schedule(ticker, SimTime::from_micros(1), Ev::Tick);
+        sim.run_until(SimTime::from_secs(1));
+        let dispatched = sim.dispatched();
+        assert_eq!(sim.shared().pre_calls, dispatched);
+        assert_eq!(sim.shared().post_calls, dispatched);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_queued() {
+        let (mut sim, ticker, _sink) = build();
+        sim.schedule(ticker, SimTime::from_micros(1), Ev::Tick);
+        // First tick at 1 us, second at 11 us: a horizon of 11 us must
+        // dispatch only the first tick (and its zero-delay forward).
+        let n = sim.run_until(SimTime::from_micros(11));
+        assert_eq!(n, 2);
+        assert_eq!(sim.shared().ticks, 1);
+        assert!(sim.peek_time() == Some(SimTime::from_micros(11)));
+    }
+
+    #[test]
+    fn component_rng_streams_are_deterministic_and_independent() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed, Shared::default());
+            let ticker = sim.add_component("ticker", Ticker { peer: None });
+            sim.schedule(ticker, SimTime::from_micros(1), Ev::Noise);
+            sim.schedule(ticker, SimTime::from_micros(2), Ev::Noise);
+            sim.run_until(SimTime::from_secs(1));
+            sim.into_shared().draws
+        };
+        assert_eq!(run(42), run(42), "identical seeds, identical streams");
+        assert_ne!(run(42), run(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn lookup_and_names_round_trip() {
+        let (sim, ticker, sink) = build();
+        assert_eq!(sim.lookup("ticker"), Some(ticker));
+        assert_eq!(sim.lookup("sink"), Some(sink));
+        assert_eq!(sim.lookup("nope"), None);
+        assert_eq!(sim.name(ticker), "ticker");
+        assert_eq!(sim.component_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_panic() {
+        let mut sim: Simulation<Ev, Shared> = Simulation::new(1, Shared::default());
+        sim.add_component("dup", Sink);
+        sim.add_component("dup", Sink);
+    }
+
+    #[test]
+    fn zero_delay_events_are_fifo_at_one_instant() {
+        // The forward emitted during a tick is delivered after the tick
+        // handler returns but at the same timestamp.
+        let (mut sim, ticker, _sink) = build();
+        sim.schedule(ticker, SimTime::from_micros(3), Ev::Tick);
+        sim.step();
+        assert_eq!(sim.shared().ticks, 1);
+        assert_eq!(sim.shared().forwards, 0);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_micros(3)));
+        sim.step();
+        assert_eq!(sim.shared().forwards, 1);
+    }
+}

@@ -215,7 +215,8 @@ impl Distribution for BoundedPareto {
             // alpha == 1 limit.
             (h / l).ln() * l * h / (h - l)
         } else {
-            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+            (l.powf(a) / (1.0 - (l / h).powf(a)))
+                * (a / (a - 1.0))
                 * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
         }
     }
@@ -402,7 +403,11 @@ mod tests {
             assert!((10.0..=1000.0).contains(&x));
         }
         let m = empirical_mean(&d, 200_000, 6);
-        assert!((m - d.mean()).abs() / d.mean() < 0.1, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.1,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

@@ -11,8 +11,31 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::time::SimTime;
+
+/// Multiply-shift hasher for [`EventId`] sets. Event ids are sequential
+/// `u64`s, so full SipHash is wasted work on the schedule/pop hot path; a
+/// single Fibonacci multiply disperses them well enough for a `HashSet`.
+#[derive(Default)]
+pub struct EventIdHasher(u64);
+
+impl Hasher for EventIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("EventIdHasher only hashes u64 event ids");
+    }
+
+    fn write_u64(&mut self, id: u64) {
+        self.0 = id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type EventIdSet = HashSet<EventId, BuildHasherDefault<EventIdHasher>>;
 
 /// Identifier of a scheduled event, used for cancellation.
 ///
@@ -88,7 +111,11 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
+    /// Ids of events that are scheduled, not yet delivered and not cancelled.
+    /// Tracking the live set makes [`EventQueue::cancel`] O(1) instead of a
+    /// linear scan of the heap; a heap entry whose id is no longer live is a
+    /// cancelled event awaiting lazy removal.
+    live: EventIdSet,
     next_seq: u64,
     /// Timestamp of the most recently delivered event; used to detect
     /// causality violations (scheduling into the past).
@@ -108,7 +135,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            live: EventIdSet::default(),
             next_seq: 0,
             now: SimTime::ZERO,
             delivered: 0,
@@ -132,7 +159,7 @@ impl<E> EventQueue<E> {
     /// events are excluded).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.len()
     }
 
     /// `true` when no live events are pending.
@@ -159,25 +186,17 @@ impl<E> EventQueue<E> {
         };
         self.next_seq += 1;
         self.heap.push(entry);
+        self.live.insert(id);
         id
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in O(1).
     ///
     /// Returns `true` if the event was still pending, `false` if it had
-    /// already been delivered or cancelled.
+    /// already been delivered or cancelled. The heap entry itself is removed
+    /// lazily when it reaches the top of the heap.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
-        }
-        // An id maps one-to-one to a heap entry; if it is still somewhere in
-        // the heap it has not been delivered yet.
-        if self.heap.iter().any(|e| e.id == id) && !self.cancelled.contains(&id) {
-            self.cancelled.insert(id);
-            true
-        } else {
-            false
-        }
+        self.live.remove(&id)
     }
 
     /// The timestamp of the next live event, if any.
@@ -191,7 +210,8 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
             let entry = self.heap.pop()?;
-            if self.cancelled.remove(&entry.id) {
+            if !self.live.remove(&entry.id) {
+                // Cancelled while pending; drop it.
                 continue;
             }
             self.now = entry.time;
@@ -203,12 +223,10 @@ impl<E> EventQueue<E> {
     /// Drops cancelled entries sitting at the top of the heap.
     fn reap_cancelled(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.id) {
-                let e = self.heap.pop().expect("peeked entry must exist");
-                self.cancelled.remove(&e.id);
-            } else {
+            if self.live.contains(&top.id) {
                 break;
             }
+            self.heap.pop();
         }
     }
 }

@@ -5,6 +5,10 @@
 //! * [`time`] — nanosecond-granularity [`time::SimTime`] / [`time::SimDuration`]
 //!   types used by every other crate;
 //! * [`engine`] — a deterministic discrete-event [`engine::EventQueue`];
+//! * [`component`] — the component framework: [`component::Simulation`]
+//!   driver, [`component::EventHandler`] trait and
+//!   [`component::SimulationContext`] through which registered components
+//!   schedule events and draw per-component deterministic randomness;
 //! * [`rng`] — seeded, forkable random number generation;
 //! * [`dist`] — probability distributions for service-time and arrival models;
 //! * [`stats`] — streaming statistics, percentile recording and duration
@@ -32,12 +36,14 @@
 //! assert_eq!(t, SimTime::from_micros(10));
 //! ```
 
+pub mod component;
 pub mod dist;
 pub mod engine;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use component::{ComponentId, EventHandler, Simulation, SimulationContext};
 pub use engine::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

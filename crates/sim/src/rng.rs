@@ -4,16 +4,18 @@
 //! time draws, key popularity) pulls randomness from a [`SimRng`] seeded from
 //! an experiment-level seed, so that every table and figure is exactly
 //! reproducible run-to-run.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ implementation (the same
+//! algorithm `rand::rngs::SmallRng` uses on 64-bit targets), so the crate has
+//! no external dependencies and builds in fully offline environments.
 
 /// A small, fast, deterministic RNG used throughout the simulator.
 ///
-/// Wraps [`rand::rngs::SmallRng`] and adds the handful of draw helpers the
-/// simulator needs. Independent sub-streams for different components are
-/// derived with [`SimRng::fork`], which hashes a label into the parent seed so
-/// that adding a new consumer does not perturb existing streams.
+/// Implements xoshiro256++ seeded through a SplitMix64 expansion of a 64-bit
+/// seed, plus the handful of draw helpers the simulator needs. Independent
+/// sub-streams for different components are derived with [`SimRng::fork`],
+/// which hashes a label into the parent seed so that adding a new consumer
+/// does not perturb existing streams.
 ///
 /// # Examples
 ///
@@ -31,18 +33,31 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into the xoshiro state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created from.
@@ -66,33 +81,58 @@ impl SimRng {
         SimRng::from_seed(self.seed ^ h.rotate_left(17))
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// A uniform value in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform value in `[lo, hi)`. Returns `lo` when the range is empty or
     /// degenerate.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        if !(hi > lo) {
+        // NaN bounds compare as "not greater" and fall back to `lo`.
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return lo;
         }
         lo + self.uniform() * (hi - lo)
     }
 
-    /// A uniform integer in `[0, n)`.
+    /// A uniform integer in `[0, n)` (unbiased, via rejection sampling).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() requires a non-empty range");
-        self.inner.gen_range(0..n)
+        let n = n as u64;
+        // Widening-multiply trick (Lemire); reject the biased zone.
+        let zone = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            if (m as u64) >= zone {
+                return (m >> 64) as usize;
+            }
+        }
     }
 
     /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -143,21 +183,6 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +225,19 @@ mod tests {
     }
 
     #[test]
+    fn index_is_unbiased_and_in_range() {
+        let mut rng = SimRng::from_seed(11);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.index(7)] += 1;
+        }
+        for &c in &counts {
+            let rate = f64::from(c) / 70_000.0;
+            assert!((rate - 1.0 / 7.0).abs() < 0.01, "rate {rate}");
+        }
+    }
+
+    #[test]
     fn exponential_mean_is_close() {
         let mut rng = SimRng::from_seed(4);
         let n = 50_000;
@@ -234,7 +272,7 @@ mod tests {
         let hits = (0..20_000).filter(|_| rng.chance(0.25)).count();
         let rate = hits as f64 / 20_000.0;
         assert!((rate - 0.25).abs() < 0.02);
-        assert!(!rng.chance(-1.0) || true); // clamps, never panics
+        assert!(!rng.chance(-1.0)); // clamped to 0.0 => never true
         assert!(rng.chance(2.0)); // clamped to 1.0 => always true
     }
 

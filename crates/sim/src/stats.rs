@@ -486,10 +486,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly ascending")]
     fn duration_histogram_rejects_unsorted_bounds() {
-        let _ = DurationHistogram::new(&[
-            SimDuration::from_micros(10),
-            SimDuration::from_micros(5),
-        ]);
+        let _ =
+            DurationHistogram::new(&[SimDuration::from_micros(10), SimDuration::from_micros(5)]);
     }
 
     #[test]

@@ -385,10 +385,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = [1u64, 2, 3]
-            .into_iter()
-            .map(SimDuration::from_nanos)
-            .sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_nanos).sum();
         assert_eq!(total, SimDuration::from_nanos(6));
     }
 

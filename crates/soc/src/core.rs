@@ -395,7 +395,8 @@ mod tests {
         assert_eq!(set.active_count(), 4);
 
         for i in 0..4 {
-            set.core_mut(CoreId(i)).force_state(SimTime::ZERO, CoreCState::CC1);
+            set.core_mut(CoreId(i))
+                .force_state(SimTime::ZERO, CoreCState::CC1);
         }
         assert!(set.all_in_cc1_or_deeper());
         assert!(set.all_at_least(CoreCState::CC1));
@@ -403,7 +404,8 @@ mod tests {
         assert_eq!(set.count_in(CoreCState::CC1), 4);
         assert_eq!(set.active_count(), 0);
 
-        set.core_mut(CoreId(2)).force_state(SimTime::ZERO, CoreCState::CC0);
+        set.core_mut(CoreId(2))
+            .force_state(SimTime::ZERO, CoreCState::CC0);
         assert!(!set.all_in_cc1_or_deeper());
         assert_eq!(set.active_count(), 1);
     }

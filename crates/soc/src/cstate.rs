@@ -215,7 +215,10 @@ mod tests {
 
     #[test]
     fn cc6_latency_matches_paper_scale() {
-        assert_eq!(CoreCState::CC6.exit_latency(), SimDuration::from_micros(133));
+        assert_eq!(
+            CoreCState::CC6.exit_latency(),
+            SimDuration::from_micros(133)
+        );
         assert!(CoreCState::CC1.exit_latency() <= SimDuration::from_micros(2));
     }
 
@@ -236,14 +239,8 @@ mod tests {
 
     #[test]
     fn package_required_core_states_match_table2() {
-        assert_eq!(
-            PackageCState::PC6.required_core_cstate(),
-            CoreCState::CC6
-        );
-        assert_eq!(
-            PackageCState::PC1A.required_core_cstate(),
-            CoreCState::CC1
-        );
+        assert_eq!(PackageCState::PC6.required_core_cstate(), CoreCState::CC6);
+        assert_eq!(PackageCState::PC1A.required_core_cstate(), CoreCState::CC1);
         assert_eq!(PackageCState::PC0.required_core_cstate(), CoreCState::CC0);
     }
 

@@ -436,8 +436,14 @@ mod tests {
 
     #[test]
     fn l_state_latencies_match_paper() {
-        assert_eq!(LinkPowerState::L0s.exit_latency(), SimDuration::from_nanos(64));
-        assert_eq!(LinkPowerState::L0p.exit_latency(), SimDuration::from_nanos(10));
+        assert_eq!(
+            LinkPowerState::L0s.exit_latency(),
+            SimDuration::from_nanos(64)
+        );
+        assert_eq!(
+            LinkPowerState::L0p.exit_latency(),
+            SimDuration::from_nanos(10)
+        );
         assert!(LinkPowerState::L1.exit_latency() >= SimDuration::from_micros(1));
         assert!(LinkPowerState::L0s.is_shallow_standby());
         assert!(!LinkPowerState::L1.is_shallow_standby());

@@ -343,7 +343,10 @@ mod tests {
         assert!(DramPowerMode::SelfRefresh.exit_latency() >= SimDuration::from_micros(1));
         assert!(DramPowerMode::PrechargePowerDown.is_cke_off());
         assert!(!DramPowerMode::SelfRefresh.is_cke_off());
-        assert_eq!(DramPowerMode::PrechargePowerDown.to_string(), "PPD (CKE off)");
+        assert_eq!(
+            DramPowerMode::PrechargePowerDown.to_string(),
+            "PPD (CKE off)"
+        );
     }
 
     #[test]

@@ -332,9 +332,7 @@ mod tests {
         let mut set = PllSet::new(10, 6);
         let now = SimTime::from_micros(1);
         set.power_off_uncore(now);
-        assert!(set
-            .uncore_plls()
-            .all(|p| p.state() == PllState::Off));
+        assert!(set.uncore_plls().all(|p| p.state() == PllState::Off));
         // Core PLLs untouched.
         assert!(set
             .iter()

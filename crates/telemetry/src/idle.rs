@@ -211,9 +211,9 @@ mod tests {
         // Three periods of 50 µs (in range) and one of 500 µs (out of range).
         for len_us in [50u64, 50, 50, 500] {
             t.core_idle(now);
-            now = now + SimDuration::from_micros(len_us);
+            now += SimDuration::from_micros(len_us);
             t.core_active(now);
-            now = now + SimDuration::from_micros(10);
+            now += SimDuration::from_micros(10);
         }
         t.finish(now);
         let frac = t.fraction_between(SimDuration::from_micros(20), SimDuration::from_micros(200));

@@ -222,7 +222,10 @@ mod tests {
         p.transition(SimTime::from_micros(110), PackageCState::PC1A);
         p.transition(SimTime::from_micros(210), PackageCState::PC0);
         p.finish(SimTime::from_micros(400));
-        assert_eq!(p.time_in(PackageCState::PC1A), SimDuration::from_micros(100));
+        assert_eq!(
+            p.time_in(PackageCState::PC1A),
+            SimDuration::from_micros(100)
+        );
         assert!((p.fraction_in(PackageCState::PC1A) - 0.25).abs() < 1e-9);
     }
 }

@@ -110,8 +110,8 @@ impl MmppArrivals {
     /// average matches `rate_per_sec`.
     fn quiet_rate(&self) -> f64 {
         let burst_rate = self.rate_per_sec * self.burst_multiplier;
-        let quiet = (self.rate_per_sec - self.burst_fraction * burst_rate)
-            / (1.0 - self.burst_fraction);
+        let quiet =
+            (self.rate_per_sec - self.burst_fraction * burst_rate) / (1.0 - self.burst_fraction);
         quiet.max(self.rate_per_sec * 0.01)
     }
 
@@ -204,7 +204,12 @@ mod tests {
         let mg: Vec<f64> = (0..50_000)
             .map(|_| m.next_gap(&mut rng).as_nanos() as f64)
             .collect();
-        assert!(cv(&mg) > cv(&pg), "MMPP cv {} vs Poisson cv {}", cv(&mg), cv(&pg));
+        assert!(
+            cv(&mg) > cv(&pg),
+            "MMPP cv {} vs Poisson cv {}",
+            cv(&mg),
+            cv(&pg)
+        );
     }
 
     #[test]

@@ -140,6 +140,9 @@ mod tests {
         let mut gen = LoadGenerator::new(WorkloadSpec::memcached_etc(), 100_000.0, 3);
         let total: SimDuration = (0..50_000).map(|_| gen.next_request().service).sum();
         let mean_us = total.as_micros_f64() / 50_000.0;
-        assert!(mean_us > 17.0 && mean_us < 24.0, "mean service {mean_us} us");
+        assert!(
+            mean_us > 17.0 && mean_us < 24.0,
+            "mean service {mean_us} us"
+        );
     }
 }

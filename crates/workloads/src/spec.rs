@@ -102,14 +102,38 @@ impl WorkloadSpec {
             },
             network_rtt: SimDuration::from_micros(117),
             operating_points: vec![
-                OperatingPoint { label: "4K", rate_per_sec: 4_000.0 },
-                OperatingPoint { label: "10K", rate_per_sec: 10_000.0 },
-                OperatingPoint { label: "25K", rate_per_sec: 25_000.0 },
-                OperatingPoint { label: "50K", rate_per_sec: 50_000.0 },
-                OperatingPoint { label: "100K", rate_per_sec: 100_000.0 },
-                OperatingPoint { label: "200K", rate_per_sec: 200_000.0 },
-                OperatingPoint { label: "300K", rate_per_sec: 300_000.0 },
-                OperatingPoint { label: "400K", rate_per_sec: 400_000.0 },
+                OperatingPoint {
+                    label: "4K",
+                    rate_per_sec: 4_000.0,
+                },
+                OperatingPoint {
+                    label: "10K",
+                    rate_per_sec: 10_000.0,
+                },
+                OperatingPoint {
+                    label: "25K",
+                    rate_per_sec: 25_000.0,
+                },
+                OperatingPoint {
+                    label: "50K",
+                    rate_per_sec: 50_000.0,
+                },
+                OperatingPoint {
+                    label: "100K",
+                    rate_per_sec: 100_000.0,
+                },
+                OperatingPoint {
+                    label: "200K",
+                    rate_per_sec: 200_000.0,
+                },
+                OperatingPoint {
+                    label: "300K",
+                    rate_per_sec: 300_000.0,
+                },
+                OperatingPoint {
+                    label: "400K",
+                    rate_per_sec: 400_000.0,
+                },
             ],
         }
     }
@@ -139,8 +163,14 @@ impl WorkloadSpec {
             },
             network_rtt: SimDuration::from_micros(117),
             operating_points: vec![
-                OperatingPoint { label: "low", rate_per_sec: 8_000.0 },
-                OperatingPoint { label: "high", rate_per_sec: 16_000.0 },
+                OperatingPoint {
+                    label: "low",
+                    rate_per_sec: 8_000.0,
+                },
+                OperatingPoint {
+                    label: "high",
+                    rate_per_sec: 16_000.0,
+                },
             ],
         }
     }
@@ -164,9 +194,18 @@ impl WorkloadSpec {
             },
             network_rtt: SimDuration::from_micros(117),
             operating_points: vec![
-                OperatingPoint { label: "low", rate_per_sec: 800.0 },
-                OperatingPoint { label: "mid", rate_per_sec: 1_600.0 },
-                OperatingPoint { label: "high", rate_per_sec: 4_200.0 },
+                OperatingPoint {
+                    label: "low",
+                    rate_per_sec: 800.0,
+                },
+                OperatingPoint {
+                    label: "mid",
+                    rate_per_sec: 1_600.0,
+                },
+                OperatingPoint {
+                    label: "high",
+                    rate_per_sec: 4_200.0,
+                },
             ],
         }
     }

@@ -9,9 +9,13 @@
 
 use apc::prelude::*;
 
+/// A named workload constructor (specs own boxed distributions, so each run
+/// builds a fresh one).
+type NamedWorkload = (fn() -> WorkloadSpec, &'static str);
+
 fn main() {
     let duration = SimDuration::from_millis(400);
-    let workloads: Vec<(fn() -> WorkloadSpec, &str)> = vec![
+    let workloads: [NamedWorkload; 3] = [
         (WorkloadSpec::memcached_etc, "memcached"),
         (WorkloadSpec::mysql_oltp, "mysql"),
         (WorkloadSpec::kafka, "kafka"),
@@ -64,5 +68,8 @@ fn main() {
         budget.state_power(PackageCState::PC0Idle),
         budget.state_power(PackageCState::PC1A),
     );
-    println!("\nfully idle server: PC1A reduces SoC+DRAM power by {:.1}%", saving * 100.0);
+    println!(
+        "\nfully idle server: PC1A reduces SoC+DRAM power by {:.1}%",
+        saving * 100.0
+    );
 }

@@ -1,0 +1,54 @@
+//! Multi-server fleet sweep: runs the same workload over a fleet of
+//! independent servers per platform configuration and prints fleet-level
+//! aggregates — the scenario the single-server figures cannot show.
+//!
+//! ```text
+//! cargo run --release --example fleet_sweep
+//! ```
+
+use apc::prelude::*;
+use apc::server::fleet::Fleet;
+
+fn main() {
+    let servers = 8;
+    let rate = 20_000.0;
+    let duration = SimDuration::from_millis(100);
+
+    println!("fleet of {servers} servers, memcached ETC @ {rate:.0} QPS each\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "config", "total QPS", "power (W)", "mean lat", "worst p99", "PC1A res"
+    );
+
+    let mut baseline_power = None;
+    for config in [
+        ServerConfig::c_shallow(),
+        ServerConfig::c_deep(),
+        ServerConfig::c_pc1a(),
+    ] {
+        let name = config.platform.name;
+        let fleet = Fleet::homogeneous(
+            &config.with_duration(duration),
+            WorkloadSpec::memcached_etc,
+            rate,
+            servers,
+        );
+        let result = fleet.run();
+        let power = result.total_power_w();
+        let saving = baseline_power
+            .map(|base: f64| format!(" ({:+.1}%)", (1.0 - power / base) * -100.0))
+            .unwrap_or_default();
+        if baseline_power.is_none() {
+            baseline_power = Some(power);
+        }
+        println!(
+            "{:<10} {:>12.0} {:>9.1}{saving} {:>12} {:>12} {:>9.1}%",
+            name,
+            result.aggregate_throughput(),
+            power,
+            format!("{}", result.mean_latency()),
+            format!("{}", result.worst_p99()),
+            result.mean_pc1a_residency() * 100.0,
+        );
+    }
+}

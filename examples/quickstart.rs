@@ -23,10 +23,7 @@ fn main() {
         rate,
     );
 
-    let mut table = TextTable::new(
-        "Cshallow vs CPC1A",
-        &["metric", "Cshallow", "CPC1A"],
-    );
+    let mut table = TextTable::new("Cshallow vs CPC1A", &["metric", "Cshallow", "CPC1A"]);
     table.add_row(&[
         "SoC+DRAM power".into(),
         format!("{:.2} W", baseline.avg_total_power().as_f64()),

@@ -29,7 +29,11 @@ fn pc1a_saves_power_at_low_load_with_negligible_latency_impact() {
     assert!(impact < 0.01, "latency impact {impact}");
 
     // The APC configuration actually used PC1A.
-    assert!(apc.pc1a_transitions > 50, "transitions {}", apc.pc1a_transitions);
+    assert!(
+        apc.pc1a_transitions > 50,
+        "transitions {}",
+        apc.pc1a_transitions
+    );
     assert!(apc.pc1a_residency > 0.2, "residency {}", apc.pc1a_residency);
 }
 

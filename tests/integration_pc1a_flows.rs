@@ -83,7 +83,10 @@ fn exit_restores_full_operation() {
     apmu.on_core_active(&mut soc, done_at);
 
     assert!(soc.ios().iter().all(|l| l.state() == LinkPowerState::L0));
-    assert!(soc.memory().iter().all(|m| m.mode() == DramPowerMode::Active));
+    assert!(soc
+        .memory()
+        .iter()
+        .all(|m| m.mode() == DramPowerMode::Active));
     assert_eq!(soc.clm().state(), apc::soc::clm::ClmState::Operational);
     assert!(apmu.stats().pc1a_residency >= SimDuration::from_micros(100));
 }

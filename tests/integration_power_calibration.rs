@@ -2,8 +2,8 @@
 //! budgets must reproduce Table 1 and Sec. 5.4 of the paper, and the
 //! simulator's time-integrated power must agree with the closed-form budgets.
 
-use apc::prelude::*;
 use apc::power::budget::PackageStatePower;
+use apc::prelude::*;
 use apc::soc::cstate::PackageCState;
 
 #[test]
@@ -14,9 +14,21 @@ fn table1_levels_are_reproduced() {
     let pc1a = b.state_power(PackageCState::PC1A);
     let pc0 = b.pc0_power();
 
-    assert!((idle.total().as_f64() - 49.5).abs() < 0.5, "PC0idle {}", idle.total());
-    assert!((pc6.total().as_f64() - 12.5).abs() < 0.5, "PC6 {}", pc6.total());
-    assert!((pc1a.total().as_f64() - 29.1).abs() < 0.5, "PC1A {}", pc1a.total());
+    assert!(
+        (idle.total().as_f64() - 49.5).abs() < 0.5,
+        "PC0idle {}",
+        idle.total()
+    );
+    assert!(
+        (pc6.total().as_f64() - 12.5).abs() < 0.5,
+        "PC6 {}",
+        pc6.total()
+    );
+    assert!(
+        (pc1a.total().as_f64() - 29.1).abs() < 0.5,
+        "PC1A {}",
+        pc1a.total()
+    );
     assert!(pc0.total().as_f64() <= 92.5 && pc0.total().as_f64() > 85.0);
 }
 

@@ -16,10 +16,16 @@ fn run(spec: WorkloadSpec, rate: f64) -> RunResult {
 fn memcached_utilization_tracks_the_offered_load() {
     let low = run(WorkloadSpec::memcached_etc(), 25_000.0);
     let high = run(WorkloadSpec::memcached_etc(), 100_000.0);
-    assert!(low.cpu_utilization > 0.04 && low.cpu_utilization < 0.12,
-        "5% point measured {}", low.cpu_utilization);
-    assert!(high.cpu_utilization > 0.15 && high.cpu_utilization < 0.35,
-        "20% point measured {}", high.cpu_utilization);
+    assert!(
+        low.cpu_utilization > 0.04 && low.cpu_utilization < 0.12,
+        "5% point measured {}",
+        low.cpu_utilization
+    );
+    assert!(
+        high.cpu_utilization > 0.15 && high.cpu_utilization < 0.35,
+        "20% point measured {}",
+        high.cpu_utilization
+    );
     assert!(high.all_idle_fraction < low.all_idle_fraction);
 }
 
@@ -34,7 +40,11 @@ fn memcached_low_load_idle_periods_are_microsecond_scale() {
         "fraction in 20-200us {}",
         r.idle_periods_20_200us
     );
-    assert!(r.all_idle_fraction > 0.3, "all idle {}", r.all_idle_fraction);
+    assert!(
+        r.all_idle_fraction > 0.3,
+        "all idle {}",
+        r.all_idle_fraction
+    );
 }
 
 #[test]
@@ -43,8 +53,16 @@ fn mysql_operating_points_match_the_paper_loads() {
     let points = spec.operating_points.clone();
     let low = run(WorkloadSpec::mysql_oltp(), points[0].rate_per_sec);
     let high = run(WorkloadSpec::mysql_oltp(), points[2].rate_per_sec);
-    assert!((low.cpu_utilization - 0.08).abs() < 0.05, "low {}", low.cpu_utilization);
-    assert!((high.cpu_utilization - 0.42).abs() < 0.12, "high {}", high.cpu_utilization);
+    assert!(
+        (low.cpu_utilization - 0.08).abs() < 0.05,
+        "low {}",
+        low.cpu_utilization
+    );
+    assert!(
+        (high.cpu_utilization - 0.42).abs() < 0.12,
+        "high {}",
+        high.cpu_utilization
+    );
     // All-idle opportunity exists at every rate (paper: 20-37 %).
     assert!(low.all_idle_fraction > 0.15);
 }
@@ -57,7 +75,11 @@ fn kafka_shows_all_idle_opportunity_at_both_loads() {
     let high = run(WorkloadSpec::kafka(), points[1].rate_per_sec);
     assert!(low.all_idle_fraction > high.all_idle_fraction);
     assert!(low.all_idle_fraction > 0.2, "low {}", low.all_idle_fraction);
-    assert!(high.all_idle_fraction > 0.05, "high {}", high.all_idle_fraction);
+    assert!(
+        high.all_idle_fraction > 0.05,
+        "high {}",
+        high.all_idle_fraction
+    );
 }
 
 #[test]
