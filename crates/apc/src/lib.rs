@@ -27,6 +27,12 @@
 //! assert!(result.avg_soc_power.as_f64() > 10.0);
 //! ```
 
+// Compile and run the code examples in docs/ARCHITECTURE.md as doctests so
+// the architecture guide cannot drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/ARCHITECTURE.md")]
+pub struct ArchitectureGuide;
+
 pub use apc_analysis as analysis;
 pub use apc_core as core;
 pub use apc_pmu as pmu;
@@ -51,8 +57,11 @@ pub mod prelude {
     pub use apc_power::model::PowerModel;
     pub use apc_power::units::{Joules, Watts};
     pub use apc_server::config::ServerConfig;
-    pub use apc_server::fleet::{Fleet, FleetResult};
+    pub use apc_server::fleet::{Fleet, FleetMember, FleetResult};
     pub use apc_server::result::RunResult;
+    pub use apc_server::scenario::{
+        MemberGroup, Scenario, ScenarioResult, TrafficPattern, WorkloadKind,
+    };
     pub use apc_server::sim::{run_experiment, ServerSimulation};
     pub use apc_sim::component::{EventHandler, Simulation, SimulationContext};
     pub use apc_sim::{SimDuration, SimTime};

@@ -7,13 +7,30 @@
 //! scenario sweeps that need fleet-level statistics (aggregate throughput,
 //! mean power, worst-case tail latency) rather than a single server's view.
 //!
-//! Determinism: member seeds are derived from the fleet seed with the same
-//! label-fork scheme components use ([`apc_sim::rng::SimRng::fork`]), so a
-//! fleet is exactly reproducible run-to-run while its members remain
-//! pairwise independent.
+//! # Parallelism
+//!
+//! Members are pairwise independent (no simulated cross-server traffic and
+//! no shared RNG state), so [`Fleet::run`] fans them out over a pool of OS
+//! threads pulling from a shared work queue. Results are written back into
+//! member-order slots, which makes a parallel run **bit-identical** to
+//! [`Fleet::run_sequential`] for the same members: thread scheduling can
+//! change only *when* a member executes, never what it computes or where its
+//! result lands. Use [`Fleet::with_parallelism`] to pin the worker count
+//! (`1` forces the sequential path).
+//!
+//! # Determinism
+//!
+//! Member seeds are derived from the fleet seed with the canonical
+//! label-fork scheme (see [`apc_sim::rng::SimRng::fork`]) under labels
+//! `"server 0"`, `"server 1"`, …, so a fleet is exactly reproducible
+//! run-to-run while its members remain pairwise independent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use apc_sim::rng::SimRng;
 use apc_sim::SimDuration;
+use apc_workloads::arrival::ArrivalProcess;
 use apc_workloads::loadgen::LoadGenerator;
 use apc_workloads::spec::WorkloadSpec;
 
@@ -28,14 +45,61 @@ pub struct FleetMember {
     pub config: ServerConfig,
     /// The workload it serves.
     pub spec: WorkloadSpec,
-    /// Offered request rate (requests per second).
+    /// Nominal offered request rate (requests per second): the rate the
+    /// spec's default arrival process runs at, and the `offered_rate`
+    /// recorded in the member's [`RunResult`]. When an arrival override is
+    /// installed, set this to the pattern's long-run average over the run
+    /// (as [`crate::scenario`] does) — the override itself only knows its
+    /// schedule, not the run horizon.
     pub rate_per_sec: f64,
+    /// Optional arrival-process override. `None` uses the spec's default
+    /// stationary process at [`FleetMember::rate_per_sec`]; scenarios install
+    /// time-varying processes here (see [`crate::scenario`]).
+    pub arrivals: Option<Box<dyn ArrivalProcess>>,
 }
 
-/// A set of independent server simulations run back-to-back.
+impl FleetMember {
+    /// A member serving `spec` at a constant offered rate.
+    #[must_use]
+    pub fn new(config: ServerConfig, spec: WorkloadSpec, rate_per_sec: f64) -> Self {
+        FleetMember {
+            config,
+            spec,
+            rate_per_sec,
+            arrivals: None,
+        }
+    }
+
+    /// Replaces the member's arrival process (e.g. with a time-varying one).
+    ///
+    /// [`FleetMember::rate_per_sec`] is left untouched: it stays the nominal
+    /// rate recorded in results, which for a non-repeating schedule (whose
+    /// tail rate holds beyond the schedule's end) the process itself cannot
+    /// compute.
+    #[must_use]
+    pub fn with_arrival_process(mut self, arrivals: Box<dyn ArrivalProcess>) -> Self {
+        self.arrivals = Some(arrivals);
+        self
+    }
+
+    /// Runs this member's simulation to completion.
+    fn run(self) -> RunResult {
+        let seed = self.config.seed;
+        let loadgen = match self.arrivals {
+            Some(arrivals) => {
+                LoadGenerator::with_arrival_process(self.spec, arrivals, self.rate_per_sec, seed)
+            }
+            None => LoadGenerator::new(self.spec, self.rate_per_sec, seed),
+        };
+        ServerSimulation::new(self.config, loadgen).run()
+    }
+}
+
+/// A set of independent server simulations run as one experiment.
 #[derive(Debug, Default)]
 pub struct Fleet {
     members: Vec<FleetMember>,
+    parallelism: Option<usize>,
 }
 
 impl Fleet {
@@ -46,7 +110,8 @@ impl Fleet {
     }
 
     /// A fleet of `n` servers sharing one configuration and workload but
-    /// running under distinct, deterministically derived seeds.
+    /// running under distinct, deterministically derived seeds (see the
+    /// [module docs](self) for the derivation scheme).
     ///
     /// `spec_fn` builds one [`WorkloadSpec`] per member (specs own boxed
     /// distributions and cannot be cloned).
@@ -57,22 +122,44 @@ impl Fleet {
         rate_per_sec: f64,
         n: usize,
     ) -> Self {
-        let root = SimRng::from_seed(config.seed);
         let mut fleet = Fleet::new();
         for i in 0..n {
-            let seed = root.fork(&format!("server {i}")).seed();
-            fleet.push(FleetMember {
-                config: config.clone().with_seed(seed),
-                spec: spec_fn(),
+            fleet.push(FleetMember::new(
+                config.clone().with_seed(Fleet::member_seed(config.seed, i)),
+                spec_fn(),
                 rate_per_sec,
-            });
+            ));
         }
         fleet
+    }
+
+    /// The canonical seed of fleet member `index` under root seed
+    /// `root_seed`: the root forked by label `"server {index}"` (see
+    /// [`SimRng::fork`] for the full derivation scheme). Both
+    /// [`Fleet::homogeneous`] and the scenario builder derive member seeds
+    /// through this single function, so fleets built either way agree.
+    #[must_use]
+    pub fn member_seed(root_seed: u64, index: usize) -> u64 {
+        SimRng::from_seed(root_seed)
+            .fork(&format!("server {index}"))
+            .seed()
     }
 
     /// Adds one member to the fleet.
     pub fn push(&mut self, member: FleetMember) -> &mut Self {
         self.members.push(member);
+        self
+    }
+
+    /// Pins the number of worker threads [`Fleet::run`] may use.
+    ///
+    /// `1` forces the sequential path; values are clamped to at least 1.
+    /// Without this, `run` sizes the pool to the host's available
+    /// parallelism. The result is bit-identical either way — the knob only
+    /// trades wall-clock time against CPU occupancy.
+    #[must_use]
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers.max(1));
         self
     }
 
@@ -88,24 +175,82 @@ impl Fleet {
         self.members.is_empty()
     }
 
-    /// Runs every member to completion and aggregates the results.
+    /// The worker count [`Fleet::run`] will use.
+    fn effective_parallelism(&self) -> usize {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        self.parallelism
+            .unwrap_or_else(auto)
+            .min(self.members.len().max(1))
+    }
+
+    /// Runs every member to completion — in parallel when the host and the
+    /// [`Fleet::with_parallelism`] knob allow it — and aggregates the
+    /// results. Member order in the [`FleetResult`] always matches insertion
+    /// order, and the outcome is bit-identical to
+    /// [`Fleet::run_sequential`].
     #[must_use]
     pub fn run(self) -> FleetResult {
-        let runs: Vec<RunResult> = self
+        let workers = self.effective_parallelism();
+        if workers <= 1 {
+            return self.run_sequential();
+        }
+
+        // Work queue: members wait in `Mutex<Option<_>>` slots so any worker
+        // can claim ownership of job `i`; results land in slot `i`, keeping
+        // the output ordering independent of thread scheduling.
+        let jobs: Vec<Mutex<Option<FleetMember>>> = self
             .members
             .into_iter()
-            .map(|m| {
-                let seed = m.config.seed;
-                let loadgen = LoadGenerator::new(m.spec, m.rate_per_sec, seed);
-                ServerSimulation::new(m.config, loadgen).run()
+            .map(|m| Mutex::new(Some(m)))
+            .collect();
+        let results: Vec<Mutex<Option<RunResult>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let member = job
+                        .lock()
+                        .expect("fleet job slot poisoned")
+                        .take()
+                        .expect("fleet job claimed twice");
+                    let result = member.run();
+                    *results[i].lock().expect("fleet result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        let runs = results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("fleet result slot poisoned")
+                    .expect("fleet worker exited without storing a result")
             })
             .collect();
+        FleetResult { runs }
+    }
+
+    /// Runs every member back-to-back on the calling thread.
+    #[must_use]
+    pub fn run_sequential(self) -> FleetResult {
+        let runs: Vec<RunResult> = self.members.into_iter().map(FleetMember::run).collect();
         FleetResult { runs }
     }
 }
 
 /// The aggregated outcome of a fleet run.
-#[derive(Debug, Clone)]
+///
+/// Equality is exact per-member equality (see [`RunResult`]'s `PartialEq`
+/// note); a parallel and a sequential run of the same fleet compare equal.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetResult {
     /// Per-server results, in member order.
     pub runs: Vec<RunResult>,
@@ -198,5 +343,31 @@ impl FleetResult {
             return 0.0;
         }
         1.0 - self.total_power_w() / base
+    }
+}
+
+/// One line per server (config, workload, throughput, power, p99), then the
+/// fleet totals — the format the scenario tables embed.
+impl std::fmt::Display for FleetResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, r) in self.runs.iter().enumerate() {
+            writeln!(
+                f,
+                "server {i:>3}: {:<9} {:<10} {:>10.0} rps {:>7.1} W p99 {}",
+                r.config_name,
+                r.workload,
+                r.throughput(),
+                r.avg_total_power().as_f64(),
+                r.latency.p99,
+            )?;
+        }
+        write!(
+            f,
+            "fleet     : {} servers {:>10.0} rps {:>7.1} W worst p99 {}",
+            self.servers(),
+            self.aggregate_throughput(),
+            self.total_power_w(),
+            self.worst_p99(),
+        )
     }
 }

@@ -14,7 +14,10 @@
 //! * [`sim`] — the thin [`sim::ServerSimulation`] driver wiring the
 //!   components together, and the [`sim::run_experiment`] entry point;
 //! * [`fleet`] — the [`fleet::Fleet`] runner executing many independent
-//!   server instances and aggregating their results;
+//!   server instances in parallel and aggregating their results;
+//! * [`scenario`] — declarative [`scenario::Scenario`] specs plus a library
+//!   of named fleet experiments (diurnal, flash crowd, heterogeneous,
+//!   low-load sweep);
 //! * [`result`] — [`result::RunResult`] with derived metrics.
 //!
 //! # Example
@@ -30,13 +33,17 @@
 //! assert!(result.avg_soc_power.as_f64() > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod components;
 pub mod config;
 pub mod fleet;
 pub mod result;
+pub mod scenario;
 pub mod sim;
 
 pub use config::ServerConfig;
-pub use fleet::{Fleet, FleetResult};
+pub use fleet::{Fleet, FleetMember, FleetResult};
 pub use result::RunResult;
+pub use scenario::{MemberGroup, Scenario, ScenarioResult, TrafficPattern, WorkloadKind};
 pub use sim::{run_experiment, ServerSimulation};

@@ -7,7 +7,12 @@ use apc_telemetry::latency::LatencySummary;
 
 /// Everything a run produces; the analysis crate and the benches reduce this
 /// into the paper's tables and figures.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every recorded metric exactly (no float tolerance):
+/// two results compare equal only when the underlying simulations were
+/// bit-identical, which is what the parallel-vs-sequential fleet tests
+/// assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Platform configuration name (`Cshallow`, `Cdeep`, `CPC1A`).
     pub config_name: &'static str,

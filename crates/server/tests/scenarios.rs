@@ -1,0 +1,75 @@
+//! Scenario-library smoke tests: every named scenario must run under every
+//! platform configuration and produce finite, plausible fleet statistics.
+
+use apc_server::config::ServerConfig;
+use apc_server::scenario::Scenario;
+use apc_sim::SimDuration;
+
+/// A short window that still sees thousands of requests per member at the
+/// library's rates.
+const SMOKE_WINDOW: SimDuration = SimDuration::from_millis(20);
+
+#[test]
+fn every_scenario_yields_finite_stats_under_every_platform() {
+    let configs = [
+        ServerConfig::c_shallow(),
+        ServerConfig::c_deep(),
+        ServerConfig::c_pc1a(),
+    ];
+    for scenario in Scenario::library() {
+        let scenario = scenario.with_duration(SMOKE_WINDOW);
+        for base in &configs {
+            let result = scenario.run(base);
+            let label = format!("{} under {}", result.scenario, result.config_name);
+            assert_eq!(result.servers, scenario.servers(), "{label}");
+            assert_eq!(result.fleet.servers(), scenario.servers(), "{label}");
+            assert!(result.fleet.total_completed_requests() > 0, "{label}");
+            let throughput = result.fleet.aggregate_throughput();
+            assert!(throughput.is_finite() && throughput > 0.0, "{label}");
+            let power = result.fleet.total_power_w();
+            assert!(power.is_finite() && power > 0.0, "{label}");
+            let mean = result.fleet.mean_latency();
+            assert!(
+                mean > SimDuration::ZERO && mean < SimDuration::from_secs(1),
+                "{label}: mean latency {mean}"
+            );
+            assert!(result.fleet.worst_p99() >= mean, "{label}");
+            let residency = result.fleet.mean_pc1a_residency();
+            assert!((0.0..=1.0).contains(&residency), "{label}");
+            // The summary row renders without panicking and names both axes.
+            let row = format!("{result}");
+            assert!(row.contains(result.scenario), "{row}");
+            assert!(row.contains(result.config_name), "{row}");
+        }
+    }
+}
+
+#[test]
+fn pc1a_only_helps_where_it_should() {
+    // Fleet-level sanity of the paper's headline: under the low-load sweep,
+    // CPC1A draws less fleet power than Cshallow and actually uses PC1A.
+    let scenario = Scenario::low_load_sweep().with_duration(SMOKE_WINDOW);
+    let shallow = scenario.run(&ServerConfig::c_shallow());
+    let pc1a = scenario.run(&ServerConfig::c_pc1a());
+    assert!(shallow.fleet.mean_pc1a_residency() == 0.0);
+    assert!(pc1a.fleet.mean_pc1a_residency() > 0.05);
+    assert!(
+        pc1a.fleet.power_saving_vs(&shallow.fleet) > 0.0,
+        "PC1A saving {:.3}",
+        pc1a.fleet.power_saving_vs(&shallow.fleet)
+    );
+}
+
+#[test]
+fn library_names_are_unique_and_descriptive() {
+    let library = Scenario::library();
+    assert!(library.len() >= 4);
+    let mut names: Vec<&str> = library.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), library.len(), "duplicate scenario names");
+    for scenario in &library {
+        assert!(!scenario.description.is_empty());
+        assert!(scenario.servers() > 0);
+    }
+}

@@ -36,6 +36,8 @@
 //! assert_eq!(t, SimTime::from_micros(10));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod component;
 pub mod dist;
 pub mod engine;

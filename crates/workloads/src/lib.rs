@@ -5,7 +5,8 @@
 //! OS background noise that bounds full-system idleness.
 //!
 //! * [`request`] — request/class types;
-//! * [`arrival`] — Poisson and bursty (MMPP) arrival processes;
+//! * [`arrival`] — stationary (Poisson, MMPP) and time-varying
+//!   (piecewise-rate, sinusoidal) arrival processes;
 //! * [`spec`] — per-service specifications, operating points and the
 //!   background-noise model;
 //! * [`loadgen`] — the open-loop load generator.
@@ -22,11 +23,17 @@
 //! assert!(first.arrival > SimTime::ZERO);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arrival;
 pub mod loadgen;
 pub mod request;
 pub mod spec;
 
+pub use arrival::{
+    ArrivalProcess, MmppArrivals, PiecewiseRateArrivals, PoissonArrivals, RateSegment,
+    SinusoidArrivals,
+};
 pub use loadgen::LoadGenerator;
 pub use request::{Request, RequestClass, RequestId};
 pub use spec::{BackgroundNoise, OperatingPoint, WorkloadSpec};

@@ -26,10 +26,36 @@ pub struct LoadGenerator {
 
 impl LoadGenerator {
     /// Creates a generator for `spec` at the given request rate, seeded
-    /// deterministically.
+    /// deterministically, using the spec's default (stationary) arrival
+    /// process.
     #[must_use]
     pub fn new(spec: WorkloadSpec, rate_per_sec: f64, seed: u64) -> Self {
         let arrivals = spec.arrival_process(rate_per_sec);
+        LoadGenerator::with_arrival_process(spec, arrivals, rate_per_sec, seed)
+    }
+
+    /// Creates a generator driving `spec` with an explicit arrival process.
+    ///
+    /// This is the entry point for scenario-driven time-varying traffic
+    /// ([`crate::arrival::PiecewiseRateArrivals`],
+    /// [`crate::arrival::SinusoidArrivals`]). `rate_per_sec` is the nominal
+    /// rate reported by [`LoadGenerator::rate_per_sec`] (and recorded in run
+    /// results); pass the process's long-run average over the intended run —
+    /// for repeating schedules that is simply
+    /// [`ArrivalProcess::rate_per_sec`].
+    ///
+    /// Randomness is seeded exactly as in [`LoadGenerator::new`], but note
+    /// that arrival gaps and service times interleave on one `"loadgen"`
+    /// stream and different processes consume different numbers of draws
+    /// per gap, so swapping the process shifts subsequent service-time
+    /// draws as well.
+    #[must_use]
+    pub fn with_arrival_process(
+        spec: WorkloadSpec,
+        arrivals: Box<dyn ArrivalProcess>,
+        rate_per_sec: f64,
+        seed: u64,
+    ) -> Self {
         let mut rng = SimRng::from_seed(seed).fork("loadgen");
         let mut gen = LoadGenerator {
             spec,

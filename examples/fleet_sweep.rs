@@ -1,6 +1,8 @@
 //! Multi-server fleet sweep: runs the same workload over a fleet of
 //! independent servers per platform configuration and prints fleet-level
 //! aggregates — the scenario the single-server figures cannot show.
+//! Members execute in parallel on all available cores (`Fleet::run`);
+//! see `scenario_matrix` for the declarative scenario-library variant.
 //!
 //! ```text
 //! cargo run --release --example fleet_sweep

@@ -1,0 +1,65 @@
+//! Scenario matrix: runs every scenario in the library under the three
+//! platform configurations and prints fleet-level comparison tables — the
+//! fleet-scale counterpart of the paper's single-server figures.
+//!
+//! ```text
+//! cargo run --release --example scenario_matrix
+//! ```
+//!
+//! Fleets execute on all available cores ([`Fleet::run`] parallelises
+//! members over a worker pool with bit-identical results), so the full
+//! matrix completes in seconds.
+
+use apc::prelude::*;
+
+fn main() {
+    let duration = SimDuration::from_millis(100);
+    let configs = [
+        ServerConfig::c_shallow(),
+        ServerConfig::c_deep(),
+        ServerConfig::c_pc1a(),
+    ];
+
+    for scenario in Scenario::library() {
+        let scenario = scenario.with_duration(duration);
+        println!(
+            "\n### {} — {} ({} servers, {} window)",
+            scenario.name,
+            scenario.description,
+            scenario.servers(),
+            scenario.duration,
+        );
+
+        let mut table = TextTable::new(
+            &format!("scenario {}", scenario.name),
+            &[
+                "config",
+                "rps",
+                "power",
+                "vs Cshallow",
+                "mean lat",
+                "worst p99",
+                "PC1A res",
+            ],
+        );
+        let mut baseline_power: Option<f64> = None;
+        for base in &configs {
+            let result = scenario.run(base);
+            let power = result.fleet.total_power_w();
+            let delta = baseline_power
+                .map(|b| format!("{:+.1}%", (power / b - 1.0) * 100.0))
+                .unwrap_or_else(|| "--".to_owned());
+            baseline_power = baseline_power.or(Some(power));
+            table.add_row(&[
+                result.config_name.to_owned(),
+                format!("{:.0}", result.fleet.aggregate_throughput()),
+                format!("{:.1} W", power),
+                delta,
+                format!("{}", result.fleet.mean_latency()),
+                format!("{}", result.fleet.worst_p99()),
+                format!("{:.1}%", result.fleet.mean_pc1a_residency() * 100.0),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}
