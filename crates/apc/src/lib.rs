@@ -56,11 +56,16 @@ pub mod prelude {
     pub use apc_power::budget::PackageStatePower;
     pub use apc_power::model::PowerModel;
     pub use apc_power::units::{Joules, Watts};
+    pub use apc_server::balancer::{RoutingPolicy, RoutingPolicyKind};
+    pub use apc_server::cluster::{
+        run_cluster_experiment, ClusterFleet, ClusterMember, ClusterResult, ClusterSimulation,
+    };
     pub use apc_server::config::ServerConfig;
     pub use apc_server::fleet::{Fleet, FleetMember, FleetResult};
+    pub use apc_server::node::ServerNode;
     pub use apc_server::result::RunResult;
     pub use apc_server::scenario::{
-        MemberGroup, Scenario, ScenarioResult, TrafficPattern, WorkloadKind,
+        ClusterScenario, MemberGroup, Scenario, ScenarioResult, TrafficPattern, WorkloadKind,
     };
     pub use apc_server::sim::{run_experiment, ServerSimulation};
     pub use apc_sim::component::{EventHandler, Simulation, SimulationContext};

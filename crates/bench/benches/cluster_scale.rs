@@ -1,0 +1,53 @@
+//! Cluster-simulation scaling: wall-clock cost per simulated second as the
+//! node count grows (1 / 4 / 8 nodes in one event loop).
+//!
+//! The cluster layer multiplies the event rate of the host event loop by
+//! roughly the node count (every node contributes arrivals, wakes and
+//! background timers to one queue, and per-node observers run on every
+//! dispatch). This bench pins the baseline that future event-queue and
+//! observer-dispatch optimisations will be measured against.
+//!
+//! ```text
+//! cargo bench -p apc-bench --bench cluster_scale
+//! ```
+
+#![allow(missing_docs)] // criterion's macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use apc_server::balancer::RoutingPolicyKind;
+use apc_server::cluster::run_cluster_experiment;
+use apc_server::config::ServerConfig;
+use apc_sim::SimDuration;
+use apc_workloads::spec::WorkloadSpec;
+
+/// Simulated window per iteration; wall-clock per simulated second is the
+/// measured time divided by this.
+const WINDOW: SimDuration = SimDuration::from_millis(20);
+/// Offered load per node, so the work per node is constant across scales.
+const RATE_PER_NODE: f64 = 20_000.0;
+
+fn bench_cluster_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_scale");
+    group.sample_size(10);
+    for nodes in [1usize, 4, 8] {
+        group.bench_function(&format!("cpc1a_jsq_{nodes}_nodes_20ms"), |b| {
+            b.iter(|| {
+                let base = ServerConfig::c_pc1a().with_duration(WINDOW);
+                run_cluster_experiment(
+                    &base,
+                    nodes,
+                    RoutingPolicyKind::JoinShortestQueue,
+                    WorkloadSpec::memcached_etc(),
+                    RATE_PER_NODE * nodes as f64,
+                )
+                .nodes
+                .total_completed_requests()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_scale);
+criterion_main!(benches);

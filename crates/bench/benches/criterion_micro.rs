@@ -8,12 +8,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use apc_core::apmu::{Apmu, WakeCause, WakeOutcome};
+use apc_server::components::state::SchedState;
+use apc_server::components::WorkItem;
 use apc_server::config::ServerConfig;
 use apc_server::sim::run_experiment;
 use apc_sim::engine::EventQueue;
 use apc_sim::{SimDuration, SimTime};
 use apc_soc::cstate::CoreCState;
-use apc_soc::topology::SkxSoc;
+use apc_soc::topology::{SkxSoc, SocConfig};
 use apc_workloads::spec::WorkloadSpec;
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -83,6 +85,32 @@ fn bench_apmu_cycle(c: &mut Criterion) {
     });
 }
 
+fn bench_scheduler_free_core(c: &mut Criterion) {
+    // The dispatch scheduler's per-assignment core lookup, in the worst case
+    // for the O(cores) scan the free-core bitset replaced: a 48-core node
+    // where only the highest core is free. At 10+ cores the bitset's single
+    // `trailing_zeros` wins by an order of magnitude; the gap grows linearly
+    // with the core count.
+    let cores = 48;
+    let mut soc = SocConfig::small_test(cores).build();
+    let mut sched = SchedState::new(cores);
+    for i in 0..cores - 1 {
+        sched.running[i] = Some(WorkItem::Background {
+            work: SimDuration::from_micros(10),
+        });
+    }
+    soc.cores_mut()
+        .core_mut(apc_soc::core::CoreId(cores - 1))
+        .force_state(SimTime::ZERO, CoreCState::CC1);
+    sched.mark_free(cores - 1);
+    c.bench_function("dispatch_lookup_scan_48_cores", |b| {
+        b.iter(|| (0..cores).find(|&i| sched.core_is_free(&soc, i)));
+    });
+    c.bench_function("dispatch_lookup_bitset_48_cores", |b| {
+        b.iter(|| sched.free_cores.lowest());
+    });
+}
+
 fn bench_full_system(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_system");
     group.sample_size(10);
@@ -100,6 +128,7 @@ criterion_group!(
     bench_event_queue,
     bench_event_queue_cancel,
     bench_apmu_cycle,
+    bench_scheduler_free_core,
     bench_full_system
 );
 criterion_main!(benches);

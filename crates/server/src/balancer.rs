@@ -1,0 +1,245 @@
+//! Cluster load balancer: the cluster-level arrival stream and pluggable
+//! request-routing policies.
+//!
+//! The [`Balancer`] is one more component in a
+//! [`crate::cluster::ClusterSimulation`]'s event loop: it owns the cluster's
+//! [`LoadGenerator`], draws each arriving request, asks its
+//! [`RoutingPolicy`] for a destination node and deposits the request into
+//! that node's NIC coalescing buffer — exactly the hand-off a standalone
+//! server's NIC performs for itself, so routing is the *only* behavioural
+//! difference between a node in a cluster and a standalone server.
+//!
+//! Routing is what shapes the per-server idle-period distribution the
+//! paper's PC1A savings depend on: spreading policies
+//! ([`Random`], [`RoundRobin`], [`JoinShortestQueue`]) keep every node
+//! lightly loaded with many short idle periods, while the packing
+//! [`PowerAware`] policy concentrates load on already-awake nodes so the
+//! rest accumulate long, deep package-idle residency.
+
+use apc_sim::component::{EventHandler, SimulationContext};
+use apc_sim::rng::SimRng;
+use apc_workloads::loadgen::LoadGenerator;
+
+use crate::components::nic::buffer_request;
+use crate::components::state::{ClusterState, HasNode};
+use crate::components::ServerEvent;
+
+/// A request-routing policy: picks the destination node for each arriving
+/// request.
+///
+/// Policies are *pluggable*: implement this trait to study custom routing.
+/// The built-ins cover the classic datacenter spectrum ([`Random`],
+/// [`RoundRobin`], [`JoinShortestQueue`]) plus the power-aware packing
+/// policy ([`PowerAware`]) the paper's idle-period analysis motivates.
+pub trait RoutingPolicy: Send {
+    /// The policy's name as it appears in results and tables.
+    fn name(&self) -> &'static str;
+
+    /// Picks the node for the next request.
+    ///
+    /// `cluster` exposes every node's queues, core activity and package
+    /// state; `rng` is the balancer's private deterministic stream (so
+    /// randomised policies never perturb node streams). Must return an index
+    /// `< cluster.node_count()`.
+    fn route(&mut self, cluster: &ClusterState, rng: &mut SimRng) -> usize;
+}
+
+/// Uniform random routing: each request goes to a node drawn uniformly from
+/// the balancer's deterministic stream. The classic stateless baseline; it
+/// spreads load (and wakes) evenly, fragmenting every node's idle time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Random;
+
+impl RoutingPolicy for Random {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn route(&mut self, cluster: &ClusterState, rng: &mut SimRng) -> usize {
+        (rng.next_u64() % cluster.node_count() as u64) as usize
+    }
+}
+
+/// Round-robin routing: node `i`, then `i + 1`, … wrapping around.
+/// Deterministic spreading with perfectly even request counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, cluster: &ClusterState, _rng: &mut SimRng) -> usize {
+        let target = self.next % cluster.node_count();
+        self.next = target + 1;
+        target
+    }
+}
+
+/// Join-shortest-queue: each request goes to the node with the fewest
+/// outstanding client requests (buffered, queued, reserved or in service;
+/// see [`crate::components::state::ServerState::outstanding_requests`]),
+/// lowest index winning ties. The latency-optimal greedy policy — and the
+/// most aggressive idle-period fragmenter, since it preferentially wakes the
+/// most-idle node.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JoinShortestQueue;
+
+impl RoutingPolicy for JoinShortestQueue {
+    fn name(&self) -> &'static str {
+        "join-shortest-queue"
+    }
+
+    fn route(&mut self, cluster: &ClusterState, _rng: &mut SimRng) -> usize {
+        min_by_key_index(cluster, |node| node.outstanding_requests())
+    }
+}
+
+/// Power-aware packing: prefer nodes that are already awake (some core
+/// active), taking the least-loaded among them; only when every node is
+/// package-idle does the request wake one (the least-loaded, lowest index —
+/// in practice node 0). Load concentrates on few warm nodes, so the
+/// remaining nodes see long unbroken idle periods and deep PC1A/PC6
+/// residency — the routing-layer complement to the paper's fast package
+/// C-state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PowerAware;
+
+impl RoutingPolicy for PowerAware {
+    fn name(&self) -> &'static str {
+        "power-aware"
+    }
+
+    fn route(&mut self, cluster: &ClusterState, _rng: &mut SimRng) -> usize {
+        let awake = (0..cluster.node_count())
+            .filter(|&i| cluster.node(i).any_core_active())
+            .min_by_key(|&i| (cluster.node(i).outstanding_requests(), i));
+        awake.unwrap_or_else(|| min_by_key_index(cluster, |n| n.outstanding_requests()))
+    }
+}
+
+/// Lowest node index minimising `key` (ties broken by index).
+fn min_by_key_index<K: Ord>(
+    cluster: &ClusterState,
+    key: impl Fn(&crate::components::state::ServerState) -> K,
+) -> usize {
+    (0..cluster.node_count())
+        .min_by_key(|&i| (key(cluster.node(i)), i))
+        .expect("cluster has at least one node")
+}
+
+/// The built-in routing policies as a plain enum, for declarative cluster
+/// specs that must be `Send + Clone` (scenario tables, parallel cluster
+/// fleets). [`RoutingPolicyKind::build`] materialises the boxed policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicyKind {
+    /// [`Random`].
+    Random,
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`JoinShortestQueue`].
+    JoinShortestQueue,
+    /// [`PowerAware`].
+    PowerAware,
+}
+
+impl RoutingPolicyKind {
+    /// Every built-in policy, in presentation order.
+    #[must_use]
+    pub fn all() -> [RoutingPolicyKind; 4] {
+        [
+            RoutingPolicyKind::Random,
+            RoutingPolicyKind::RoundRobin,
+            RoutingPolicyKind::JoinShortestQueue,
+            RoutingPolicyKind::PowerAware,
+        ]
+    }
+
+    /// Builds the policy instance.
+    #[must_use]
+    pub fn build(self) -> Box<dyn RoutingPolicy> {
+        match self {
+            RoutingPolicyKind::Random => Box::new(Random),
+            RoutingPolicyKind::RoundRobin => Box::new(RoundRobin::default()),
+            RoutingPolicyKind::JoinShortestQueue => Box::new(JoinShortestQueue),
+            RoutingPolicyKind::PowerAware => Box::new(PowerAware),
+        }
+    }
+
+    /// The policy's display name (same as the built instance's
+    /// [`RoutingPolicy::name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingPolicyKind::Random => "random",
+            RoutingPolicyKind::RoundRobin => "round-robin",
+            RoutingPolicyKind::JoinShortestQueue => "join-shortest-queue",
+            RoutingPolicyKind::PowerAware => "power-aware",
+        }
+    }
+}
+
+/// The load-balancer component: generates the cluster arrival stream and
+/// routes each request to a node's NIC.
+///
+/// The hand-off (buffer deposit + coalesced-interrupt arming) reuses the
+/// exact code path of a standalone server's NIC, in the same emission order,
+/// so a 1-node cluster replays a standalone server's event sequence
+/// bit-for-bit whatever the policy (there is only one node to route to).
+pub struct Balancer {
+    loadgen: LoadGenerator,
+    policy: Box<dyn RoutingPolicy>,
+    routed: Vec<u64>,
+}
+
+impl Balancer {
+    /// Creates the balancer for a cluster of `nodes` nodes, driving
+    /// `loadgen` (the cluster-level arrival stream) through `policy`.
+    #[must_use]
+    pub fn new(loadgen: LoadGenerator, policy: Box<dyn RoutingPolicy>, nodes: usize) -> Self {
+        Balancer {
+            loadgen,
+            policy,
+            routed: vec![0; nodes],
+        }
+    }
+
+    /// The routing policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Requests routed to each node so far.
+    #[must_use]
+    pub fn routed(&self) -> &[u64] {
+        &self.routed
+    }
+}
+
+impl EventHandler<ServerEvent, ClusterState> for Balancer {
+    fn on_event(
+        &mut self,
+        event: ServerEvent,
+        shared: &mut ClusterState,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        debug_assert!(matches!(event, ServerEvent::ClusterArrival));
+        let _ = event;
+        let request = self.loadgen.next_request();
+        let next_arrival = self.loadgen.peek_next_arrival();
+        let target = self.policy.route(shared, ctx.rng());
+        debug_assert!(
+            target < shared.node_count(),
+            "policy {} routed to node {target} of {}",
+            self.policy.name(),
+            shared.node_count()
+        );
+        self.routed[target] += 1;
+        buffer_request(shared.node_mut(target), ctx, request);
+        ctx.emit_self_at(next_arrival, ServerEvent::ClusterArrival);
+    }
+}

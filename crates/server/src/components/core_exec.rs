@@ -10,18 +10,19 @@ use apc_soc::core::CoreId;
 use apc_soc::cstate::CoreCState;
 use apc_workloads::spec::BackgroundNoise;
 
-use super::state::ServerState;
+use super::state::{HasNode, ServerState};
 use super::{ServerEvent, WorkItem};
 
 /// One simulated core: executes assigned work, runs the OS idle governor
 /// when the run queue drains, and fires the periodic background (OS) timer.
 ///
-/// Each instance is registered as its own component (`core 0` … `core N-1`)
-/// with a private RNG stream for noise sampling and a private transition
-/// epoch: the epoch is bumped whenever a new C-state transition starts, so
-/// completion events from superseded transitions are recognised as stale and
-/// dropped.
+/// Each instance is registered as its own component (`core 0` … `core N-1`,
+/// name-prefixed per node in a cluster) with a private RNG stream for noise
+/// sampling and a private transition epoch: the epoch is bumped whenever a
+/// new C-state transition starts, so completion events from superseded
+/// transitions are recognised as stale and dropped.
 pub struct CoreExec {
+    node: usize,
     index: usize,
     governor: IdleGovernor,
     noise: Option<BackgroundNoise>,
@@ -29,10 +30,16 @@ pub struct CoreExec {
 }
 
 impl CoreExec {
-    /// Creates the execution component for core `index`.
+    /// Creates the execution component for core `index` of node `node`.
     #[must_use]
-    pub fn new(index: usize, governor: IdleGovernor, noise: Option<BackgroundNoise>) -> Self {
+    pub fn new(
+        node: usize,
+        index: usize,
+        governor: IdleGovernor,
+        noise: Option<BackgroundNoise>,
+    ) -> Self {
         CoreExec {
+            node,
             index,
             governor,
             noise,
@@ -184,6 +191,9 @@ impl CoreExec {
             .core_mut(self.core_id())
             .begin_idle(now, target);
         shared.telemetry.idle_tracker.core_idle(now);
+        // The core can accept new work from this point on (an assignment
+        // would abort the idle entry): tell the scheduler's free-core index.
+        shared.sched.mark_free(self.index);
         self.epoch += 1;
         ctx.emit_self(entry, ServerEvent::IdleEntered { epoch: self.epoch });
     }
@@ -223,20 +233,21 @@ impl CoreExec {
     }
 }
 
-impl EventHandler<ServerEvent, ServerState> for CoreExec {
+impl<S: HasNode> EventHandler<ServerEvent, S> for CoreExec {
     fn on_event(
         &mut self,
         event: ServerEvent,
-        shared: &mut ServerState,
+        shared: &mut S,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
+        let node = shared.node_mut(self.node);
         match event {
-            ServerEvent::BackgroundTick => self.on_background_tick(shared, ctx),
-            ServerEvent::InitIdle => self.begin_idle(ctx.now(), shared, ctx),
-            ServerEvent::BeginWake => self.on_begin_wake(shared, ctx),
-            ServerEvent::WakeDone { epoch } => self.on_wake_done(epoch, shared, ctx),
-            ServerEvent::ServiceDone => self.on_service_done(shared, ctx),
-            ServerEvent::IdleEntered { epoch } => self.on_idle_entered(epoch, shared, ctx),
+            ServerEvent::BackgroundTick => self.on_background_tick(node, ctx),
+            ServerEvent::InitIdle => self.begin_idle(ctx.now(), node, ctx),
+            ServerEvent::BeginWake => self.on_begin_wake(node, ctx),
+            ServerEvent::WakeDone { epoch } => self.on_wake_done(epoch, node, ctx),
+            ServerEvent::ServiceDone => self.on_service_done(node, ctx),
+            ServerEvent::IdleEntered { epoch } => self.on_idle_entered(epoch, node, ctx),
             other => unreachable!("core {} received unexpected event {other:?}", self.index),
         }
     }

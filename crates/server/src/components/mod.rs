@@ -18,6 +18,14 @@
 //! zero-delay events model same-instant hardware signals (e.g. the NIC
 //! raising `PackageWake` before the scheduler's `Dispatch` runs) and the
 //! FIFO tie-break of the event queue keeps those exchanges deterministic.
+//!
+//! Every component is *node-scoped*: it carries the index of the server node
+//! it belongs to and reaches that node's [`state::ServerState`] through the
+//! [`state::HasNode`] view of the simulation's shared state. The same
+//! component code therefore runs unchanged whether the shared state is one
+//! `ServerState` (a standalone [`crate::sim::ServerSimulation`]) or a
+//! [`state::ClusterState`] hosting N complete servers plus a load balancer
+//! in one event loop ([`crate::cluster::ClusterSimulation`]).
 
 pub mod core_exec;
 pub mod nic;
@@ -37,6 +45,10 @@ use apc_workloads::request::Request;
 pub enum ServerEvent {
     /// The next client request arrives at the NIC. (→ `nic`)
     ClientArrival,
+    /// The next client request arrives at the cluster's load balancer, which
+    /// routes it to a node. Never fires in a single-server simulation.
+    /// (→ `balancer`)
+    ClusterArrival,
     /// The NIC raises an interrupt delivering the coalesced batch. (→ `nic`)
     NicDeliver,
     /// A core's periodic background (OS) wakeup fires. (→ `core <i>`)

@@ -1,8 +1,6 @@
 //! NIC / arrival component: client request generation and interrupt
 //! coalescing.
 
-use std::collections::VecDeque;
-
 use apc_core::apmu::WakeCause;
 use apc_pmu::config::PackagePolicy;
 use apc_sim::component::{EventHandler, SimulationContext};
@@ -10,42 +8,81 @@ use apc_soc::io::IoId;
 use apc_workloads::loadgen::LoadGenerator;
 use apc_workloads::request::Request;
 
-use super::state::ServerState;
+use super::state::{HasNode, ServerState};
 use super::ServerEvent;
 
-/// Generates the client arrival process and models the NIC's interrupt
-/// coalescing window: requests arriving within the window of the first
-/// buffered request are delivered together by one interrupt, which both
-/// batches work and lengthens package idle periods.
+/// Buffers `request` in `node`'s NIC and, if no interrupt is armed yet,
+/// schedules the coalesced `NicDeliver` at the end of the coalescing window.
+///
+/// This is the single entry point for requests reaching a server, shared by
+/// the two arrival paths: the standalone NIC's own arrival handler and the
+/// cluster balancer depositing a routed request. Keeping the emission order
+/// identical on both paths (buffer push, then `NicDeliver` arming) is what
+/// makes a 1-node cluster bit-identical to a standalone server.
+pub(crate) fn buffer_request(
+    node: &mut ServerState,
+    ctx: &mut SimulationContext<'_, ServerEvent>,
+    request: Request,
+) {
+    node.nic.buffer.push_back(request);
+    if !node.nic.deliver_pending {
+        node.nic.deliver_pending = true;
+        ctx.emit(
+            node.addrs.nic,
+            node.config.nic_coalescing,
+            ServerEvent::NicDeliver,
+        );
+    }
+}
+
+/// Models the NIC's interrupt coalescing window: requests arriving within
+/// the window of the first buffered request are delivered together by one
+/// interrupt, which both batches work and lengthens package idle periods.
+///
+/// In a standalone server the NIC also *generates* the client arrival
+/// process from its own [`LoadGenerator`]. In a cluster the arrival process
+/// lives in the balancer (one stream for the whole cluster) and the NIC only
+/// drains the buffer the balancer deposits into — build it with
+/// [`NicArrival::cluster_fed`] and no generator.
 pub struct NicArrival {
-    loadgen: LoadGenerator,
-    buffer: VecDeque<Request>,
-    deliver_pending: bool,
+    node: usize,
+    loadgen: Option<LoadGenerator>,
 }
 
 impl NicArrival {
-    /// Creates the NIC component driving `loadgen`.
+    /// Creates the NIC component for node `node`, driving its own `loadgen`
+    /// (the standalone single-server arrival path).
     #[must_use]
-    pub fn new(loadgen: LoadGenerator) -> Self {
+    pub fn new(node: usize, loadgen: LoadGenerator) -> Self {
         NicArrival {
-            loadgen,
-            buffer: VecDeque::new(),
-            deliver_pending: false,
+            node,
+            loadgen: Some(loadgen),
+        }
+    }
+
+    /// Creates the NIC component for node `node` of a cluster: requests are
+    /// deposited by the load balancer, the NIC only handles delivery.
+    #[must_use]
+    pub fn cluster_fed(node: usize) -> Self {
+        NicArrival {
+            node,
+            loadgen: None,
         }
     }
 
     fn on_client_arrival(
         &mut self,
-        shared: &ServerState,
+        shared: &mut ServerState,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
-        let request = self.loadgen.next_request();
-        self.buffer.push_back(request);
-        if !self.deliver_pending {
-            self.deliver_pending = true;
-            ctx.emit_self(shared.config.nic_coalescing, ServerEvent::NicDeliver);
-        }
-        ctx.emit_self_at(self.loadgen.peek_next_arrival(), ServerEvent::ClientArrival);
+        let loadgen = self
+            .loadgen
+            .as_mut()
+            .expect("a cluster-fed NIC never receives ClientArrival");
+        let request = loadgen.next_request();
+        let next_arrival = loadgen.peek_next_arrival();
+        buffer_request(shared, ctx, request);
+        ctx.emit_self_at(next_arrival, ServerEvent::ClientArrival);
     }
 
     fn on_nic_deliver(
@@ -53,8 +90,8 @@ impl NicArrival {
         shared: &mut ServerState,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
-        self.deliver_pending = false;
-        if self.buffer.is_empty() {
+        shared.nic.deliver_pending = false;
+        if shared.nic.buffer.is_empty() {
             return;
         }
         // The NIC's PCIe link sees traffic: it leaves L0s and the package, if
@@ -73,23 +110,24 @@ impl NicArrival {
                 },
             );
         }
-        while let Some(r) = self.buffer.pop_front() {
+        while let Some(r) = shared.nic.buffer.pop_front() {
             shared.sched.client_queue.push_back(r);
         }
         ctx.emit_now(shared.addrs.scheduler, ServerEvent::Dispatch);
     }
 }
 
-impl EventHandler<ServerEvent, ServerState> for NicArrival {
+impl<S: HasNode> EventHandler<ServerEvent, S> for NicArrival {
     fn on_event(
         &mut self,
         event: ServerEvent,
-        shared: &mut ServerState,
+        shared: &mut S,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
+        let node = shared.node_mut(self.node);
         match event {
-            ServerEvent::ClientArrival => self.on_client_arrival(shared, ctx),
-            ServerEvent::NicDeliver => self.on_nic_deliver(shared, ctx),
+            ServerEvent::ClientArrival => self.on_client_arrival(node, ctx),
+            ServerEvent::NicDeliver => self.on_nic_deliver(node, ctx),
             other => unreachable!("NIC received unexpected event {other:?}"),
         }
     }

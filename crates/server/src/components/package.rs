@@ -8,7 +8,7 @@ use apc_sim::component::{EventHandler, SimulationContext};
 use apc_sim::SimTime;
 use apc_soc::cstate::PackageCState;
 
-use super::state::ServerState;
+use super::state::{HasNode, ServerState};
 use super::ServerEvent;
 
 /// Drives the package C-state machinery for the configured policy:
@@ -25,6 +25,7 @@ use super::ServerEvent;
 /// hook tracks package C-state residency after *every* simulation event,
 /// mirroring how the monolithic loop sampled the state after each handler.
 pub struct PackageController {
+    node: usize,
     policy: PackagePolicy,
     apmu: Apmu,
     gpmu: Gpmu,
@@ -34,15 +35,17 @@ pub struct PackageController {
 }
 
 impl PackageController {
-    /// Creates the controller for the platform policy in `config`.
+    /// Creates the controller for node `node` under the platform policy in
+    /// its config.
     #[must_use]
-    pub fn new(policy: PackagePolicy, package_limit: PackageCState) -> Self {
+    pub fn new(node: usize, policy: PackagePolicy, package_limit: PackageCState) -> Self {
         let apmu = if policy == PackagePolicy::Pc1a {
             Apmu::new()
         } else {
             Apmu::disabled()
         };
         PackageController {
+            node,
             policy,
             apmu,
             gpmu: Gpmu::new(package_limit),
@@ -209,13 +212,14 @@ impl PackageController {
     }
 }
 
-impl EventHandler<ServerEvent, ServerState> for PackageController {
+impl<S: HasNode> EventHandler<ServerEvent, S> for PackageController {
     fn on_event(
         &mut self,
         event: ServerEvent,
-        shared: &mut ServerState,
+        shared: &mut S,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
+        let shared = shared.node_mut(self.node);
         match event {
             ServerEvent::PackageWake { cause } => self.on_package_wake(cause, shared, ctx),
             ServerEvent::CoreActive => self.on_core_active(shared, ctx),
@@ -234,9 +238,11 @@ impl EventHandler<ServerEvent, ServerState> for PackageController {
         true
     }
 
-    fn on_post_dispatch(&mut self, now: SimTime, shared: &mut ServerState) {
+    fn on_post_dispatch(&mut self, now: SimTime, shared: &mut S) {
         // Track the package C-state after every event, whatever component
-        // handled it: state may change through core activity alone.
+        // handled it (on any node): state may change through core activity
+        // alone.
+        let shared = shared.node_mut(self.node);
         let any_active = shared.any_core_active();
         let state = match self.policy {
             PackagePolicy::Pc1a => self.apmu.package_state(any_active),

@@ -3,7 +3,7 @@
 use apc_sim::component::{EventHandler, SimulationContext};
 use apc_sim::{SimDuration, SimTime};
 
-use super::state::ServerState;
+use super::state::HasNode;
 use super::ServerEvent;
 
 /// Attributes elapsed simulated time to the power state that held during it.
@@ -16,31 +16,34 @@ use super::ServerEvent;
 /// When a sampling interval is configured the component also records an
 /// instantaneous SoC power trace, useful for debugging entry/exit flows.
 pub struct PowerTelemetry {
+    node: usize,
     sample_every: Option<SimDuration>,
 }
 
 impl PowerTelemetry {
-    /// Creates the accounting component; `sample_every` enables the optional
-    /// instantaneous power trace. A zero interval is treated as disabled —
-    /// re-arming a sample at the current timestamp would stall the event
-    /// loop at one instant forever.
+    /// Creates the accounting component for node `node`; `sample_every`
+    /// enables the optional instantaneous power trace. A zero interval is
+    /// treated as disabled — re-arming a sample at the current timestamp
+    /// would stall the event loop at one instant forever.
     #[must_use]
-    pub fn new(sample_every: Option<SimDuration>) -> Self {
+    pub fn new(node: usize, sample_every: Option<SimDuration>) -> Self {
         PowerTelemetry {
+            node,
             sample_every: sample_every.filter(|d| !d.is_zero()),
         }
     }
 }
 
-impl EventHandler<ServerEvent, ServerState> for PowerTelemetry {
+impl<S: HasNode> EventHandler<ServerEvent, S> for PowerTelemetry {
     fn on_event(
         &mut self,
         event: ServerEvent,
-        shared: &mut ServerState,
+        shared: &mut S,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
         debug_assert!(matches!(event, ServerEvent::PowerSample));
         let _ = event;
+        let shared = shared.node_mut(self.node);
         let Some(every) = self.sample_every else {
             return;
         };
@@ -58,7 +61,7 @@ impl EventHandler<ServerEvent, ServerState> for PowerTelemetry {
         true
     }
 
-    fn on_pre_dispatch(&mut self, now: SimTime, shared: &mut ServerState) {
-        shared.account_power(now);
+    fn on_pre_dispatch(&mut self, now: SimTime, shared: &mut S) {
+        shared.node_mut(self.node).account_power(now);
     }
 }

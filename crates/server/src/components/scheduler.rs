@@ -2,7 +2,7 @@
 
 use apc_sim::component::{EventHandler, SimulationContext};
 
-use super::state::ServerState;
+use super::state::{HasNode, ServerState};
 use super::{ServerEvent, WorkItem};
 
 /// Places queued work onto free cores whenever a `Dispatch` event fires.
@@ -11,35 +11,51 @@ use super::{ServerEvent, WorkItem};
 /// flow is in flight, work stays queued and the package controller emits a
 /// fresh `Dispatch` the moment the uncore is back. Background work is pinned
 /// to its core; client requests go to any free core.
-pub struct Scheduler;
+///
+/// Free cores are found through [`super::state::FreeCoreSet`], so each
+/// assignment costs O(1) instead of an O(cores) scan per queued request;
+/// assignment order (lowest free core index first) is identical to the scan
+/// it replaced, keeping results bit-identical.
+pub struct Scheduler {
+    node: usize,
+}
 
-impl EventHandler<ServerEvent, ServerState> for Scheduler {
+impl Scheduler {
+    /// Creates the dispatch scheduler for node `node`.
+    #[must_use]
+    pub fn new(node: usize) -> Self {
+        Scheduler { node }
+    }
+}
+
+impl<S: HasNode> EventHandler<ServerEvent, S> for Scheduler {
     fn on_event(
         &mut self,
         event: ServerEvent,
-        shared: &mut ServerState,
+        shared: &mut S,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
         debug_assert!(matches!(event, ServerEvent::Dispatch));
         let _ = event;
+        let shared = shared.node_mut(self.node);
         if !shared.uncore.available {
             // Every path that makes the uncore available again (ApmuExitDone,
             // GpmuExitDone) emits a Dispatch, so there is nothing to re-arm.
             return;
         }
-        let cores = shared.sched.running.len();
-        // Background work is pinned to its core.
-        for core in 0..cores {
-            if shared.sched.core_is_free(&shared.soc, core)
-                && !shared.sched.background[core].is_empty()
-            {
+        // Background work is pinned to its core: walk the free cores in
+        // index order, assigning where pinned work waits.
+        let mut from = 0;
+        while let Some(core) = shared.sched.free_cores.lowest_at_or_after(from) {
+            if !shared.sched.background[core].is_empty() {
                 let work = shared.sched.background[core].pop_front().expect("checked");
                 self.assign(shared, ctx, core, WorkItem::Background { work });
             }
+            from = core + 1;
         }
-        // Client requests go to any free core.
+        // Client requests go to any free core (lowest index first).
         while !shared.sched.client_queue.is_empty() {
-            let Some(core) = (0..cores).find(|&c| shared.sched.core_is_free(&shared.soc, c)) else {
+            let Some(core) = shared.sched.free_cores.lowest() else {
                 break;
             };
             let request = shared.sched.client_queue.pop_front().expect("checked");
@@ -59,8 +75,13 @@ impl Scheduler {
         core: usize,
         item: WorkItem,
     ) {
+        debug_assert!(
+            shared.sched.core_is_free(&shared.soc, core),
+            "free-core set out of sync: core {core} is not free"
+        );
         let dst = shared.addrs.cores[core];
         shared.sched.pending_start[core] = Some(item);
+        shared.sched.mark_occupied(core);
         ctx.emit_now(dst, ServerEvent::BeginWake);
     }
 }

@@ -21,6 +21,100 @@ use apc_workloads::request::Request;
 use super::{Addresses, WorkItem};
 use crate::config::ServerConfig;
 
+/// A bitset over core indices tracking which cores can currently accept
+/// work, maintained so the dispatch scheduler finds the lowest free core in
+/// O(1) (one `trailing_zeros` per 64 cores) instead of scanning every core
+/// per queued request.
+///
+/// The set is kept in lock-step with [`SchedState::core_is_free`]: a core's
+/// bit is set exactly when it has no running work, no pending assignment and
+/// is not busy executing. Only two places change that predicate — the
+/// scheduler reserving a core ([`SchedState::mark_occupied`]) and the core
+/// starting its idle entry ([`SchedState::mark_free`]) — so the mirror stays
+/// exact (and is `debug_assert`ed at every dispatch).
+#[derive(Debug, Clone)]
+pub struct FreeCoreSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FreeCoreSet {
+    /// A set of `cores` cores, all occupied (cores boot busy until their
+    /// initial idle entry).
+    #[must_use]
+    pub fn new_all_occupied(cores: usize) -> Self {
+        FreeCoreSet {
+            words: vec![0; cores.div_ceil(64)],
+            len: cores,
+        }
+    }
+
+    /// Marks `core` free.
+    pub fn insert(&mut self, core: usize) {
+        debug_assert!(core < self.len);
+        self.words[core / 64] |= 1u64 << (core % 64);
+    }
+
+    /// Marks `core` occupied.
+    pub fn remove(&mut self, core: usize) {
+        debug_assert!(core < self.len);
+        self.words[core / 64] &= !(1u64 << (core % 64));
+    }
+
+    /// `true` when `core` is marked free.
+    #[must_use]
+    pub fn contains(&self, core: usize) -> bool {
+        debug_assert!(core < self.len);
+        self.words[core / 64] & (1u64 << (core % 64)) != 0
+    }
+
+    /// The lowest free core index, if any.
+    #[must_use]
+    pub fn lowest(&self) -> Option<usize> {
+        self.lowest_at_or_after(0)
+    }
+
+    /// The lowest free core index `>= from`, if any. Used to iterate free
+    /// cores in index order while marking them occupied along the way.
+    #[must_use]
+    pub fn lowest_at_or_after(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut word_idx = from / 64;
+        let mut word = self.words[word_idx] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                let core = word_idx * 64 + word.trailing_zeros() as usize;
+                return (core < self.len).then_some(core);
+            }
+            word_idx += 1;
+            if word_idx >= self.words.len() {
+                return None;
+            }
+            word = self.words[word_idx];
+        }
+    }
+
+    /// Number of free cores.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// NIC-side arrival buffering: requests waiting for the coalesced interrupt
+/// delivery. Shared (rather than private to the NIC component) because in a
+/// cluster the load balancer deposits routed requests into a node's buffer,
+/// while the node's own NIC component drains it on `NicDeliver`.
+#[derive(Debug, Default)]
+pub struct NicState {
+    /// Requests buffered during the current coalescing window.
+    pub buffer: VecDeque<Request>,
+    /// `true` while a `NicDeliver` interrupt is armed for the buffer.
+    pub deliver_pending: bool,
+}
+
 /// Work-queue and per-core occupancy state, read by the scheduler and
 /// mutated by the NIC, the cores and the scheduler.
 #[derive(Debug)]
@@ -36,6 +130,9 @@ pub struct SchedState {
     /// When each core's next background timer fires (the OS knows its own
     /// timers, so the idle governor uses this as the predicted idle bound).
     pub next_background_at: Vec<SimTime>,
+    /// Cores currently able to accept work; the scheduler's O(1) dispatch
+    /// index (see [`FreeCoreSet`]).
+    pub free_cores: FreeCoreSet,
 }
 
 impl SchedState {
@@ -48,7 +145,18 @@ impl SchedState {
             running: vec![None; cores],
             pending_start: vec![None; cores],
             next_background_at: vec![SimTime::MAX; cores],
+            free_cores: FreeCoreSet::new_all_occupied(cores),
         }
+    }
+
+    /// Records that `core` began its idle entry and can accept work again.
+    pub fn mark_free(&mut self, core: usize) {
+        self.free_cores.insert(core);
+    }
+
+    /// Records that `core` was reserved for an assignment.
+    pub fn mark_occupied(&mut self, core: usize) {
+        self.free_cores.remove(core);
     }
 
     /// `true` when `core` can accept new work.
@@ -128,7 +236,11 @@ impl TelemetryState {
     }
 }
 
-/// The state shared by every component of one server simulation.
+/// The state of one complete simulated server: every component of the node
+/// reads and writes this, addressed through a [`HasNode`] view of the host
+/// simulation's shared state. A standalone single-server simulation shares
+/// exactly one `ServerState`; a cluster shares a [`ClusterState`] holding
+/// one per node.
 #[derive(Debug)]
 pub struct ServerState {
     /// The run configuration (platform, power model, NIC, noise).
@@ -137,6 +249,8 @@ pub struct ServerState {
     pub addrs: Addresses,
     /// The SoC structural model.
     pub soc: SkxSoc,
+    /// NIC arrival buffering (coalescing window).
+    pub nic: NicState,
     /// Work queues and per-core occupancy.
     pub sched: SchedState,
     /// Uncore availability, maintained by the package controller.
@@ -161,6 +275,7 @@ impl ServerState {
         ServerState {
             soc,
             addrs: Addresses::default(),
+            nic: NicState::default(),
             sched: SchedState::new(cores),
             uncore: UncoreStatus::default(),
             telemetry: TelemetryState::new(cores),
@@ -193,5 +308,186 @@ impl ServerState {
         self.telemetry.core_residency.finish(end);
         self.telemetry.package_residency.finish(end);
         self.telemetry.idle_tracker.finish(end);
+    }
+
+    /// Number of client requests currently outstanding at this node: buffered
+    /// in the NIC, queued for dispatch, reserved on a waking core or in
+    /// service. The join-shortest-queue routing policy's load signal.
+    #[must_use]
+    pub fn outstanding_requests(&self) -> usize {
+        let client = |w: &Option<WorkItem>| matches!(w, Some(WorkItem::Client(_)));
+        self.nic.buffer.len()
+            + self.sched.client_queue.len()
+            + self.sched.running.iter().filter(|w| client(w)).count()
+            + self
+                .sched
+                .pending_start
+                .iter()
+                .filter(|w| client(w))
+                .count()
+    }
+}
+
+/// Node-scoped access to the shared state of a simulation hosting one or
+/// more complete servers.
+///
+/// Every server component carries the index of the node it belongs to and
+/// reaches its node's [`ServerState`] through this trait, so the same
+/// component code runs unchanged inside a standalone
+/// [`crate::sim::ServerSimulation`] (where the shared type *is* the one
+/// `ServerState`) and inside a [`crate::cluster::ClusterSimulation`] (where
+/// the shared type is a [`ClusterState`] holding N of them).
+pub trait HasNode {
+    /// The state of node `index`.
+    fn node(&self, index: usize) -> &ServerState;
+    /// Mutable state of node `index`.
+    fn node_mut(&mut self, index: usize) -> &mut ServerState;
+    /// Number of nodes hosted by the simulation.
+    fn node_count(&self) -> usize;
+}
+
+/// The single-server case: the state is its own (only) node.
+impl HasNode for ServerState {
+    fn node(&self, index: usize) -> &ServerState {
+        debug_assert_eq!(index, 0, "single-server state has only node 0");
+        self
+    }
+
+    fn node_mut(&mut self, index: usize) -> &mut ServerState {
+        debug_assert_eq!(index, 0, "single-server state has only node 0");
+        self
+    }
+
+    fn node_count(&self) -> usize {
+        1
+    }
+}
+
+/// The state shared by every component of a cluster simulation: one complete
+/// [`ServerState`] per node, hosted in a single event loop.
+#[derive(Debug)]
+pub struct ClusterState {
+    /// Per-node server state, indexed by node number.
+    pub nodes: Vec<ServerState>,
+}
+
+impl ClusterState {
+    /// Builds the cluster state for one [`ServerConfig`] per node.
+    #[must_use]
+    pub fn new(configs: Vec<ServerConfig>) -> Self {
+        ClusterState {
+            nodes: configs.into_iter().map(ServerState::new).collect(),
+        }
+    }
+}
+
+impl HasNode for ClusterState {
+    fn node(&self, index: usize) -> &ServerState {
+        &self.nodes[index]
+    }
+
+    fn node_mut(&mut self, index: usize) -> &mut ServerState {
+        &mut self.nodes[index]
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+
+    #[test]
+    fn free_core_set_basic_operations() {
+        let mut set = FreeCoreSet::new_all_occupied(10);
+        assert_eq!(set.lowest(), None);
+        assert_eq!(set.count(), 0);
+        set.insert(7);
+        set.insert(3);
+        assert!(set.contains(3) && set.contains(7) && !set.contains(4));
+        assert_eq!(set.lowest(), Some(3));
+        assert_eq!(set.lowest_at_or_after(4), Some(7));
+        assert_eq!(set.lowest_at_or_after(8), None);
+        set.remove(3);
+        assert_eq!(set.lowest(), Some(7));
+        assert_eq!(set.count(), 1);
+    }
+
+    #[test]
+    fn free_core_set_crosses_word_boundaries() {
+        let mut set = FreeCoreSet::new_all_occupied(130);
+        set.insert(129);
+        set.insert(64);
+        assert_eq!(set.lowest(), Some(64));
+        assert_eq!(set.lowest_at_or_after(65), Some(129));
+        assert_eq!(set.lowest_at_or_after(130), None);
+        set.remove(64);
+        assert_eq!(set.lowest(), Some(129));
+        assert_eq!(set.count(), 1);
+    }
+
+    #[test]
+    fn free_core_set_mirrors_core_is_free() {
+        // Freeing/occupying through the SchedState helpers keeps the bitset
+        // in lock-step with the slow predicate it replaces.
+        let config = ServerConfig::c_pc1a();
+        let mut state = ServerState::new(config);
+        let cores = state.soc.cores().len();
+        assert!(cores >= 10, "reference topology has 10+ cores");
+        // Boot state: every core busy, nothing free either way.
+        for c in 0..cores {
+            assert!(!state.sched.core_is_free(&state.soc, c));
+            assert!(!state.sched.free_cores.contains(c));
+        }
+        // Idle the even cores the way the core component does.
+        let now = apc_sim::SimTime::from_micros(1);
+        for c in (0..cores).step_by(2) {
+            state
+                .soc
+                .cores_mut()
+                .core_mut(apc_soc::core::CoreId(c))
+                .begin_idle(now, apc_soc::cstate::CoreCState::CC1);
+            state.sched.mark_free(c);
+        }
+        for c in 0..cores {
+            assert_eq!(
+                state.sched.core_is_free(&state.soc, c),
+                state.sched.free_cores.contains(c),
+                "bitset out of sync for core {c}"
+            );
+        }
+        assert_eq!(state.sched.free_cores.lowest(), Some(0));
+        // Reserving a core (scheduler assign path) re-occupies it.
+        state.sched.pending_start[0] = Some(WorkItem::Background {
+            work: SimDuration::from_micros(5),
+        });
+        state.sched.mark_occupied(0);
+        assert!(!state.sched.core_is_free(&state.soc, 0));
+        assert_eq!(state.sched.free_cores.lowest(), Some(2));
+    }
+
+    #[test]
+    fn outstanding_requests_counts_every_stage() {
+        let mut state = ServerState::new(ServerConfig::c_pc1a());
+        assert_eq!(state.outstanding_requests(), 0);
+        let request = || apc_workloads::request::Request {
+            id: apc_workloads::request::RequestId(0),
+            arrival: apc_sim::SimTime::ZERO,
+            service: SimDuration::from_micros(10),
+            class: apc_workloads::request::RequestClass::KvGet,
+            memory_intensive: true,
+        };
+        state.nic.buffer.push_back(request());
+        state.sched.client_queue.push_back(request());
+        state.sched.running[0] = Some(WorkItem::Client(request()));
+        state.sched.pending_start[1] = Some(WorkItem::Client(request()));
+        // Background work never counts.
+        state.sched.running[2] = Some(WorkItem::Background {
+            work: SimDuration::from_micros(5),
+        });
+        assert_eq!(state.outstanding_requests(), 4);
     }
 }

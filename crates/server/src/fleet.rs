@@ -38,6 +38,65 @@ use crate::config::ServerConfig;
 use crate::result::RunResult;
 use crate::sim::ServerSimulation;
 
+/// Resolves the worker count for a pool over `jobs` jobs: an explicit
+/// [`Fleet::with_parallelism`]-style override, else the host's available
+/// parallelism, never more workers than jobs (and at least one). Shared by
+/// [`Fleet`] and [`crate::cluster::ClusterFleet`] so both runners follow one
+/// policy.
+pub(crate) fn effective_workers(parallelism: Option<usize>, jobs: usize) -> usize {
+    parallelism
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(jobs.max(1))
+}
+
+/// The deterministic worker pool both fleet runners share: `workers` OS
+/// threads claim jobs from an atomic cursor and write each result into the
+/// job-order slot, so the output is independent of thread scheduling —
+/// bit-identical to running `jobs.into_iter().map(run).collect()`.
+pub(crate) fn run_pool<T: Send, R: Send>(
+    jobs: Vec<T>,
+    workers: usize,
+    run: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    if workers <= 1 {
+        return jobs.into_iter().map(run).collect();
+    }
+    // Work queue: jobs wait in `Mutex<Option<_>>` slots so any worker can
+    // claim ownership of job `i`; results land in slot `i`.
+    let job_slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<R>>> = job_slots.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = job_slots.get(i) else { break };
+                let job = job
+                    .lock()
+                    .expect("pool job slot poisoned")
+                    .take()
+                    .expect("pool job claimed twice");
+                let result = run(job);
+                *results[i].lock().expect("pool result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool result slot poisoned")
+                .expect("pool worker exited without storing a result")
+        })
+        .collect()
+}
+
 /// One server instance within a fleet.
 #[derive(Debug)]
 pub struct FleetMember {
@@ -175,18 +234,6 @@ impl Fleet {
         self.members.is_empty()
     }
 
-    /// The worker count [`Fleet::run`] will use.
-    fn effective_parallelism(&self) -> usize {
-        let auto = || {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        };
-        self.parallelism
-            .unwrap_or_else(auto)
-            .min(self.members.len().max(1))
-    }
-
     /// Runs every member to completion — in parallel when the host and the
     /// [`Fleet::with_parallelism`] knob allow it — and aggregates the
     /// results. Member order in the [`FleetResult`] always matches insertion
@@ -194,48 +241,10 @@ impl Fleet {
     /// [`Fleet::run_sequential`].
     #[must_use]
     pub fn run(self) -> FleetResult {
-        let workers = self.effective_parallelism();
-        if workers <= 1 {
-            return self.run_sequential();
+        let workers = effective_workers(self.parallelism, self.members.len());
+        FleetResult {
+            runs: run_pool(self.members, workers, FleetMember::run),
         }
-
-        // Work queue: members wait in `Mutex<Option<_>>` slots so any worker
-        // can claim ownership of job `i`; results land in slot `i`, keeping
-        // the output ordering independent of thread scheduling.
-        let jobs: Vec<Mutex<Option<FleetMember>>> = self
-            .members
-            .into_iter()
-            .map(|m| Mutex::new(Some(m)))
-            .collect();
-        let results: Vec<Mutex<Option<RunResult>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let member = job
-                        .lock()
-                        .expect("fleet job slot poisoned")
-                        .take()
-                        .expect("fleet job claimed twice");
-                    let result = member.run();
-                    *results[i].lock().expect("fleet result slot poisoned") = Some(result);
-                });
-            }
-        });
-
-        let runs = results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("fleet result slot poisoned")
-                    .expect("fleet worker exited without storing a result")
-            })
-            .collect();
-        FleetResult { runs }
     }
 
     /// Runs every member back-to-back on the calling thread.

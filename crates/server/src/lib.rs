@@ -9,15 +9,26 @@
 //!   NIC coalescing, background noise);
 //! * [`components`] — the simulation decomposed into registered
 //!   [`apc_sim::component::EventHandler`] components (NIC/arrival, dispatch
-//!   scheduler, per-core execution, package controller, power/telemetry)
-//!   over a shared [`components::state::ServerState`];
-//! * [`sim`] — the thin [`sim::ServerSimulation`] driver wiring the
-//!   components together, and the [`sim::run_experiment`] entry point;
+//!   scheduler, per-core execution, package controller, power/telemetry),
+//!   each node-scoped through the [`components::state::HasNode`] view of
+//!   the shared state ([`components::state::ServerState`] for one server,
+//!   [`components::state::ClusterState`] for many);
+//! * [`node`] — the embeddable [`node::ServerNode`] builder registering one
+//!   complete server into an externally owned simulation;
+//! * [`sim`] — the thin 1-node [`sim::ServerSimulation`] driver, and the
+//!   [`sim::run_experiment`] entry point;
+//! * [`cluster`] — [`cluster::ClusterSimulation`]: N nodes plus a load
+//!   balancer in one event loop, with per-node and cluster-aggregate
+//!   results;
+//! * [`balancer`] — the cluster-level arrival stream and the pluggable
+//!   [`balancer::RoutingPolicy`] (random, round-robin, join-shortest-queue,
+//!   power-aware packing);
 //! * [`fleet`] — the [`fleet::Fleet`] runner executing many independent
 //!   server instances in parallel and aggregating their results;
 //! * [`scenario`] — declarative [`scenario::Scenario`] specs plus a library
 //!   of named fleet experiments (diurnal, flash crowd, heterogeneous,
-//!   low-load sweep);
+//!   low-load sweep) and cluster-routing scenarios
+//!   ([`scenario::ClusterScenario`]);
 //! * [`result`] — [`result::RunResult`] with derived metrics.
 //!
 //! # Example
@@ -35,15 +46,25 @@
 
 #![warn(missing_docs)]
 
+pub mod balancer;
+pub mod cluster;
 pub mod components;
 pub mod config;
 pub mod fleet;
+pub mod node;
 pub mod result;
 pub mod scenario;
 pub mod sim;
 
+pub use balancer::{RoutingPolicy, RoutingPolicyKind};
+pub use cluster::{
+    run_cluster_experiment, ClusterFleet, ClusterMember, ClusterResult, ClusterSimulation,
+};
 pub use config::ServerConfig;
 pub use fleet::{Fleet, FleetMember, FleetResult};
+pub use node::ServerNode;
 pub use result::RunResult;
-pub use scenario::{MemberGroup, Scenario, ScenarioResult, TrafficPattern, WorkloadKind};
+pub use scenario::{
+    ClusterScenario, MemberGroup, Scenario, ScenarioResult, TrafficPattern, WorkloadKind,
+};
 pub use sim::{run_experiment, ServerSimulation};

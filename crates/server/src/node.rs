@@ -1,0 +1,281 @@
+//! Embeddable server node: registers one complete server's components into
+//! an externally owned [`Simulation`].
+//!
+//! [`ServerNode`] is the builder both drivers share: a standalone
+//! [`crate::sim::ServerSimulation`] registers exactly one node over a
+//! [`ServerState`](crate::components::state::ServerState), a
+//! [`crate::cluster::ClusterSimulation`] registers N of
+//! them (plus a load balancer) over a
+//! [`crate::components::state::ClusterState`]. Registration, bootstrap
+//! scheduling and result extraction are identical in both cases, which is
+//! what makes a 1-node cluster bit-identical to a standalone server.
+//!
+//! # Determinism across embeddings
+//!
+//! Component registration names must be unique within a simulation, so
+//! cluster nodes register under prefixed names (`"node 1 nic"`, …). RNG
+//! streams, however, are derived from the **node's own seed** by the
+//! *unprefixed* label (`"nic"`, `"core 3"`, `"bootstrap"`) via
+//! [`Simulation::add_component_with_stream`] — a pure function of
+//! `(seed, label)` — so a node embedded anywhere draws exactly the streams a
+//! standalone server with the same seed would.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use apc_pmu::governor::IdleGovernor;
+use apc_sim::component::{ComponentId, Simulation};
+use apc_sim::rng::SimRng;
+use apc_sim::{SimDuration, SimTime};
+use apc_soc::cstate::{CoreCState, PackageCState};
+use apc_workloads::loadgen::LoadGenerator;
+
+use crate::components::core_exec::CoreExec;
+use crate::components::nic::NicArrival;
+use crate::components::package::PackageController;
+use crate::components::power::PowerTelemetry;
+use crate::components::scheduler::Scheduler;
+use crate::components::state::HasNode;
+use crate::components::{Addresses, ServerEvent};
+use crate::result::RunResult;
+
+/// Builder that registers one server node's components into an externally
+/// owned simulation. See the [module docs](self) for the naming/seeding
+/// scheme.
+pub struct ServerNode {
+    index: usize,
+    prefix: String,
+}
+
+/// Handles to one registered node: its peer addresses, the power component's
+/// id (for the sampling bootstrap) and the package controller (whose FSM
+/// statistics the run result needs).
+pub struct NodeHandles {
+    /// The node's index within the host simulation's shared state.
+    pub index: usize,
+    /// Component ids of the node's components.
+    pub addrs: Addresses,
+    /// The power/telemetry component's id.
+    pub power: ComponentId,
+    /// The node's package controller (APMU/GPMU stats live here).
+    pub package: Rc<RefCell<PackageController>>,
+}
+
+impl ServerNode {
+    /// A builder for node `index` of a multi-node simulation; components are
+    /// registered under `"node {index} "`-prefixed names.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        ServerNode {
+            index,
+            prefix: format!("node {index} "),
+        }
+    }
+
+    /// A builder for the only node of a single-server simulation; components
+    /// keep their historical unprefixed names (`"nic"`, `"core 0"`, …).
+    #[must_use]
+    pub fn standalone() -> Self {
+        ServerNode {
+            index: 0,
+            prefix: String::new(),
+        }
+    }
+
+    /// The node index this builder registers.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    fn name(&self, base: &str) -> String {
+        format!("{}{base}", self.prefix)
+    }
+
+    /// Registers the node's five component kinds (power, package, scheduler,
+    /// NIC, one executor per core) with `sim` and fills the node's
+    /// [`Addresses`] in the shared state.
+    ///
+    /// `loadgen` selects the arrival path: `Some` gives the node a
+    /// self-driving NIC (standalone server), `None` a cluster-fed NIC whose
+    /// requests are deposited by the balancer.
+    ///
+    /// The node's configuration is read from its [`ServerState`] in
+    /// `sim.shared()`, which must already hold a state for this index.
+    ///
+    /// [`ServerState`]: crate::components::state::ServerState
+    pub fn register<S: HasNode + 'static>(
+        &self,
+        sim: &mut Simulation<ServerEvent, S>,
+        loadgen: Option<LoadGenerator>,
+    ) -> NodeHandles {
+        let (seed, platform, noise, sample_every, cores) = {
+            let node = sim.shared().node(self.index);
+            (
+                node.config.seed,
+                node.config.platform.clone(),
+                node.config.noise.clone(),
+                node.config.power_sample_interval,
+                node.soc.cores().len(),
+            )
+        };
+        let streams = SimRng::from_seed(seed);
+
+        let power = sim.add_component_with_stream(
+            self.name("power"),
+            PowerTelemetry::new(self.index, sample_every),
+            streams.fork("power"),
+        );
+        let package = Rc::new(RefCell::new(PackageController::new(
+            self.index,
+            platform.package_policy,
+            platform.package_cstate_limit(),
+        )));
+        let package_id = sim.add_component_with_stream(
+            self.name("package"),
+            Rc::clone(&package),
+            streams.fork("package"),
+        );
+        let scheduler = sim.add_component_with_stream(
+            self.name("scheduler"),
+            Scheduler::new(self.index),
+            streams.fork("scheduler"),
+        );
+        let nic_handler = match loadgen {
+            Some(loadgen) => NicArrival::new(self.index, loadgen),
+            None => NicArrival::cluster_fed(self.index),
+        };
+        let nic = sim.add_component_with_stream(self.name("nic"), nic_handler, streams.fork("nic"));
+        let core_ids = (0..cores)
+            .map(|i| {
+                let governor = IdleGovernor::new(&platform);
+                sim.add_component_with_stream(
+                    self.name(&format!("core {i}")),
+                    CoreExec::new(self.index, i, governor, noise.clone()),
+                    streams.fork(&format!("core {i}")),
+                )
+            })
+            .collect();
+
+        let addrs = Addresses {
+            nic,
+            scheduler,
+            package: package_id,
+            cores: core_ids,
+        };
+        sim.shared_mut().node_mut(self.index).addrs = addrs.clone();
+        NodeHandles {
+            index: self.index,
+            addrs,
+            power,
+            package,
+        }
+    }
+
+    /// Schedules the node's bootstrap events: one background timer per core
+    /// (offsets drawn from the node-seed `"bootstrap"` stream so component
+    /// streams stay stable), an immediate idle entry for every booted core,
+    /// and the first power sample when tracing is enabled.
+    ///
+    /// The *arrival* bootstrap is the driver's job (the first
+    /// `ClientArrival` to a standalone NIC, or the first `ClusterArrival` to
+    /// the balancer) and must be scheduled **before** this call to keep the
+    /// historical same-timestamp event order.
+    pub fn bootstrap<S: HasNode>(
+        &self,
+        sim: &mut Simulation<ServerEvent, S>,
+        handles: &NodeHandles,
+    ) {
+        let (seed, noise, sample_every, cores) = {
+            let node = sim.shared().node(self.index);
+            (
+                node.config.seed,
+                node.config.noise.clone(),
+                node.config.power_sample_interval,
+                node.soc.cores().len(),
+            )
+        };
+        if let Some(noise) = noise {
+            let mut boot_rng = SimRng::from_seed(seed).fork("bootstrap");
+            for i in 0..cores {
+                let at = SimTime::ZERO + noise.sample_interval(&mut boot_rng);
+                sim.shared_mut()
+                    .node_mut(self.index)
+                    .sched
+                    .next_background_at[i] = at;
+                sim.schedule(handles.addrs.cores[i], at, ServerEvent::BackgroundTick);
+            }
+        }
+        for i in 0..cores {
+            sim.schedule(handles.addrs.cores[i], SimTime::ZERO, ServerEvent::InitIdle);
+        }
+        if sample_every.is_some() {
+            sim.schedule(handles.power, SimTime::ZERO, ServerEvent::PowerSample);
+        }
+    }
+}
+
+impl NodeHandles {
+    /// Closes the node's telemetry at `end` and reduces it into a
+    /// [`RunResult`] — the same reduction for a standalone server and for
+    /// every node of a cluster.
+    #[must_use]
+    pub fn collect_result(&self, shared: &mut impl HasNode, end: SimTime) -> RunResult {
+        let package = self.package.borrow();
+        let apmu_stats = package.apmu().stats();
+        let pc6_entries = package.gpmu().pc6_entries();
+        drop(package);
+
+        let state = shared.node_mut(self.index);
+        state.finish_telemetry(end);
+        let cores = state.soc.cores().len() as f64;
+        let util = state.telemetry.busy_core_time.as_secs_f64()
+            / (state.config.duration.as_secs_f64() * cores);
+        let cc1 = state
+            .telemetry
+            .core_residency
+            .average_fraction_in(CoreCState::CC1)
+            + state
+                .telemetry
+                .core_residency
+                .average_fraction_in(CoreCState::CC1E);
+        RunResult {
+            config_name: state.config.platform.name,
+            workload: state.workload_name,
+            offered_rate: state.offered_rate,
+            duration: state.config.duration,
+            completed_requests: state.telemetry.completed_requests,
+            latency: state.telemetry.latency.summary(),
+            avg_soc_power: state.telemetry.energy.average_soc_power(),
+            avg_dram_power: state.telemetry.energy.average_dram_power(),
+            cpu_utilization: util,
+            cc0_fraction: state
+                .telemetry
+                .core_residency
+                .average_fraction_in(CoreCState::CC0),
+            cc1_fraction: cc1,
+            cc6_fraction: state
+                .telemetry
+                .core_residency
+                .average_fraction_in(CoreCState::CC6),
+            all_idle_fraction: state.telemetry.idle_tracker.idle_fraction(),
+            pc1a_residency: state
+                .telemetry
+                .package_residency
+                .fraction_in(PackageCState::PC1A),
+            pc6_residency: state
+                .telemetry
+                .package_residency
+                .fraction_in(PackageCState::PC6),
+            pc1a_transitions: apmu_stats.pc1a_entries,
+            pc1a_aborted: apmu_stats.aborted_entries,
+            pc6_transitions: pc6_entries,
+            idle_periods: state.telemetry.idle_tracker.period_count(),
+            idle_periods_20_200us: state
+                .telemetry
+                .idle_tracker
+                .fraction_between(SimDuration::from_micros(20), SimDuration::from_micros(200)),
+            finished_at: end,
+        }
+    }
+}

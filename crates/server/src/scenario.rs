@@ -39,6 +39,8 @@ use apc_workloads::arrival::{
 };
 use apc_workloads::spec::WorkloadSpec;
 
+use crate::balancer::RoutingPolicyKind;
+use crate::cluster::{ClusterMember, ClusterResult};
 use crate::config::ServerConfig;
 use crate::fleet::{Fleet, FleetMember, FleetResult};
 
@@ -440,6 +442,157 @@ impl fmt::Display for ScenarioResult {
             self.fleet.worst_p99(),
             self.fleet.mean_pc1a_residency() * 100.0,
         )
+    }
+}
+
+/// A declarative cluster-routing experiment: an N-node cluster serving one
+/// workload at a cluster-aggregate rate, to be run under each routing policy
+/// × platform configuration of interest.
+///
+/// Like [`Scenario`], a `ClusterScenario` is platform- and policy-agnostic
+/// data: the same spec runs under `Cshallow`/`Cdeep`/`CPC1A` and under any
+/// [`RoutingPolicyKind`] by varying the arguments to [`ClusterScenario::run`]
+/// — exactly the two axes the cluster comparison tables sweep.
+///
+/// # Example
+///
+/// ```
+/// use apc_server::balancer::RoutingPolicyKind;
+/// use apc_server::config::ServerConfig;
+/// use apc_server::scenario::ClusterScenario;
+/// use apc_sim::SimDuration;
+///
+/// let scenario = ClusterScenario::eight_node_memcached()
+///     .with_duration(SimDuration::from_millis(20));
+/// let result = scenario.run(&ServerConfig::c_pc1a(), RoutingPolicyKind::PowerAware);
+/// assert_eq!(result.nodes.servers(), 8);
+/// assert_eq!(result.policy, "power-aware");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterScenario {
+    /// Short name used in tables.
+    pub name: &'static str,
+    /// One-line description of what the scenario exercises.
+    pub description: &'static str,
+    /// Number of server nodes in the cluster.
+    pub nodes: usize,
+    /// The workload of the cluster arrival stream.
+    pub workload: WorkloadKind,
+    /// Cluster-aggregate offered rate (requests per second).
+    pub total_rate_per_sec: f64,
+    /// Simulated duration of the run.
+    pub duration: SimDuration,
+    /// Cluster seed (node seeds fork from it; see
+    /// [`crate::cluster::ClusterMember::homogeneous`]).
+    pub seed: u64,
+}
+
+impl ClusterScenario {
+    /// A cluster scenario with the given shape and the library defaults
+    /// (100 ms window, seed `0x5ce0`).
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        nodes: usize,
+        workload: WorkloadKind,
+        total_rate_per_sec: f64,
+    ) -> Self {
+        ClusterScenario {
+            name,
+            description,
+            nodes,
+            workload,
+            total_rate_per_sec,
+            duration: SimDuration::from_millis(100),
+            seed: 0x5ce0,
+        }
+    }
+
+    /// Overrides the simulated duration (tests use short windows).
+    #[must_use]
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides the cluster seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Materialises and runs the scenario on top of `base` (which supplies
+    /// the platform, power model and noise; its duration and seed are
+    /// replaced by the scenario's) under `policy`.
+    #[must_use]
+    pub fn run(&self, base: &ServerConfig, policy: RoutingPolicyKind) -> ClusterResult {
+        let base = base
+            .clone()
+            .with_duration(self.duration)
+            .with_seed(self.seed);
+        ClusterMember::homogeneous(
+            &base,
+            self.nodes,
+            policy,
+            self.workload.spec(),
+            self.total_rate_per_sec,
+        )
+        .run()
+    }
+
+    // ---- the named cluster-scenario library ----------------------------
+
+    /// Eight Memcached nodes at the paper's mid operating point (20 K QPS
+    /// per node aggregate). The headline cluster comparison: how routing
+    /// reshapes idle-period distributions at realistic load.
+    #[must_use]
+    pub fn eight_node_memcached() -> Self {
+        ClusterScenario::new(
+            "cluster-8-mid",
+            "8-node memcached cluster at the mid operating point",
+            8,
+            WorkloadKind::MemcachedEtc,
+            160_000.0,
+        )
+    }
+
+    /// Eight Memcached nodes in the diurnal trough (3 K QPS per node
+    /// aggregate): the regime where packing policies let most of the
+    /// cluster sleep.
+    #[must_use]
+    pub fn eight_node_trough() -> Self {
+        ClusterScenario::new(
+            "cluster-8-trough",
+            "8-node memcached cluster at trough load",
+            8,
+            WorkloadKind::MemcachedEtc,
+            24_000.0,
+        )
+    }
+
+    /// A sixteen-node Kafka cluster at moderate streaming load: wider
+    /// fan-out, longer per-request service.
+    #[must_use]
+    pub fn sixteen_node_kafka() -> Self {
+        ClusterScenario::new(
+            "cluster-16-kafka",
+            "16-node kafka cluster under moderate streaming load",
+            16,
+            WorkloadKind::Kafka,
+            64_000.0,
+        )
+    }
+
+    /// Every named cluster scenario, in presentation order.
+    #[must_use]
+    pub fn library() -> Vec<ClusterScenario> {
+        vec![
+            ClusterScenario::eight_node_memcached(),
+            ClusterScenario::eight_node_trough(),
+            ClusterScenario::sixteen_node_kafka(),
+        ]
     }
 }
 

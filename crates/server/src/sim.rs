@@ -1,37 +1,30 @@
 //! The full-system server simulation: a thin driver over the component
 //! architecture.
 //!
-//! [`ServerSimulation`] registers the five component kinds of
-//! [`crate::components`] — NIC/arrival, dispatch scheduler, one execution
-//! component per core, the package controller and power/telemetry — with an
-//! [`apc_sim::component::Simulation`], bootstraps the initial events and
-//! runs the event loop to the configured horizon. All simulation behaviour
-//! lives in the components; this module only wires them together and reduces
-//! the shared telemetry into a [`RunResult`].
-
-use std::cell::RefCell;
-use std::rc::Rc;
+//! [`ServerSimulation`] is the single-server (1-node) instance of the
+//! embeddable-node design: it owns a [`Simulation`] whose shared state is
+//! one [`ServerState`], registers that node's components through
+//! [`crate::node::ServerNode`], bootstraps the initial events and runs the
+//! event loop to the configured horizon. All simulation behaviour lives in
+//! the components of [`crate::components`]; this module only wires them
+//! together and reduces the shared telemetry into a [`RunResult`]. The
+//! N-node counterpart hosting several servers plus a load balancer in one
+//! event loop is [`crate::cluster::ClusterSimulation`].
 
 use apc_sim::component::Simulation;
-use apc_sim::{SimDuration, SimTime};
-use apc_soc::cstate::{CoreCState, PackageCState};
+use apc_sim::SimTime;
 use apc_workloads::loadgen::LoadGenerator;
 
-use crate::components::core_exec::CoreExec;
-use crate::components::nic::NicArrival;
-use crate::components::package::PackageController;
-use crate::components::power::PowerTelemetry;
-use crate::components::scheduler::Scheduler;
 use crate::components::state::ServerState;
-use crate::components::{Addresses, ServerEvent};
+use crate::components::ServerEvent;
 use crate::config::ServerConfig;
+use crate::node::{NodeHandles, ServerNode};
 use crate::result::RunResult;
-use apc_pmu::governor::IdleGovernor;
 
-/// The full-system simulation.
+/// The full-system simulation of one server.
 pub struct ServerSimulation {
     sim: Simulation<ServerEvent, ServerState>,
-    package: Rc<RefCell<PackageController>>,
+    node: NodeHandles,
     end_at: SimTime,
 }
 
@@ -43,63 +36,20 @@ impl ServerSimulation {
         state.workload_name = loadgen.spec().name;
         state.offered_rate = loadgen.rate_per_sec();
         state.network_rtt = loadgen.spec().network_rtt;
-        let cores = state.soc.cores().len();
         let end_at = SimTime::ZERO + state.config.duration;
-        let first_arrival = loadgen.peek_next_arrival();
-        let noise = state.config.noise.clone();
-        let platform = state.config.platform.clone();
-        let sample_every = state.config.power_sample_interval;
         let seed = state.config.seed;
+        let first_arrival = loadgen.peek_next_arrival();
 
-        // Components address their peers through `ServerState::addrs`,
-        // filled here with the real registration ids before any event is
-        // scheduled (the components reference each other cyclically).
         let mut sim = Simulation::new(seed, state);
-        let power = sim.add_component("power", PowerTelemetry::new(sample_every));
-        let package = Rc::new(RefCell::new(PackageController::new(
-            platform.package_policy,
-            platform.package_cstate_limit(),
-        )));
-        let addrs = Addresses {
-            package: sim.add_component("package", Rc::clone(&package)),
-            scheduler: sim.add_component("scheduler", Scheduler),
-            nic: sim.add_component("nic", NicArrival::new(loadgen)),
-            cores: (0..cores)
-                .map(|i| {
-                    let governor = IdleGovernor::new(&platform);
-                    sim.add_component(
-                        format!("core {i}"),
-                        CoreExec::new(i, governor, noise.clone()),
-                    )
-                })
-                .collect(),
-        };
-        sim.shared_mut().addrs = addrs.clone();
+        let builder = ServerNode::standalone();
+        let node = builder.register(&mut sim, Some(loadgen));
+        // Bootstrap order (first client arrival, then the node's background
+        // timers / initial idle entries / power sampling) is part of the
+        // deterministic event sequence — see `ServerNode::bootstrap`.
+        sim.schedule(node.addrs.nic, first_arrival, ServerEvent::ClientArrival);
+        builder.bootstrap(&mut sim, &node);
 
-        // Bootstrap: first client arrival, one background timer per core
-        // (offsets drawn from a driver-level RNG stream so component streams
-        // stay stable), and an immediate idle entry for every booted core.
-        sim.schedule(addrs.nic, first_arrival, ServerEvent::ClientArrival);
-        if let Some(noise) = noise {
-            let mut boot_rng = sim.fork_rng("bootstrap");
-            for i in 0..cores {
-                let at = SimTime::ZERO + noise.sample_interval(&mut boot_rng);
-                sim.shared_mut().sched.next_background_at[i] = at;
-                sim.schedule(addrs.cores[i], at, ServerEvent::BackgroundTick);
-            }
-        }
-        for i in 0..cores {
-            sim.schedule(addrs.cores[i], SimTime::ZERO, ServerEvent::InitIdle);
-        }
-        if sample_every.is_some() {
-            sim.schedule(power, SimTime::ZERO, ServerEvent::PowerSample);
-        }
-
-        ServerSimulation {
-            sim,
-            package,
-            end_at,
-        }
+        ServerSimulation { sim, node, end_at }
     }
 
     /// Runs the simulation to completion and returns the result.
@@ -113,63 +63,7 @@ impl ServerSimulation {
     #[must_use]
     pub fn run_into_state(mut self) -> (RunResult, ServerState) {
         self.sim.run_until(self.end_at);
-        let end = self.end_at;
-        let package = self.package.borrow();
-        let apmu_stats = package.apmu().stats();
-        let pc6_entries = package.gpmu().pc6_entries();
-        drop(package);
-
-        let state = self.sim.shared_mut();
-        state.finish_telemetry(end);
-        let cores = state.soc.cores().len() as f64;
-        let util = state.telemetry.busy_core_time.as_secs_f64()
-            / (state.config.duration.as_secs_f64() * cores);
-        let cc1 = state
-            .telemetry
-            .core_residency
-            .average_fraction_in(CoreCState::CC1)
-            + state
-                .telemetry
-                .core_residency
-                .average_fraction_in(CoreCState::CC1E);
-        let result = RunResult {
-            config_name: state.config.platform.name,
-            workload: state.workload_name,
-            offered_rate: state.offered_rate,
-            duration: state.config.duration,
-            completed_requests: state.telemetry.completed_requests,
-            latency: state.telemetry.latency.summary(),
-            avg_soc_power: state.telemetry.energy.average_soc_power(),
-            avg_dram_power: state.telemetry.energy.average_dram_power(),
-            cpu_utilization: util,
-            cc0_fraction: state
-                .telemetry
-                .core_residency
-                .average_fraction_in(CoreCState::CC0),
-            cc1_fraction: cc1,
-            cc6_fraction: state
-                .telemetry
-                .core_residency
-                .average_fraction_in(CoreCState::CC6),
-            all_idle_fraction: state.telemetry.idle_tracker.idle_fraction(),
-            pc1a_residency: state
-                .telemetry
-                .package_residency
-                .fraction_in(PackageCState::PC1A),
-            pc6_residency: state
-                .telemetry
-                .package_residency
-                .fraction_in(PackageCState::PC6),
-            pc1a_transitions: apmu_stats.pc1a_entries,
-            pc1a_aborted: apmu_stats.aborted_entries,
-            pc6_transitions: pc6_entries,
-            idle_periods: state.telemetry.idle_tracker.period_count(),
-            idle_periods_20_200us: state
-                .telemetry
-                .idle_tracker
-                .fraction_between(SimDuration::from_micros(20), SimDuration::from_micros(200)),
-            finished_at: end,
-        };
+        let result = self.node.collect_result(self.sim.shared_mut(), self.end_at);
         (result, self.sim.into_shared())
     }
 

@@ -1,0 +1,245 @@
+//! Cluster-layer tests: the 1-node regression against the standalone server
+//! simulation, bit-identical determinism, parallel/sequential cluster-fleet
+//! equality and routing-policy behaviour.
+
+use apc_server::balancer::RoutingPolicyKind;
+use apc_server::cluster::{run_cluster_experiment, ClusterFleet, ClusterMember, ClusterSimulation};
+use apc_server::config::ServerConfig;
+use apc_server::fleet::Fleet;
+use apc_sim::SimDuration;
+use apc_workloads::loadgen::LoadGenerator;
+use apc_workloads::spec::WorkloadSpec;
+
+/// A 1-node cluster must reproduce the standalone `ServerSimulation`
+/// **bit-for-bit** for the same node config and loadgen seed, under every
+/// routing policy (with one node, routing is trivial) and every platform.
+/// This is the acceptance regression pinning the embeddable-node refactor.
+#[test]
+fn one_node_cluster_reproduces_server_simulation_exactly() {
+    for base in [
+        ServerConfig::c_shallow(),
+        ServerConfig::c_deep(),
+        ServerConfig::c_pc1a(),
+    ] {
+        let config = base
+            .with_duration(SimDuration::from_millis(50))
+            .with_seed(9);
+        let rate = 30_000.0;
+        let standalone =
+            apc_server::sim::run_experiment(config.clone(), WorkloadSpec::memcached_etc(), rate);
+        for policy in RoutingPolicyKind::all() {
+            let loadgen = LoadGenerator::new(WorkloadSpec::memcached_etc(), rate, config.seed);
+            let cluster =
+                ClusterSimulation::new(config.seed, vec![config.clone()], policy.build(), loadgen)
+                    .run();
+            assert_eq!(cluster.nodes.runs.len(), 1);
+            assert_eq!(
+                cluster.nodes.runs[0],
+                standalone,
+                "1-node cluster under {} diverged from the standalone simulation on {}",
+                policy.name(),
+                standalone.config_name,
+            );
+            assert_eq!(cluster.total_routed(), cluster.routed[0]);
+        }
+    }
+}
+
+/// Same seed ⇒ bit-identical `ClusterResult`, for every built-in policy.
+#[test]
+fn identical_seeds_give_bit_identical_cluster_results() {
+    let base = ServerConfig::c_pc1a()
+        .with_duration(SimDuration::from_millis(25))
+        .with_seed(17);
+    for policy in RoutingPolicyKind::all() {
+        let run =
+            || run_cluster_experiment(&base, 4, policy, WorkloadSpec::memcached_etc(), 60_000.0);
+        assert_eq!(
+            run(),
+            run(),
+            "policy {} is not deterministic",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn different_cluster_seeds_diverge() {
+    let run = |seed: u64| {
+        let base = ServerConfig::c_pc1a()
+            .with_duration(SimDuration::from_millis(25))
+            .with_seed(seed);
+        run_cluster_experiment(
+            &base,
+            3,
+            RoutingPolicyKind::Random,
+            WorkloadSpec::memcached_etc(),
+            45_000.0,
+        )
+    };
+    assert_ne!(
+        run(1),
+        run(2),
+        "two different seeds produced identical runs"
+    );
+}
+
+/// A parallel cluster fleet must be bit-identical to the sequential path,
+/// with results in member order.
+#[test]
+fn cluster_fleet_parallel_matches_sequential() {
+    let build = || {
+        let base = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(20));
+        let mut fleet = ClusterFleet::new();
+        for policy in RoutingPolicyKind::all() {
+            fleet.push(ClusterMember::homogeneous(
+                &base,
+                3,
+                policy,
+                WorkloadSpec::memcached_etc(),
+                45_000.0,
+            ));
+        }
+        fleet
+    };
+    let parallel = build().with_parallelism(4).run();
+    let sequential = build().with_parallelism(1).run_sequential();
+    assert_eq!(parallel, sequential);
+    let policies: Vec<&str> = parallel.iter().map(|r| r.policy).collect();
+    assert_eq!(
+        policies,
+        [
+            "random",
+            "round-robin",
+            "join-shortest-queue",
+            "power-aware"
+        ]
+    );
+}
+
+/// Node seeds follow the canonical `Fleet::member_seed` fork, so cluster
+/// nodes are pairwise independent (they genuinely differ).
+#[test]
+fn cluster_nodes_run_distinct_streams() {
+    let base = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(25));
+    let result = run_cluster_experiment(
+        &base,
+        4,
+        RoutingPolicyKind::RoundRobin,
+        WorkloadSpec::memcached_etc(),
+        80_000.0,
+    );
+    let first = &result.nodes.runs[0];
+    assert!(
+        result.nodes.runs[1..].iter().any(|r| r != first),
+        "all nodes produced identical results despite distinct seeds"
+    );
+    // Round-robin spreads exactly evenly (total divisible or off by < n).
+    let max = result.routed.iter().copied().max().unwrap();
+    let min = result.routed.iter().copied().min().unwrap();
+    assert!(
+        max - min <= 1,
+        "round-robin routed unevenly: {:?}",
+        result.routed
+    );
+}
+
+/// Policy behaviour at the routing level: spreading policies stay balanced,
+/// the packing policy concentrates load.
+#[test]
+fn power_aware_packs_while_spreaders_balance() {
+    let base = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(30));
+    let run =
+        |policy| run_cluster_experiment(&base, 4, policy, WorkloadSpec::memcached_etc(), 20_000.0);
+    let rr = run(RoutingPolicyKind::RoundRobin);
+    let packed = run(RoutingPolicyKind::PowerAware);
+    assert!(
+        packed.routing_imbalance() > rr.routing_imbalance() + 0.5,
+        "power-aware imbalance {:.2} not above round-robin {:.2}",
+        packed.routing_imbalance(),
+        rr.routing_imbalance()
+    );
+    // Both serve the whole offered stream.
+    assert!(rr.nodes.total_completed_requests() > 0);
+    assert!(packed.nodes.total_completed_requests() > 0);
+}
+
+/// JSQ keeps every routed request accounted for and yields finite stats.
+#[test]
+fn join_shortest_queue_is_plausible() {
+    let base = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(25));
+    let result = run_cluster_experiment(
+        &base,
+        4,
+        RoutingPolicyKind::JoinShortestQueue,
+        WorkloadSpec::memcached_etc(),
+        100_000.0,
+    );
+    assert_eq!(result.policy, "join-shortest-queue");
+    assert!(result.total_routed() >= result.nodes.total_completed_requests());
+    assert!(result.nodes.total_power_w() > 0.0);
+    let idle_band = result.idle_periods_20_200us();
+    assert!((0.0..=1.0).contains(&idle_band));
+    assert!(result.total_idle_periods() > 0);
+    // The summary row renders and names the policy.
+    let rendered = format!("{result}");
+    assert!(rendered.contains("join-shortest-queue"), "{rendered}");
+    assert!(rendered.contains("node   0"), "{rendered}");
+}
+
+/// The cluster registry hosts N complete servers plus the balancer, with
+/// per-node prefixed names.
+#[test]
+fn cluster_registry_has_expected_layout() {
+    let config = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(10));
+    let n = 3;
+    let configs: Vec<ServerConfig> = (0..n)
+        .map(|i| config.clone().with_seed(Fleet::member_seed(config.seed, i)))
+        .collect();
+    let loadgen = LoadGenerator::new(WorkloadSpec::memcached_etc(), 10_000.0, config.seed);
+    let sim = ClusterSimulation::new(
+        config.seed,
+        configs,
+        RoutingPolicyKind::RoundRobin.build(),
+        loadgen,
+    );
+    let cores = sim.state().nodes[0].soc.cores().len();
+    let inner = sim.simulation();
+    assert_eq!(sim.node_count(), n);
+    assert_eq!(inner.component_count(), n * (4 + cores) + 1);
+    assert!(inner.lookup("balancer").is_some());
+    for node in 0..n {
+        assert!(inner.lookup(&format!("node {node} nic")).is_some());
+        assert!(inner.lookup(&format!("node {node} scheduler")).is_some());
+        assert!(inner.lookup(&format!("node {node} package")).is_some());
+        assert!(inner.lookup(&format!("node {node} power")).is_some());
+        for c in 0..cores {
+            assert!(inner.lookup(&format!("node {node} core {c}")).is_some());
+        }
+    }
+}
+
+/// At trough load, the packing policy deepens package idle on the spared
+/// nodes: its *maximum* per-node PC1A residency beats the spreading
+/// policy's, while the spreading policy fragments idle across all nodes.
+#[test]
+fn packing_deepens_idle_on_spared_nodes() {
+    let base = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(40));
+    let run =
+        |policy| run_cluster_experiment(&base, 4, policy, WorkloadSpec::memcached_etc(), 12_000.0);
+    let spread = run(RoutingPolicyKind::Random);
+    let packed = run(RoutingPolicyKind::PowerAware);
+    let max_res = |r: &apc_server::cluster::ClusterResult| {
+        r.nodes
+            .runs
+            .iter()
+            .map(|n| n.pc1a_residency)
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        max_res(&packed) > max_res(&spread),
+        "packing max residency {:.3} not above spreading {:.3}",
+        max_res(&packed),
+        max_res(&spread)
+    );
+}

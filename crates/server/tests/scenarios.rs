@@ -1,8 +1,9 @@
 //! Scenario-library smoke tests: every named scenario must run under every
 //! platform configuration and produce finite, plausible fleet statistics.
 
+use apc_server::balancer::RoutingPolicyKind;
 use apc_server::config::ServerConfig;
-use apc_server::scenario::Scenario;
+use apc_server::scenario::{ClusterScenario, Scenario};
 use apc_sim::SimDuration;
 
 /// A short window that still sees thousands of requests per member at the
@@ -58,6 +59,55 @@ fn pc1a_only_helps_where_it_should() {
         "PC1A saving {:.3}",
         pc1a.fleet.power_saving_vs(&shallow.fleet)
     );
+}
+
+/// Every named cluster scenario must run (under one platform and one
+/// spreading + one packing policy to bound test time) and produce finite,
+/// plausible cluster statistics — the cluster counterpart of the fleet
+/// library smoke test above.
+#[test]
+fn every_cluster_scenario_yields_finite_stats() {
+    let base = ServerConfig::c_pc1a();
+    for scenario in ClusterScenario::library() {
+        let scenario = scenario.with_duration(SMOKE_WINDOW);
+        for policy in [RoutingPolicyKind::RoundRobin, RoutingPolicyKind::PowerAware] {
+            let result = scenario.run(&base, policy);
+            let label = format!("{} under {}", scenario.name, policy.name());
+            assert_eq!(result.policy, policy.name(), "{label}");
+            assert_eq!(result.nodes.servers(), scenario.nodes, "{label}");
+            assert_eq!(result.routed.len(), scenario.nodes, "{label}");
+            assert!(result.total_routed() > 0, "{label}");
+            assert!(
+                result.total_routed() >= result.nodes.total_completed_requests(),
+                "{label}"
+            );
+            assert!(result.nodes.total_completed_requests() > 0, "{label}");
+            let power = result.nodes.total_power_w();
+            assert!(power.is_finite() && power > 0.0, "{label}");
+            assert!(result.routing_imbalance() >= 1.0, "{label}");
+            let idle_band = result.idle_periods_20_200us();
+            assert!((0.0..=1.0).contains(&idle_band), "{label}");
+        }
+    }
+}
+
+#[test]
+fn cluster_library_names_are_unique_and_descriptive() {
+    let library = ClusterScenario::library();
+    assert!(library.len() >= 3);
+    let mut names: Vec<&str> = library.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(
+        names.len(),
+        library.len(),
+        "duplicate cluster scenario names"
+    );
+    for scenario in &library {
+        assert!(!scenario.description.is_empty());
+        assert!(scenario.nodes > 0);
+        assert!(scenario.total_rate_per_sec > 0.0);
+    }
 }
 
 #[test]

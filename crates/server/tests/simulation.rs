@@ -133,6 +133,77 @@ fn throughput_tracks_offered_load() {
     );
 }
 
+/// Golden pin: exact pre-refactor results for one seed/rate under every
+/// platform, captured from the monolithic-era `ServerSimulation` (PR 2
+/// tree). The 1-node-cluster regression in `tests/cluster.rs` only proves
+/// cluster ≡ standalone on the *shared* node code path; these literals
+/// protect the shared path itself, so any event-ordering or accounting
+/// change that shifts results — even uniformly — fails loudly instead of
+/// silently breaking comparability with previously published numbers.
+/// (If such a change is ever intentional, re-capture these literals and say
+/// so in the commit.)
+#[test]
+fn golden_results_match_pre_refactor_capture() {
+    let golden = [
+        // (config, completed, mean ns, p99 ns, soc W, pc1a, pc6, idle periods, pc1a residency)
+        (
+            ServerConfig::c_shallow(),
+            2792u64,
+            160_938i64,
+            226_246i64,
+            50.18249155799904f64,
+            0u64,
+            0u64,
+            478u64,
+            0.0f64,
+        ),
+        (
+            ServerConfig::c_deep(),
+            2791,
+            199_226,
+            328_638,
+            49.06422115511976,
+            0,
+            2,
+            115,
+            0.0,
+        ),
+        (
+            ServerConfig::c_pc1a(),
+            2792,
+            160_996,
+            226_246,
+            43.19331979119917,
+            632,
+            0,
+            478,
+            0.42414232,
+        ),
+    ];
+    for (config, completed, mean, p99, soc_w, pc1a, pc6, periods, residency) in golden {
+        let r = run_experiment(
+            config
+                .with_duration(SimDuration::from_millis(50))
+                .with_seed(7),
+            WorkloadSpec::memcached_etc(),
+            60_000.0,
+        );
+        let name = r.config_name;
+        assert_eq!(r.completed_requests, completed, "{name}");
+        assert_eq!(
+            r.latency.mean,
+            SimDuration::from_nanos(mean as u64),
+            "{name}"
+        );
+        assert_eq!(r.latency.p99, SimDuration::from_nanos(p99 as u64), "{name}");
+        assert_eq!(r.avg_soc_power.as_f64(), soc_w, "{name}");
+        assert_eq!(r.pc1a_transitions, pc1a, "{name}");
+        assert_eq!(r.pc6_transitions, pc6, "{name}");
+        assert_eq!(r.idle_periods, periods, "{name}");
+        assert_eq!(r.pc1a_residency, residency, "{name}");
+    }
+}
+
 #[test]
 fn power_trace_records_samples_when_enabled() {
     let config = ServerConfig::c_pc1a()

@@ -273,11 +273,37 @@ impl<E, S> Simulation<E, S> {
         handler: impl EventHandler<E, S> + 'static,
     ) -> ComponentId {
         let name = name.into();
+        let rng = self.root_rng.fork(&name);
+        self.add_component_with_stream(name, handler, rng)
+    }
+
+    /// Registers a component under a unique name with an explicitly supplied
+    /// RNG stream instead of the default root-seed-by-name fork.
+    ///
+    /// This decouples a component's *registration name* (which must be
+    /// unique within the simulation) from its *randomness stream* (which the
+    /// caller may want to derive from some other root). The cluster layer
+    /// relies on this: node components are registered under prefixed names
+    /// (`"node 1 nic"`, …) while their streams are forked from the node's
+    /// own seed by the unprefixed label, so an N-node host simulation gives
+    /// every node exactly the streams a standalone single-server simulation
+    /// with the same node seed would (see [`SimRng::fork`], which is a pure
+    /// function of `(parent seed, label)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered.
+    pub fn add_component_with_stream(
+        &mut self,
+        name: impl Into<String>,
+        handler: impl EventHandler<E, S> + 'static,
+        rng: SimRng,
+    ) -> ComponentId {
+        let name = name.into();
         assert!(
             self.lookup(&name).is_none(),
             "component name {name:?} registered twice"
         );
-        let rng = self.root_rng.fork(&name);
         if handler.observes_dispatch() {
             self.observers.push(self.components.len());
         }
@@ -568,6 +594,27 @@ mod tests {
         assert_eq!(sim.lookup("nope"), None);
         assert_eq!(sim.name(ticker), "ticker");
         assert_eq!(sim.component_count(), 2);
+    }
+
+    #[test]
+    fn explicit_streams_decouple_name_from_randomness() {
+        // A component registered under any name but with a stream forked
+        // from (seed, "ticker") must draw exactly what `add_component`'s
+        // default name-fork would give a component named "ticker".
+        let run = |explicit: bool| {
+            let mut sim = Simulation::new(42, Shared::default());
+            let ticker = if explicit {
+                let rng = SimRng::from_seed(42).fork("ticker");
+                sim.add_component_with_stream("prefixed ticker", Ticker { peer: None }, rng)
+            } else {
+                sim.add_component("ticker", Ticker { peer: None })
+            };
+            sim.schedule(ticker, SimTime::from_micros(1), Ev::Noise);
+            sim.schedule(ticker, SimTime::from_micros(2), Ev::Noise);
+            sim.run_until(SimTime::from_secs(1));
+            sim.into_shared().draws
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

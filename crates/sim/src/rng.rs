@@ -82,10 +82,19 @@ impl SimRng {
     ///
     /// | consumer | label | forked from |
     /// |---|---|---|
-    /// | simulation component | its registration name (e.g. `"nic"`, `"core 3"`) | the simulation's root seed |
-    /// | driver bootstrap draws | `"bootstrap"` | the simulation's root seed |
-    /// | load generator | `"loadgen"` | the server's seed |
+    /// | server-node component | its unprefixed label (`"nic"`, `"core 3"`) | the node's seed (a standalone server's simulation root) |
+    /// | node bootstrap draws | `"bootstrap"` | the node's seed |
+    /// | load generator | `"loadgen"` | the server's (or cluster's) seed |
     /// | fleet / scenario member `i` | `"server i"` | the fleet or scenario seed |
+    /// | cluster node `i` | `"server i"` | the cluster seed |
+    /// | cluster balancer | `"balancer"` | the cluster seed (its simulation root) |
+    ///
+    /// Node components are registered under name prefixes when several nodes
+    /// share one simulation, but their streams are forked by the
+    /// *unprefixed* label from the *node seed* (see
+    /// `Simulation::add_component_with_stream`), so a node embedded in a
+    /// cluster draws exactly what a standalone server with the same seed
+    /// would.
     ///
     /// Because each member/component seed is a pure function of
     /// `(parent seed, label)`, fleets are exactly reproducible run-to-run,

@@ -1,0 +1,77 @@
+//! Cluster routing comparison: an 8-node cluster under every routing policy
+//! × platform configuration, showing how routing reshapes per-server
+//! idle-period distributions and therefore PC1A residency and power.
+//!
+//! ```text
+//! cargo run --release --example cluster_routing
+//! ```
+//!
+//! Spreading policies (random, round-robin, join-shortest-queue) keep every
+//! node lightly loaded — many short idle periods per node, exactly the
+//! microsecond-scale regime the paper's PC1A targets. The power-aware
+//! packing policy concentrates requests on already-awake nodes, so the
+//! spared nodes hold long unbroken package idle instead. The tables report
+//! both the cluster aggregates and the idle-period structure behind them.
+
+use apc::prelude::*;
+
+fn main() {
+    let configs = [
+        ServerConfig::c_shallow(),
+        ServerConfig::c_deep(),
+        ServerConfig::c_pc1a(),
+    ];
+    let policies = RoutingPolicyKind::all();
+
+    for scenario in [
+        ClusterScenario::eight_node_memcached(),
+        ClusterScenario::eight_node_trough(),
+    ] {
+        println!(
+            "\n### {} — {} ({} nodes, {:.0} rps aggregate, {} window)",
+            scenario.name,
+            scenario.description,
+            scenario.nodes,
+            scenario.total_rate_per_sec,
+            scenario.duration,
+        );
+
+        for base in &configs {
+            let mut table = TextTable::new(
+                &format!("{} under {}", scenario.name, base.platform.name),
+                &[
+                    "policy",
+                    "rps",
+                    "power",
+                    "vs random",
+                    "worst p99",
+                    "imbalance",
+                    "idle periods",
+                    "idle 20-200us",
+                    "PC1A res",
+                ],
+            );
+            let mut baseline_power: Option<f64> = None;
+            for policy in policies {
+                let result = scenario.run(base, policy);
+                let power = result.nodes.total_power_w();
+                let delta = baseline_power
+                    .map(|b| format!("{:+.1}%", (power / b - 1.0) * 100.0))
+                    .unwrap_or_else(|| "--".to_owned());
+                baseline_power = baseline_power.or(Some(power));
+                table.add_row(&[
+                    result.policy.to_owned(),
+                    format!("{:.0}", result.nodes.aggregate_throughput()),
+                    format!("{:.1} W", power),
+                    delta,
+                    format!("{}", result.nodes.worst_p99()),
+                    format!("{:.2}", result.routing_imbalance()),
+                    format!("{}", result.total_idle_periods()),
+                    format!("{:.1}%", result.idle_periods_20_200us() * 100.0),
+                    format!("{:.1}%", result.nodes.mean_pc1a_residency() * 100.0),
+                ]);
+            }
+            println!("{}", table.render());
+        }
+    }
+}

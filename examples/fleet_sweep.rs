@@ -16,13 +16,19 @@ fn main() {
     let rate = 20_000.0;
     let duration = SimDuration::from_millis(100);
 
-    println!("fleet of {servers} servers, memcached ETC @ {rate:.0} QPS each\n");
-    println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>10}",
-        "config", "total QPS", "power (W)", "mean lat", "worst p99", "PC1A res"
+    let mut table = TextTable::new(
+        &format!("fleet of {servers} servers, memcached ETC @ {rate:.0} QPS each"),
+        &[
+            "config",
+            "total QPS",
+            "power",
+            "vs Cshallow",
+            "mean lat",
+            "worst p99",
+            "PC1A res",
+        ],
     );
-
-    let mut baseline_power = None;
+    let mut baseline_power: Option<f64> = None;
     for config in [
         ServerConfig::c_shallow(),
         ServerConfig::c_deep(),
@@ -37,20 +43,19 @@ fn main() {
         );
         let result = fleet.run();
         let power = result.total_power_w();
-        let saving = baseline_power
-            .map(|base: f64| format!(" ({:+.1}%)", (1.0 - power / base) * -100.0))
-            .unwrap_or_default();
-        if baseline_power.is_none() {
-            baseline_power = Some(power);
-        }
-        println!(
-            "{:<10} {:>12.0} {:>9.1}{saving} {:>12} {:>12} {:>9.1}%",
-            name,
-            result.aggregate_throughput(),
-            power,
+        let delta = baseline_power
+            .map(|base| format!("{:+.1}%", (power / base - 1.0) * 100.0))
+            .unwrap_or_else(|| "--".to_owned());
+        baseline_power = baseline_power.or(Some(power));
+        table.add_row(&[
+            name.to_owned(),
+            format!("{:.0}", result.aggregate_throughput()),
+            format!("{:.1} W", power),
+            delta,
             format!("{}", result.mean_latency()),
             format!("{}", result.worst_p99()),
-            result.mean_pc1a_residency() * 100.0,
-        );
+            format!("{:.1}%", result.mean_pc1a_residency() * 100.0),
+        ]);
     }
+    println!("{}", table.render());
 }
