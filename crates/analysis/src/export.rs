@@ -1,0 +1,930 @@
+//! Machine-readable export of experiment results: hand-rolled JSON and CSV.
+//!
+//! The experiment runner's output layer. Both writers are deliberately
+//! boring and fully deterministic so that exported artefacts are diffable
+//! and pinnable by golden tests:
+//!
+//! * **field order is fixed** — JSON objects preserve the declaration order
+//!   of the result structs, CSV columns are a documented constant order;
+//! * **float formatting is fixed** — finite floats print via Rust's
+//!   shortest-round-trip formatter (`{}`), which is a pure function of the
+//!   bit pattern, so bit-identical results (what the fleet's
+//!   parallel-vs-sequential invariant guarantees) export to byte-identical
+//!   text; durations and timestamps are exported as integer nanoseconds;
+//! * **no external dependencies** — the workspace is offline; like the
+//!   vendored criterion shim, the JSON layer is a minimal hand-rolled
+//!   value type with a writer *and* a parser, so round-trip validation
+//!   (`apc-cli validate`) needs nothing but this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use apc_analysis::export::{run_result_json, JsonValue};
+//! use apc_server::config::ServerConfig;
+//! use apc_server::sim::run_experiment;
+//! use apc_sim::SimDuration;
+//! use apc_workloads::spec::WorkloadSpec;
+//!
+//! let config = ServerConfig::c_pc1a().with_duration(SimDuration::from_millis(5));
+//! let result = run_experiment(config, WorkloadSpec::memcached_etc(), 10_000.0);
+//! let text = run_result_json(&result).to_pretty_string();
+//! // The export round-trips through the bundled parser.
+//! let parsed = JsonValue::parse(&text).unwrap();
+//! assert_eq!(parsed.get("config").and_then(JsonValue::as_str), Some("CPC1A"));
+//! assert!(parsed.get("completed_requests").and_then(JsonValue::as_u64).unwrap() > 0);
+//! ```
+
+use std::fmt::Write as _;
+
+use apc_server::cluster::ClusterResult;
+use apc_server::fleet::FleetResult;
+use apc_server::result::RunResult;
+use apc_telemetry::latency::LatencySummary;
+use apc_telemetry::timeseries::TimeSeries;
+
+/// A JSON value with insertion-ordered objects.
+///
+/// Only what the exporters need: numbers are either integers (durations in
+/// nanoseconds, counters) or floats (powers, rates, fractions); objects
+/// preserve the order keys were inserted in, which is what makes the
+/// serialised form deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer number (exported counters and nanosecond durations).
+    Int(i64),
+    /// An unsigned integer that may exceed `i64` (seeds).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience: an empty object builder.
+    #[must_use]
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends a key to an object (panics on non-objects; the exporters
+    /// only build objects through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: JsonValue) -> &mut Self {
+        match self {
+            JsonValue::Object(entries) => entries.push((key.to_owned(), value)),
+            other => panic!("JsonValue::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks a key up in an object (`None` for absent keys or non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (`None` for non-arrays).
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen; `None` for non-numbers).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::UInt(u) => Some(*u as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (`None` for non-integers and negatives).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            JsonValue::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice (`None` for non-strings).
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serialises compactly (no whitespace).
+    #[must_use]
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialises with 2-space indentation and one key per line — the form
+    /// the golden tests pin and `apc-cli --format json` emits.
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(f) => write_f64(out, *f),
+            JsonValue::Str(s) => write_json_string(out, s),
+            JsonValue::Array(items) => {
+                write_sequence(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            JsonValue::Object(entries) => {
+                write_sequence(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (key, value) = &entries[i];
+                    write_json_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+/// Deterministic float formatting: Rust's shortest-round-trip `{}` for
+/// finite values (a pure function of the bit pattern, with `.0` appended to
+/// integral values so floats stay visibly floats), `null` for non-finite
+/// values (JSON has no NaN/Inf).
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{v}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Parses a JSON document (strict: exactly one value, nothing but
+    /// whitespace after it). Numbers parse to [`JsonValue::Int`] when they
+    /// are integral and fit, else [`JsonValue::Float`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {text:?}")))
+        }
+    }
+
+    /// Maximum container nesting. The parser recurses per nesting level, so
+    /// without a bound a hostile `[[[[…` input overflows the stack (an
+    /// abort, not a `JsonError`); our own exports nest 4 levels deep.
+    const MAX_DEPTH: usize = 128;
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > Self::MAX_DEPTH {
+            return Err(self.error("nesting deeper than 128 levels"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&c) = rest.first() else {
+                return Err(self.error("unterminated string"));
+            };
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    let esc = rest
+                        .get(1)
+                        .copied()
+                        .ok_or_else(|| self.error("unterminated escape sequence"))?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            // Exactly four hex digits — `from_str_radix`
+                            // alone would also accept a leading sign.
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not needed by our own exports;
+                            // map unpaired ones to the replacement char.
+                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let text =
+                        std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let ch = text.chars().next().expect("non-empty rest");
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Consumes a run of ASCII digits, erroring when none are present —
+    /// JSON requires at least one digit in every numeric part.
+    fn digits(&mut self, part: &str) -> Result<usize, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error(&format!("expected a digit in the {part} of a number")));
+        }
+        Ok(self.pos - start)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        let int_digits = self.digits("integer part")?;
+        if int_digits > 1 && self.bytes[int_start] == b'0' {
+            return Err(JsonError {
+                message: "leading zeros are not allowed".to_owned(),
+                offset: int_start,
+            });
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            self.digits("fraction part")?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits("exponent")?;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| JsonError {
+                message: format!("invalid number {text:?}"),
+                offset: start,
+            })
+    }
+}
+
+// ---- result -> JSON ----------------------------------------------------
+
+/// A latency summary as an object of nanosecond integers.
+#[must_use]
+pub fn latency_json(latency: &LatencySummary) -> JsonValue {
+    let mut o = JsonValue::object();
+    o.push("count", JsonValue::UInt(latency.count as u64))
+        .push("mean_ns", JsonValue::UInt(latency.mean.as_nanos()))
+        .push("p50_ns", JsonValue::UInt(latency.p50.as_nanos()))
+        .push("p95_ns", JsonValue::UInt(latency.p95.as_nanos()))
+        .push("p99_ns", JsonValue::UInt(latency.p99.as_nanos()))
+        .push("p999_ns", JsonValue::UInt(latency.p999.as_nanos()))
+        .push("max_ns", JsonValue::UInt(latency.max.as_nanos()));
+    o
+}
+
+/// One run's full result as an object (field order mirrors [`RunResult`]'s
+/// declaration order; durations in integer nanoseconds, powers in watts).
+/// The `timeseries` key appears only when the run recorded one.
+#[must_use]
+pub fn run_result_json(r: &RunResult) -> JsonValue {
+    let mut o = JsonValue::object();
+    o.push("config", JsonValue::Str(r.config_name.to_owned()))
+        .push("workload", JsonValue::Str(r.workload.to_owned()))
+        .push("offered_rate_rps", JsonValue::Float(r.offered_rate))
+        .push("duration_ns", JsonValue::UInt(r.duration.as_nanos()))
+        .push("completed_requests", JsonValue::UInt(r.completed_requests))
+        .push("throughput_rps", JsonValue::Float(r.throughput()))
+        .push("latency", latency_json(&r.latency))
+        .push(
+            "avg_soc_power_w",
+            JsonValue::Float(r.avg_soc_power.as_f64()),
+        )
+        .push(
+            "avg_dram_power_w",
+            JsonValue::Float(r.avg_dram_power.as_f64()),
+        )
+        .push("cpu_utilization", JsonValue::Float(r.cpu_utilization))
+        .push("cc0_fraction", JsonValue::Float(r.cc0_fraction))
+        .push("cc1_fraction", JsonValue::Float(r.cc1_fraction))
+        .push("cc6_fraction", JsonValue::Float(r.cc6_fraction))
+        .push("all_idle_fraction", JsonValue::Float(r.all_idle_fraction))
+        .push("pc1a_residency", JsonValue::Float(r.pc1a_residency))
+        .push("pc6_residency", JsonValue::Float(r.pc6_residency))
+        .push("pc1a_transitions", JsonValue::UInt(r.pc1a_transitions))
+        .push("pc1a_aborted", JsonValue::UInt(r.pc1a_aborted))
+        .push("pc6_transitions", JsonValue::UInt(r.pc6_transitions))
+        .push("idle_periods", JsonValue::UInt(r.idle_periods))
+        .push(
+            "idle_periods_20_200us",
+            JsonValue::Float(r.idle_periods_20_200us),
+        );
+    if let Some(ts) = &r.timeseries {
+        o.push("timeseries", timeseries_json(ts));
+    }
+    o
+}
+
+/// A fleet result: aggregates first, then per-member runs in member order.
+#[must_use]
+pub fn fleet_result_json(f: &FleetResult) -> JsonValue {
+    let mut o = JsonValue::object();
+    o.push("servers", JsonValue::UInt(f.servers() as u64))
+        .push(
+            "total_completed_requests",
+            JsonValue::UInt(f.total_completed_requests()),
+        )
+        .push(
+            "aggregate_throughput_rps",
+            JsonValue::Float(f.aggregate_throughput()),
+        )
+        .push("total_power_w", JsonValue::Float(f.total_power_w()))
+        .push("mean_soc_power_w", JsonValue::Float(f.mean_soc_power_w()))
+        .push(
+            "mean_pc1a_residency",
+            JsonValue::Float(f.mean_pc1a_residency()),
+        )
+        .push(
+            "mean_latency_ns",
+            JsonValue::UInt(f.mean_latency().as_nanos()),
+        )
+        .push("worst_p99_ns", JsonValue::UInt(f.worst_p99().as_nanos()))
+        .push("worst_p999_ns", JsonValue::UInt(f.worst_p999().as_nanos()))
+        .push(
+            "runs",
+            JsonValue::Array(f.runs.iter().map(run_result_json).collect()),
+        );
+    o
+}
+
+/// A cluster result: policy, routing census, then the per-node fleet.
+#[must_use]
+pub fn cluster_result_json(c: &ClusterResult) -> JsonValue {
+    let mut o = JsonValue::object();
+    o.push("policy", JsonValue::Str(c.policy.to_owned()))
+        .push("duration_ns", JsonValue::UInt(c.duration.as_nanos()))
+        .push(
+            "routed",
+            JsonValue::Array(c.routed.iter().map(|&n| JsonValue::UInt(n)).collect()),
+        )
+        .push("total_routed", JsonValue::UInt(c.total_routed()))
+        .push("routing_imbalance", JsonValue::Float(c.routing_imbalance()))
+        .push(
+            "idle_periods_20_200us",
+            JsonValue::Float(c.idle_periods_20_200us()),
+        )
+        .push("nodes", fleet_result_json(&c.nodes));
+    o
+}
+
+/// A time series as `{interval_ns, samples: [...]}`; samples carry the
+/// timestamp, power, queue depth and residency deltas.
+#[must_use]
+pub fn timeseries_json(ts: &TimeSeries) -> JsonValue {
+    let samples = ts
+        .samples()
+        .iter()
+        .map(|s| {
+            let mut o = JsonValue::object();
+            o.push("at_ns", JsonValue::UInt(s.at.as_nanos()))
+                .push("soc_power_w", JsonValue::Float(s.soc_power_w))
+                .push("queue_depth", JsonValue::UInt(s.queue_depth as u64))
+                .push("busy_cores", JsonValue::UInt(s.busy_cores as u64))
+                .push(
+                    "package_state",
+                    JsonValue::Str(format!("{:?}", s.package_state)),
+                )
+                .push("pc0_delta_ns", JsonValue::UInt(s.pc0_delta.as_nanos()))
+                .push(
+                    "pc0_idle_delta_ns",
+                    JsonValue::UInt(s.pc0_idle_delta.as_nanos()),
+                )
+                .push("pc1a_delta_ns", JsonValue::UInt(s.pc1a_delta.as_nanos()))
+                .push("pc6_delta_ns", JsonValue::UInt(s.pc6_delta.as_nanos()));
+            o
+        })
+        .collect();
+    let mut o = JsonValue::object();
+    o.push("interval_ns", JsonValue::UInt(ts.interval().as_nanos()))
+        .push("samples", JsonValue::Array(samples));
+    o
+}
+
+// ---- result -> CSV -----------------------------------------------------
+
+/// The CSV column set shared by every run-level export, in order.
+pub const RUN_CSV_HEADER: &str = "config,workload,offered_rate_rps,duration_ns,\
+completed_requests,throughput_rps,mean_ns,p50_ns,p95_ns,p99_ns,p999_ns,max_ns,\
+avg_soc_power_w,avg_dram_power_w,cpu_utilization,cc0_fraction,cc1_fraction,\
+cc6_fraction,all_idle_fraction,pc1a_residency,pc6_residency,pc1a_transitions,\
+pc1a_aborted,pc6_transitions,idle_periods,idle_periods_20_200us";
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    }
+    // Non-finite values export as an empty cell.
+}
+
+fn run_csv_row(out: &mut String, r: &RunResult) {
+    let _ = write!(
+        out,
+        "{},{},",
+        csv_escape(r.config_name),
+        csv_escape(r.workload)
+    );
+    push_f64(out, r.offered_rate);
+    let _ = write!(out, ",{},{},", r.duration.as_nanos(), r.completed_requests);
+    push_f64(out, r.throughput());
+    let l = &r.latency;
+    let _ = write!(
+        out,
+        ",{},{},{},{},{},{},",
+        l.mean.as_nanos(),
+        l.p50.as_nanos(),
+        l.p95.as_nanos(),
+        l.p99.as_nanos(),
+        l.p999.as_nanos(),
+        l.max.as_nanos()
+    );
+    for (i, v) in [
+        r.avg_soc_power.as_f64(),
+        r.avg_dram_power.as_f64(),
+        r.cpu_utilization,
+        r.cc0_fraction,
+        r.cc1_fraction,
+        r.cc6_fraction,
+        r.all_idle_fraction,
+        r.pc1a_residency,
+        r.pc6_residency,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, v);
+    }
+    let _ = write!(
+        out,
+        ",{},{},{},{},",
+        r.pc1a_transitions, r.pc1a_aborted, r.pc6_transitions, r.idle_periods
+    );
+    push_f64(out, r.idle_periods_20_200us);
+    out.push('\n');
+}
+
+/// Quotes a CSV cell when it contains separators or quotes. The built-in
+/// names never need it, but custom workload names flow through here too.
+#[must_use]
+pub fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// Labelled run results as CSV: a `label` column (the caller's row names —
+/// member indices, sweep points) followed by [`RUN_CSV_HEADER`].
+#[must_use]
+pub fn run_results_csv<'a>(rows: impl IntoIterator<Item = (&'a str, &'a RunResult)>) -> String {
+    let mut out = format!("label,{RUN_CSV_HEADER}\n");
+    for (label, r) in rows {
+        let _ = write!(out, "{},", csv_escape(label));
+        run_csv_row(&mut out, r);
+    }
+    out
+}
+
+/// A fleet result as CSV: one row per member, labelled `server <i>`.
+#[must_use]
+pub fn fleet_csv(f: &FleetResult) -> String {
+    let labels: Vec<String> = (0..f.runs.len()).map(|i| format!("server {i}")).collect();
+    run_results_csv(
+        labels
+            .iter()
+            .map(String::as_str)
+            .zip(f.runs.iter())
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Several cluster runs (e.g. repeats of one spec) as a single CSV with a
+/// leading `repeat` column: `repeat,node,policy,routed,` then the run
+/// columns.
+#[must_use]
+pub fn cluster_results_csv(results: &[ClusterResult]) -> String {
+    let mut out = format!("repeat,node,policy,routed,{RUN_CSV_HEADER}\n");
+    for (repeat, c) in results.iter().enumerate() {
+        for (i, r) in c.nodes.runs.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{repeat},{i},{},{},",
+                csv_escape(c.policy),
+                c.routed.get(i).copied().unwrap_or(0)
+            );
+            run_csv_row(&mut out, r);
+        }
+    }
+    out
+}
+
+/// A time series as CSV (`at_ns,soc_power_w,queue_depth,busy_cores,`
+/// `package_state,pc0_delta_ns,pc0_idle_delta_ns,pc1a_delta_ns,pc6_delta_ns`),
+/// one row per sample — the format the paper's time-domain figures plot.
+/// `node` labels the rows so multi-node series can be concatenated.
+#[must_use]
+pub fn timeseries_csv(node: &str, ts: &TimeSeries) -> String {
+    let mut out = String::from(
+        "node,at_ns,soc_power_w,queue_depth,busy_cores,package_state,\
+pc0_delta_ns,pc0_idle_delta_ns,pc1a_delta_ns,pc6_delta_ns\n",
+    );
+    for s in ts.samples() {
+        let _ = write!(out, "{},{},", csv_escape(node), s.at.as_nanos());
+        push_f64(&mut out, s.soc_power_w);
+        let _ = writeln!(
+            out,
+            ",{},{},{:?},{},{},{},{}",
+            s.queue_depth,
+            s.busy_cores,
+            s.package_state,
+            s.pc0_delta.as_nanos(),
+            s.pc0_idle_delta.as_nanos(),
+            s.pc1a_delta.as_nanos(),
+            s.pc6_delta.as_nanos()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_writer_is_deterministic_and_ordered() {
+        let mut o = JsonValue::object();
+        o.push("b", JsonValue::Int(1))
+            .push("a", JsonValue::Float(2.5))
+            .push("s", JsonValue::Str("x\"y".to_owned()))
+            .push(
+                "l",
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(true)]),
+            );
+        assert_eq!(
+            o.to_compact_string(),
+            r#"{"b":1,"a":2.5,"s":"x\"y","l":[null,true]}"#
+        );
+        assert_eq!(o.to_compact_string(), o.clone().to_compact_string());
+    }
+
+    #[test]
+    fn float_formatting_is_fixed() {
+        let mut s = String::new();
+        write_f64(&mut s, 50.18249155799904);
+        assert_eq!(s, "50.18249155799904");
+        s.clear();
+        write_f64(&mut s, 4000.0);
+        assert_eq!(s, "4000.0", "integral floats keep a fractional part");
+        s.clear();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut o = JsonValue::object();
+        o.push("n", JsonValue::Int(-3))
+            .push("u", JsonValue::UInt(u64::MAX))
+            .push("f", JsonValue::Float(0.125))
+            .push("s", JsonValue::Str("tab\t\"quote\"".to_owned()))
+            .push(
+                "arr",
+                JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Null]),
+            )
+            .push("empty", JsonValue::object());
+        for text in [o.to_compact_string(), o.to_pretty_string()] {
+            let parsed = JsonValue::parse(&text).expect("round-trip parse");
+            assert_eq!(parsed.get("n"), Some(&JsonValue::Int(-3)));
+            assert_eq!(parsed.get("u"), Some(&JsonValue::UInt(u64::MAX)));
+            assert_eq!(parsed.get("f"), Some(&JsonValue::Float(0.125)));
+            assert_eq!(
+                parsed.get("s").and_then(JsonValue::as_str),
+                Some("tab\t\"quote\"")
+            );
+            assert_eq!(
+                parsed
+                    .get("arr")
+                    .and_then(JsonValue::as_array)
+                    .map(<[_]>::len),
+                Some(2)
+            );
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "1 2",
+            "{\"a\" 1}",
+            "nul",
+            // Strict number grammar: no bare dots, leading zeros, dangling
+            // signs/exponents (all rejected by standard JSON parsers).
+            "1.",
+            ".5",
+            "01",
+            "-",
+            "1e",
+            "1e+",
+            "-.5",
+            // \u escapes are exactly four hex digits, no signs.
+            "\"\\u+041\"",
+            "\"\\u12\"",
+            "\"\\uzzzz\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        for good in ["0", "-0.5", "1e9", "10", "1.25E-3", "\"\\u0041\""] {
+            assert!(JsonValue::parse(good).is_ok(), "{good:?} should parse");
+        }
+        // Nesting beyond the depth bound is a parse error, not a stack
+        // overflow abort.
+        let deep = "[".repeat(100_000);
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let ok_depth = format!("{}{}", "[".repeat(100), "]".repeat(100));
+        assert!(JsonValue::parse(&ok_depth).is_ok());
+        let err = JsonValue::parse("{\"a\": \x01}").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn csv_escaping_quotes_separators() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -5,7 +5,9 @@
 //! * [`impact`] — the Sec. 6/7.3 performance-impact model
 //!   (#transitions × transition cost vs. baseline latency);
 //! * [`report`] — fixed-width table rendering shared by the experiment
-//!   harnesses.
+//!   harnesses;
+//! * [`export`] — deterministic JSON/CSV export of run, fleet, cluster and
+//!   time-series results (the `apc-cli` output layer).
 //!
 //! # Example
 //!
@@ -22,10 +24,12 @@
 //! assert!((saving - 0.41).abs() < 0.02);
 //! ```
 
+pub mod export;
 pub mod impact;
 pub mod report;
 pub mod savings;
 
+pub use export::JsonValue;
 pub use impact::ImpactInputs;
 pub use report::TextTable;
 pub use savings::SavingsInputs;

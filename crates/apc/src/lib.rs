@@ -14,7 +14,11 @@
 //! * [`telemetry`] — residency, idle-period and latency telemetry;
 //! * [`server`] — the full-system server simulation;
 //! * [`analysis`] — Eq. 1 savings model, performance-impact model, report
-//!   formatting.
+//!   formatting, deterministic JSON/CSV export.
+//!
+//! The `apc-cli` binary (not re-exported: it is an application, not a
+//! library layer) runs declarative experiment specs through all of the
+//! above — see the "Experiment runner" section of `docs/ARCHITECTURE.md`.
 //!
 //! # Quick start
 //!
@@ -45,6 +49,9 @@ pub use apc_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use apc_analysis::export::{
+        cluster_result_json, fleet_result_json, run_result_json, timeseries_csv, JsonValue,
+    };
     pub use apc_analysis::impact::ImpactInputs;
     pub use apc_analysis::report::TextTable;
     pub use apc_analysis::savings::{idle_savings, SavingsInputs};
@@ -72,6 +79,7 @@ pub mod prelude {
     pub use apc_sim::{SimDuration, SimTime};
     pub use apc_soc::cstate::{CoreCState, PackageCState};
     pub use apc_soc::topology::{SkxSoc, SocConfig};
+    pub use apc_telemetry::timeseries::{TimeSeries, TimeSeriesSample};
     pub use apc_workloads::loadgen::LoadGenerator;
     pub use apc_workloads::spec::WorkloadSpec;
 }

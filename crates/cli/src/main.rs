@@ -1,0 +1,12 @@
+//! The `apc-cli` binary: a thin shell around [`apc_cli::execute`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match apc_cli::execute(&args) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("apc-cli: {err}");
+            std::process::exit(err.exit_code());
+        }
+    }
+}

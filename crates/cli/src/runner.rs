@@ -1,0 +1,325 @@
+//! Materialises parsed specs into fleet/cluster runs and formats results.
+//!
+//! Every execution path routes through the existing parallel pools:
+//! single, fleet and sweep specs become one [`Fleet`] (one member per
+//! run/grid-point), cluster specs become one [`ClusterFleet`] (one member
+//! per repeat). The pools guarantee member-order, bit-identical results
+//! regardless of worker count, which is what makes `--format json|csv`
+//! output byte-identical between sequential and parallel execution.
+
+use apc_analysis::export::{
+    cluster_result_json, cluster_results_csv, fleet_result_json, run_results_csv, timeseries_csv,
+    JsonValue,
+};
+use apc_analysis::report::TextTable;
+use apc_server::cluster::{ClusterFleet, ClusterMember, ClusterResult};
+use apc_server::fleet::{Fleet, FleetMember, FleetResult};
+use apc_server::result::RunResult;
+use apc_server::scenario::TrafficPattern;
+
+use crate::spec::{ExperimentSpec, PlatformKind, SpecKind};
+
+/// The output format of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable fixed-width text (the default).
+    #[default]
+    Table,
+    /// Deterministic pretty-printed JSON.
+    Json,
+    /// Deterministic CSV.
+    Csv,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` spelling.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<OutputFormat> {
+        match name.to_ascii_lowercase().as_str() {
+            "table" => Some(OutputFormat::Table),
+            "json" => Some(OutputFormat::Json),
+            "csv" => Some(OutputFormat::Csv),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of executing a spec: labelled run results (single, fleet and
+/// sweep kinds) or cluster results (one per repeat).
+#[derive(Debug)]
+pub enum Outcome {
+    /// Run-level results with one display label per run.
+    Runs {
+        /// Experiment name (titles the table output).
+        name: String,
+        /// One label per member, in member order.
+        labels: Vec<String>,
+        /// The executed fleet.
+        fleet: FleetResult,
+    },
+    /// Cluster results, one per repeat.
+    Clusters {
+        /// Experiment name (titles the table output).
+        name: String,
+        /// The executed clusters, in repeat order.
+        results: Vec<ClusterResult>,
+    },
+}
+
+/// Executes a parsed spec end-to-end; `parallelism` pins the worker pool
+/// (`None` sizes it to the host).
+#[must_use]
+pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcome {
+    match &spec.kind {
+        SpecKind::Single => {
+            let (labels, members) = (0..spec.repeats)
+                .map(|i| {
+                    let seed = repeat_seed(spec.seed, i, spec.repeats);
+                    (format!("run {i}"), spec_member(spec, spec.platform, seed))
+                })
+                .unzip();
+            run_fleet(spec, labels, members, parallelism)
+        }
+        SpecKind::Fleet { servers } => {
+            let (labels, members) = (0..*servers)
+                .map(|i| {
+                    let seed = Fleet::member_seed(spec.seed, i);
+                    (
+                        format!("server {i}"),
+                        spec_member(spec, spec.platform, seed),
+                    )
+                })
+                .unzip();
+            run_fleet(spec, labels, members, parallelism)
+        }
+        SpecKind::Sweep { rates, platforms } => {
+            let mut labels = Vec::new();
+            let mut members = Vec::new();
+            for &platform in platforms {
+                for &rate in rates {
+                    labels.push(format!("{}@{rate}", platform.name()));
+                    let sweep_spec = ExperimentSpec {
+                        traffic: TrafficPattern::Constant { rate_per_sec: rate },
+                        ..spec.clone()
+                    };
+                    // Every grid point reuses the root seed: points differ
+                    // only along the declared axes, maximising comparability.
+                    members.push(spec_member(&sweep_spec, platform, spec.seed));
+                }
+            }
+            run_fleet(spec, labels, members, parallelism)
+        }
+        SpecKind::Cluster { nodes, policy } => {
+            let mut cluster_fleet = ClusterFleet::new();
+            for i in 0..spec.repeats {
+                let seed = repeat_seed(spec.seed, i, spec.repeats);
+                let base = spec
+                    .platform
+                    .config()
+                    .with_duration(spec.duration)
+                    .with_seed(seed);
+                let base = match spec.timeseries_interval {
+                    Some(every) => base.with_timeseries(every),
+                    None => base,
+                };
+                let rate = spec.traffic.mean_rate_per_sec();
+                cluster_fleet.push(ClusterMember::homogeneous(
+                    &base,
+                    *nodes,
+                    *policy,
+                    spec.workload.spec(),
+                    rate,
+                ));
+            }
+            if let Some(workers) = parallelism {
+                cluster_fleet = cluster_fleet.with_parallelism(workers);
+            }
+            Outcome::Clusters {
+                name: spec.name.clone(),
+                results: cluster_fleet.run(),
+            }
+        }
+    }
+}
+
+/// The seed of repeat `i`: the root seed itself for a single run (matching
+/// a direct `run_experiment`), else forked per repeat with the canonical
+/// fleet scheme.
+fn repeat_seed(root: u64, i: usize, repeats: usize) -> u64 {
+    if repeats == 1 {
+        root
+    } else {
+        Fleet::member_seed(root, i)
+    }
+}
+
+/// Builds one fleet member for `spec` on `platform` under `seed`.
+fn spec_member(spec: &ExperimentSpec, platform: PlatformKind, seed: u64) -> FleetMember {
+    let config = platform
+        .config()
+        .with_duration(spec.duration)
+        .with_seed(seed);
+    let config = match spec.timeseries_interval {
+        Some(every) => config.with_timeseries(every),
+        None => config,
+    };
+    let rate = spec.traffic.mean_rate_per_sec();
+    let mut member = FleetMember::new(config, spec.workload.spec(), rate);
+    if let Some(arrivals) = spec.traffic.arrival_process(spec.duration) {
+        member = member.with_arrival_process(arrivals);
+    }
+    member
+}
+
+fn run_fleet(
+    spec: &ExperimentSpec,
+    labels: Vec<String>,
+    members: Vec<FleetMember>,
+    parallelism: Option<usize>,
+) -> Outcome {
+    let mut fleet = Fleet::new();
+    for member in members {
+        fleet.push(member);
+    }
+    if let Some(workers) = parallelism {
+        fleet = fleet.with_parallelism(workers);
+    }
+    Outcome::Runs {
+        name: spec.name.clone(),
+        labels,
+        fleet: fleet.run(),
+    }
+}
+
+impl Outcome {
+    /// Renders the outcome in `format`.
+    #[must_use]
+    pub fn render(&self, format: OutputFormat) -> String {
+        match (self, format) {
+            (
+                Outcome::Runs {
+                    name,
+                    labels,
+                    fleet,
+                },
+                OutputFormat::Table,
+            ) => runs_table(name, labels, &fleet.runs),
+            // The JSON shape is a function of the outcome kind alone, never
+            // of the result count: run-level outcomes are always a fleet
+            // object (even for one run), clusters always an array (even for
+            // one repeat) — consumers keep parsing when a count changes.
+            (Outcome::Runs { labels, fleet, .. }, OutputFormat::Json) => {
+                let mut o = fleet_result_json(fleet);
+                o.push(
+                    "labels",
+                    JsonValue::Array(labels.iter().map(|l| JsonValue::Str(l.clone())).collect()),
+                );
+                o.to_pretty_string()
+            }
+            (Outcome::Runs { labels, fleet, .. }, OutputFormat::Csv) => run_results_csv(
+                labels
+                    .iter()
+                    .map(String::as_str)
+                    .zip(fleet.runs.iter())
+                    .collect::<Vec<_>>(),
+            ),
+            (Outcome::Clusters { name, results }, OutputFormat::Table) => {
+                let mut out = String::new();
+                for (i, result) in results.iter().enumerate() {
+                    if results.len() > 1 {
+                        out.push_str(&format!("== {name} repeat {i} ==\n"));
+                    } else {
+                        out.push_str(&format!("== {name} ==\n"));
+                    }
+                    out.push_str(&format!("{result}\n"));
+                }
+                out
+            }
+            (Outcome::Clusters { results, .. }, OutputFormat::Json) => {
+                JsonValue::Array(results.iter().map(cluster_result_json).collect())
+                    .to_pretty_string()
+            }
+            (Outcome::Clusters { results, .. }, OutputFormat::Csv) => cluster_results_csv(results),
+        }
+    }
+
+    /// The per-run results with their labels, for time-series extraction.
+    #[must_use]
+    pub fn labelled_runs(&self) -> Vec<(String, &RunResult)> {
+        match self {
+            Outcome::Runs { labels, fleet, .. } => {
+                labels.iter().cloned().zip(fleet.runs.iter()).collect()
+            }
+            Outcome::Clusters { results, .. } => {
+                let mut rows = Vec::new();
+                for (repeat, c) in results.iter().enumerate() {
+                    for (i, r) in c.nodes.runs.iter().enumerate() {
+                        let label = if results.len() > 1 {
+                            format!("repeat {repeat} node {i}")
+                        } else {
+                            format!("node {i}")
+                        };
+                        rows.push((label, r));
+                    }
+                }
+                rows
+            }
+        }
+    }
+
+    /// Renders every recorded time series as one concatenated CSV, or
+    /// `None` when no run recorded one.
+    #[must_use]
+    pub fn timeseries_csv(&self) -> Option<String> {
+        let mut out = String::new();
+        let mut any = false;
+        for (label, run) in self.labelled_runs() {
+            if let Some(ts) = &run.timeseries {
+                let block = timeseries_csv(&label, ts);
+                if any {
+                    // Drop the repeated header; one header tops the file.
+                    out.push_str(block.split_once('\n').map_or("", |(_, rest)| rest));
+                } else {
+                    out.push_str(&block);
+                    any = true;
+                }
+            }
+        }
+        any.then_some(out)
+    }
+}
+
+fn runs_table(name: &str, labels: &[String], runs: &[RunResult]) -> String {
+    let mut table = TextTable::new(
+        name,
+        &[
+            "run",
+            "config",
+            "workload",
+            "rate",
+            "throughput",
+            "power W",
+            "mean",
+            "p99",
+            "p999",
+            "PC1A %",
+            "idle 20-200us %",
+        ],
+    );
+    for (label, r) in labels.iter().zip(runs) {
+        table.add_row(&[
+            label.clone(),
+            r.config_name.to_owned(),
+            r.workload.to_owned(),
+            format!("{:.0}", r.offered_rate),
+            format!("{:.0}", r.throughput()),
+            format!("{:.2}", r.avg_total_power().as_f64()),
+            format!("{}", r.latency.mean),
+            format!("{}", r.latency.p99),
+            format!("{}", r.latency.p999),
+            format!("{:.1}", r.pc1a_residency * 100.0),
+            format!("{:.1}", r.idle_periods_20_200us * 100.0),
+        ]);
+    }
+    table.render()
+}

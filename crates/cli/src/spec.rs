@@ -1,0 +1,1076 @@
+//! The experiment-spec file format and its hand-rolled parser.
+//!
+//! Specs are written in a small, offline-safe **TOML subset** (the
+//! workspace has no external dependencies, so the parser is hand-rolled in
+//! the spirit of the vendored criterion shim): `[table]` headers, `key =
+//! value` pairs, `#` comments, and values that are strings, numbers,
+//! booleans or single-line arrays of those. Underscores in numbers
+//! (`60_000`) are accepted. What the subset deliberately leaves out:
+//! nested/dotted keys, inline tables, multi-line strings and arrays, dates.
+//!
+//! A spec describes one experiment end-to-end:
+//!
+//! ```toml
+//! [experiment]
+//! kind = "cluster"          # single | fleet | cluster | sweep
+//! seed = 7
+//! duration_ms = 50
+//! repeats = 2               # single/cluster only
+//!
+//! [platform]
+//! name = "cpc1a"            # cshallow | cdeep | cpc1a
+//!
+//! [workload]
+//! kind = "memcached"        # memcached | kafka | mysql
+//! rate_per_sec = 160_000.0
+//! pattern = "constant"      # constant | diurnal | flash-crowd
+//!
+//! [cluster]
+//! nodes = 8
+//! policy = "power-aware"    # random | round-robin | jsq | power-aware
+//!
+//! [telemetry]
+//! sample_interval_us = 100  # enables the time-series sink
+//! ```
+//!
+//! Parsing is **strict**: unknown tables, unknown keys, missing required
+//! keys and type mismatches are errors carrying the offending line number,
+//! so a typo fails loudly instead of silently running a default.
+
+use apc_server::balancer::RoutingPolicyKind;
+use apc_server::config::ServerConfig;
+use apc_server::scenario::{TrafficPattern, WorkloadKind};
+use apc_sim::SimDuration;
+
+/// A spec parse/validation error with the 1-based line it occurred on
+/// (line 0 marks document-level problems, e.g. a missing table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line (0 = whole document).
+    pub line: usize,
+}
+
+impl SpecError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    fn doc(message: impl Into<String>) -> Self {
+        SpecError::at(0, message)
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "spec error: {}", self.message)
+        } else {
+            write!(f, "spec error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A scalar or array value in the TOML subset.
+#[derive(Debug, Clone, PartialEq)]
+enum TomlValue {
+    Str(String),
+    /// A non-negative integer literal, kept exact — `seed` uses the full
+    /// `u64` range, which `f64` would silently round above 2^53.
+    UInt(u64),
+    Num(f64),
+    Bool(bool),
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::UInt(_) | TomlValue::Num(_) => "number",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Array(_) => "array",
+        }
+    }
+
+    /// The value as an `f64` (integers widen; `None` for non-numbers).
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            TomlValue::UInt(u) => Some(*u as f64),
+            TomlValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// One `key = value` entry with its line, consumed-flag tracking unknown
+/// keys.
+#[derive(Debug)]
+struct Entry {
+    key: String,
+    value: TomlValue,
+    line: usize,
+    used: std::cell::Cell<bool>,
+}
+
+/// One `[name]` table.
+#[derive(Debug)]
+struct Table {
+    name: String,
+    line: usize,
+    entries: Vec<Entry>,
+}
+
+impl Table {
+    fn entry(&self, key: &str) -> Option<&Entry> {
+        let e = self.entries.iter().find(|e| e.key == key)?;
+        e.used.set(true);
+        Some(e)
+    }
+
+    fn str(&self, key: &str) -> Result<Option<(String, usize)>, SpecError> {
+        match self.entry(key) {
+            None => Ok(None),
+            Some(e) => match &e.value {
+                TomlValue::Str(s) => Ok(Some((s.clone(), e.line))),
+                other => Err(SpecError::at(
+                    e.line,
+                    format!("`{key}` must be a string, got a {}", other.type_name()),
+                )),
+            },
+        }
+    }
+
+    fn num(&self, key: &str) -> Result<Option<(f64, usize)>, SpecError> {
+        match self.entry(key) {
+            None => Ok(None),
+            Some(e) => match e.value.as_f64() {
+                Some(n) => Ok(Some((n, e.line))),
+                None => Err(SpecError::at(
+                    e.line,
+                    format!("`{key}` must be a number, got a {}", e.value.type_name()),
+                )),
+            },
+        }
+    }
+
+    /// An exact non-negative integer (full `u64` range, no float rounding).
+    fn uint(&self, key: &str) -> Result<Option<(u64, usize)>, SpecError> {
+        match self.entry(key) {
+            None => Ok(None),
+            Some(e) => match e.value {
+                TomlValue::UInt(u) => Ok(Some((u, e.line))),
+                ref other => Err(SpecError::at(
+                    e.line,
+                    format!(
+                        "`{key}` must be a non-negative integer, got a {}",
+                        other.type_name()
+                    ),
+                )),
+            },
+        }
+    }
+
+    fn positive(&self, key: &str) -> Result<Option<(f64, usize)>, SpecError> {
+        match self.num(key)? {
+            Some((n, line)) if n > 0.0 => Ok(Some((n, line))),
+            Some((n, line)) => Err(SpecError::at(line, format!("`{key}` must be > 0, got {n}"))),
+            None => Ok(None),
+        }
+    }
+
+    fn count(&self, key: &str) -> Result<Option<(usize, usize)>, SpecError> {
+        // Counts size allocations and pool fan-outs, so an absurd value is
+        // a typo to reject loudly, not an instruction to OOM.
+        const MAX_COUNT: f64 = 100_000.0;
+        match self.positive(key)? {
+            Some((n, line)) if n.fract() == 0.0 && n <= MAX_COUNT => Ok(Some((n as usize, line))),
+            Some((n, line)) => Err(SpecError::at(
+                line,
+                format!("`{key}` must be an integer in 1..={MAX_COUNT}, got {n}"),
+            )),
+            None => Ok(None),
+        }
+    }
+
+    /// A positive duration built via `to_duration`, rejected when it rounds
+    /// to zero nanoseconds (a zero interval would silently disable or stall
+    /// whatever it configures).
+    fn duration(
+        &self,
+        key: &str,
+        to_duration: impl Fn(f64) -> SimDuration,
+    ) -> Result<Option<SimDuration>, SpecError> {
+        match self.positive(key)? {
+            None => Ok(None),
+            Some((n, line)) => {
+                let d = to_duration(n);
+                if d.is_zero() {
+                    return Err(SpecError::at(
+                        line,
+                        format!("`{key}` = {n} rounds to zero nanoseconds"),
+                    ));
+                }
+                Ok(Some(d))
+            }
+        }
+    }
+
+    fn unused_key_error(&self) -> Option<SpecError> {
+        self.entries.iter().find(|e| !e.used.get()).map(|e| {
+            SpecError::at(
+                e.line,
+                format!("unknown key `{}` in [{}]", e.key, self.name),
+            )
+        })
+    }
+}
+
+fn parse_tables(text: &str) -> Result<Vec<Table>, SpecError> {
+    let mut tables: Vec<Table> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| SpecError::at(line_no, "unterminated table header"))?
+                .trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+            {
+                return Err(SpecError::at(
+                    line_no,
+                    format!("invalid table name `{name}`"),
+                ));
+            }
+            if tables.iter().any(|t| t.name == name) {
+                return Err(SpecError::at(
+                    line_no,
+                    format!("table [{name}] defined twice"),
+                ));
+            }
+            tables.push(Table {
+                name: name.to_owned(),
+                line: line_no,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| SpecError::at(line_no, "expected `key = value` or `[table]`"))?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(SpecError::at(line_no, format!("invalid key `{key}`")));
+        }
+        let table = tables
+            .last_mut()
+            .ok_or_else(|| SpecError::at(line_no, "key outside any [table]"))?;
+        if table.entries.iter().any(|e| e.key == key) {
+            return Err(SpecError::at(
+                line_no,
+                format!("key `{key}` defined twice in [{}]", table.name),
+            ));
+        }
+        let value = parse_value(value.trim(), line_no)?;
+        table.entries.push(Entry {
+            key: key.to_owned(),
+            value,
+            line: line_no,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    Ok(tables)
+}
+
+/// Strips a `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, line: usize) -> Result<TomlValue, SpecError> {
+    if text.is_empty() {
+        return Err(SpecError::at(line, "missing value after `=`"));
+    }
+    if let Some(rest) = text.strip_prefix('[') {
+        let inner = rest
+            .strip_suffix(']')
+            .ok_or_else(|| SpecError::at(line, "unterminated array (arrays are single-line)"))?;
+        let mut items = Vec::new();
+        for part in split_array_items(inner, line)? {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            let item = parse_value(part, line)?;
+            if matches!(item, TomlValue::Array(_)) {
+                return Err(SpecError::at(line, "nested arrays are not supported"));
+            }
+            items.push(item);
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| SpecError::at(line, "unterminated string"))?;
+        if inner.contains('"') {
+            return Err(SpecError::at(line, "escapes are not supported in strings"));
+        }
+        return Ok(TomlValue::Str(inner.to_owned()));
+    }
+    match text {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    let numeric: String = text.chars().filter(|&c| c != '_').collect();
+    // Plain integer literals stay exact (u64); everything else goes through
+    // f64 — rejecting the non-finite spellings `f64::parse` would accept
+    // (`inf`, `nan`, overflowing exponents), which have no physical meaning
+    // in a spec and must fail loudly like any other typo.
+    if !numeric.contains(['.', 'e', 'E']) {
+        if let Ok(u) = numeric.parse::<u64>() {
+            return Ok(TomlValue::UInt(u));
+        }
+    }
+    match numeric.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(TomlValue::Num(v)),
+        Ok(_) => Err(SpecError::at(
+            line,
+            format!("non-finite value `{text}` is not allowed"),
+        )),
+        Err(_) => Err(SpecError::at(line, format!("invalid value `{text}`"))),
+    }
+}
+
+/// Splits array items on commas outside quotes.
+fn split_array_items(inner: &str, line: usize) -> Result<Vec<&str>, SpecError> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err(SpecError::at(line, "unterminated string in array"));
+    }
+    items.push(&inner[start..]);
+    Ok(items)
+}
+
+// ---- the spec model ----------------------------------------------------
+
+/// The three platform configurations of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformKind {
+    /// CC1-only baseline (`Cshallow`).
+    Cshallow,
+    /// All C-states enabled (`Cdeep`).
+    Cdeep,
+    /// `Cshallow` plus the APC hardware (`CPC1A`).
+    Cpc1a,
+}
+
+impl PlatformKind {
+    /// All platforms, in presentation order.
+    #[must_use]
+    pub fn all() -> [PlatformKind; 3] {
+        [
+            PlatformKind::Cshallow,
+            PlatformKind::Cdeep,
+            PlatformKind::Cpc1a,
+        ]
+    }
+
+    /// The spec-file spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformKind::Cshallow => "cshallow",
+            PlatformKind::Cdeep => "cdeep",
+            PlatformKind::Cpc1a => "cpc1a",
+        }
+    }
+
+    /// Parses a spec-file platform name (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<PlatformKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "cshallow" => Some(PlatformKind::Cshallow),
+            "cdeep" => Some(PlatformKind::Cdeep),
+            "cpc1a" => Some(PlatformKind::Cpc1a),
+            _ => None,
+        }
+    }
+
+    /// Builds the base server configuration for this platform.
+    #[must_use]
+    pub fn config(self) -> ServerConfig {
+        match self {
+            PlatformKind::Cshallow => ServerConfig::c_shallow(),
+            PlatformKind::Cdeep => ServerConfig::c_deep(),
+            PlatformKind::Cpc1a => ServerConfig::c_pc1a(),
+        }
+    }
+}
+
+/// What shape of experiment a spec runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecKind {
+    /// One server (optionally repeated under derived seeds).
+    Single,
+    /// A fleet of independent servers sharing the workload and traffic.
+    Fleet {
+        /// Number of servers.
+        servers: usize,
+    },
+    /// An N-node cluster behind a load balancer.
+    Cluster {
+        /// Number of nodes.
+        nodes: usize,
+        /// The routing policy.
+        policy: RoutingPolicyKind,
+    },
+    /// A cartesian sweep over offered rates × platforms (single-server runs).
+    Sweep {
+        /// The load axis (requests per second).
+        rates: Vec<f64>,
+        /// The platform axis.
+        platforms: Vec<PlatformKind>,
+    },
+}
+
+/// A parsed, validated experiment specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name (defaults to `"experiment"`).
+    pub name: String,
+    /// The experiment shape.
+    pub kind: SpecKind,
+    /// Base platform (for sweeps, the per-point platform axis wins).
+    pub platform: PlatformKind,
+    /// The service the servers run.
+    pub workload: WorkloadKind,
+    /// The offered-traffic shape.
+    pub traffic: TrafficPattern,
+    /// Simulated duration of each run.
+    pub duration: SimDuration,
+    /// Root seed.
+    pub seed: u64,
+    /// Repeat count (single and cluster kinds only).
+    pub repeats: usize,
+    /// Time-series sampling interval, when `[telemetry]` enables the sink.
+    pub timeseries_interval: Option<SimDuration>,
+}
+
+/// Parses a routing-policy spelling shared by spec files and `--policy`.
+#[must_use]
+pub fn parse_policy(name: &str) -> Option<RoutingPolicyKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "random" => Some(RoutingPolicyKind::Random),
+        "round-robin" => Some(RoutingPolicyKind::RoundRobin),
+        "jsq" | "join-shortest-queue" => Some(RoutingPolicyKind::JoinShortestQueue),
+        "power-aware" => Some(RoutingPolicyKind::PowerAware),
+        _ => None,
+    }
+}
+
+/// Parses a workload spelling shared by spec files and results.
+#[must_use]
+pub fn parse_workload(name: &str) -> Option<WorkloadKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "memcached" => Some(WorkloadKind::MemcachedEtc),
+        "kafka" => Some(WorkloadKind::Kafka),
+        "mysql" => Some(WorkloadKind::MysqlOltp),
+        _ => None,
+    }
+}
+
+impl ExperimentSpec {
+    /// Parses and validates a spec document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending line for syntax errors,
+    /// unknown tables/keys, type mismatches, missing required keys and
+    /// inconsistent table/kind combinations.
+    pub fn parse(text: &str) -> Result<ExperimentSpec, SpecError> {
+        let tables = parse_tables(text)?;
+        for t in &tables {
+            if !matches!(
+                t.name.as_str(),
+                "experiment"
+                    | "platform"
+                    | "workload"
+                    | "fleet"
+                    | "cluster"
+                    | "sweep"
+                    | "telemetry"
+            ) {
+                return Err(SpecError::at(t.line, format!("unknown table [{}]", t.name)));
+            }
+        }
+        let find = |name: &str| tables.iter().find(|t| t.name == name);
+
+        // [experiment]
+        let experiment = find("experiment")
+            .ok_or_else(|| SpecError::doc("missing required table [experiment]"))?;
+        let (kind_name, kind_line) = experiment
+            .str("kind")?
+            .ok_or_else(|| SpecError::at(experiment.line, "[experiment] needs `kind`"))?;
+        let name = experiment
+            .str("name")?
+            .map_or_else(|| "experiment".to_owned(), |(s, _)| s);
+        let seed = experiment.uint("seed")?.map_or(0x5eed, |(u, _)| u);
+        let duration = experiment
+            .duration("duration_ms", |ms| {
+                SimDuration::from_micros_f64(ms * 1_000.0)
+            })?
+            .unwrap_or(SimDuration::from_millis(100));
+        let repeats = experiment.count("repeats")?.map_or(1, |(n, _)| n);
+
+        // [platform]
+        let platform_declared = find("platform").is_some();
+        let platform = match find("platform") {
+            None => PlatformKind::Cpc1a,
+            Some(t) => match t.str("name")? {
+                None => PlatformKind::Cpc1a,
+                Some((s, line)) => PlatformKind::parse(&s).ok_or_else(|| {
+                    SpecError::at(
+                        line,
+                        format!("unknown platform `{s}` (cshallow|cdeep|cpc1a)"),
+                    )
+                })?,
+            },
+        };
+
+        // [workload]
+        let workload_table =
+            find("workload").ok_or_else(|| SpecError::doc("missing required table [workload]"))?;
+        let (workload_name, workload_line) = workload_table
+            .str("kind")?
+            .ok_or_else(|| SpecError::at(workload_table.line, "[workload] needs `kind`"))?;
+        let workload = parse_workload(&workload_name).ok_or_else(|| {
+            SpecError::at(
+                workload_line,
+                format!("unknown workload `{workload_name}` (memcached|kafka|mysql)"),
+            )
+        })?;
+        let (rate, _) = workload_table
+            .positive("rate_per_sec")?
+            .ok_or_else(|| SpecError::at(workload_table.line, "[workload] needs `rate_per_sec`"))?;
+        let traffic = parse_traffic(workload_table, rate)?;
+
+        // [telemetry]
+        let timeseries_interval = match find("telemetry") {
+            None => None,
+            Some(t) => {
+                let interval = t
+                    .duration("sample_interval_us", SimDuration::from_micros_f64)?
+                    .ok_or_else(|| {
+                        SpecError::at(t.line, "[telemetry] needs `sample_interval_us`")
+                    })?;
+                Some(interval)
+            }
+        };
+
+        // kind + its table
+        let kind = match kind_name.as_str() {
+            "single" => SpecKind::Single,
+            "fleet" => {
+                let t = find("fleet").ok_or_else(|| {
+                    SpecError::at(kind_line, "kind = \"fleet\" needs a [fleet] table")
+                })?;
+                let (servers, _) = t
+                    .count("servers")?
+                    .ok_or_else(|| SpecError::at(t.line, "[fleet] needs `servers`"))?;
+                SpecKind::Fleet { servers }
+            }
+            "cluster" => {
+                let t = find("cluster").ok_or_else(|| {
+                    SpecError::at(kind_line, "kind = \"cluster\" needs a [cluster] table")
+                })?;
+                let (nodes, _) = t
+                    .count("nodes")?
+                    .ok_or_else(|| SpecError::at(t.line, "[cluster] needs `nodes`"))?;
+                let policy = match t.str("policy")? {
+                    None => RoutingPolicyKind::PowerAware,
+                    Some((s, line)) => parse_policy(&s).ok_or_else(|| {
+                        SpecError::at(
+                            line,
+                            format!("unknown policy `{s}` (random|round-robin|jsq|power-aware)"),
+                        )
+                    })?,
+                };
+                SpecKind::Cluster { nodes, policy }
+            }
+            "sweep" => {
+                let t = find("sweep").ok_or_else(|| {
+                    SpecError::at(kind_line, "kind = \"sweep\" needs a [sweep] table")
+                })?;
+                let rates = match t.entry("rates") {
+                    None => return Err(SpecError::at(t.line, "[sweep] needs `rates`")),
+                    Some(e) => match &e.value {
+                        TomlValue::Array(items) => {
+                            let mut rates = Vec::new();
+                            for item in items {
+                                match item.as_f64() {
+                                    Some(n) if n > 0.0 => rates.push(n),
+                                    _ => {
+                                        return Err(SpecError::at(
+                                            e.line,
+                                            "`rates` must be positive numbers",
+                                        ))
+                                    }
+                                }
+                            }
+                            if rates.is_empty() {
+                                return Err(SpecError::at(e.line, "`rates` must not be empty"));
+                            }
+                            rates
+                        }
+                        other => {
+                            return Err(SpecError::at(
+                                e.line,
+                                format!("`rates` must be an array, got a {}", other.type_name()),
+                            ))
+                        }
+                    },
+                };
+                // The platform axis and the base [platform] table are the
+                // same knob spelled two ways: a declared [platform] becomes
+                // the (single-point) axis, an explicit `platforms` array
+                // alongside it is a conflict, and with neither the sweep
+                // covers all three platforms.
+                let platforms = match t.entry("platforms") {
+                    None if platform_declared => vec![platform],
+                    None => PlatformKind::all().to_vec(),
+                    Some(e) if platform_declared => {
+                        return Err(SpecError::at(
+                            e.line,
+                            "`platforms` conflicts with the [platform] table \
+                             (declare the axis in one place)",
+                        ))
+                    }
+                    Some(e) => match &e.value {
+                        TomlValue::Array(items) => {
+                            let mut platforms = Vec::new();
+                            for item in items {
+                                match item {
+                                    TomlValue::Str(s) => {
+                                        platforms.push(PlatformKind::parse(s).ok_or_else(
+                                            || {
+                                                SpecError::at(
+                                                    e.line,
+                                                    format!("unknown platform `{s}`"),
+                                                )
+                                            },
+                                        )?);
+                                    }
+                                    _ => {
+                                        return Err(SpecError::at(
+                                            e.line,
+                                            "`platforms` must be strings",
+                                        ))
+                                    }
+                                }
+                            }
+                            if platforms.is_empty() {
+                                return Err(SpecError::at(e.line, "`platforms` must not be empty"));
+                            }
+                            platforms
+                        }
+                        other => {
+                            return Err(SpecError::at(
+                                e.line,
+                                format!(
+                                    "`platforms` must be an array, got a {}",
+                                    other.type_name()
+                                ),
+                            ))
+                        }
+                    },
+                };
+                SpecKind::Sweep { rates, platforms }
+            }
+            other => {
+                return Err(SpecError::at(
+                    kind_line,
+                    format!("unknown experiment kind `{other}` (single|fleet|cluster|sweep)"),
+                ))
+            }
+        };
+
+        // Shape tables that contradict the declared kind are conflicts, not
+        // silently ignored data.
+        for (table, wanted) in [
+            ("fleet", "fleet"),
+            ("cluster", "cluster"),
+            ("sweep", "sweep"),
+        ] {
+            if let Some(t) = find(table) {
+                if kind_name != wanted {
+                    return Err(SpecError::at(
+                        t.line,
+                        format!("[{table}] conflicts with kind = \"{kind_name}\""),
+                    ));
+                }
+            }
+        }
+        if repeats > 1 && matches!(kind, SpecKind::Fleet { .. } | SpecKind::Sweep { .. }) {
+            return Err(SpecError::doc(format!(
+                "`repeats` applies to single and cluster experiments, not kind = \"{kind_name}\""
+            )));
+        }
+        if matches!(kind, SpecKind::Cluster { .. })
+            && !matches!(traffic, TrafficPattern::Constant { .. })
+        {
+            return Err(SpecError::doc(
+                "cluster experiments support only pattern = \"constant\" \
+                 (the balancer owns one stationary arrival stream)",
+            ));
+        }
+        if matches!(kind, SpecKind::Sweep { .. })
+            && !matches!(traffic, TrafficPattern::Constant { .. })
+        {
+            return Err(SpecError::doc(
+                "sweep experiments support only pattern = \"constant\" \
+                 (the rate axis replaces the pattern's rate)",
+            ));
+        }
+
+        // Every key must have been consumed by now.
+        for t in &tables {
+            if let Some(err) = t.unused_key_error() {
+                return Err(err);
+            }
+        }
+
+        Ok(ExperimentSpec {
+            name,
+            kind,
+            platform,
+            workload,
+            traffic,
+            duration,
+            seed,
+            repeats,
+            timeseries_interval,
+        })
+    }
+}
+
+fn parse_traffic(table: &Table, rate: f64) -> Result<TrafficPattern, SpecError> {
+    let pattern = table.str("pattern")?;
+    let (pattern_name, pattern_line) = match &pattern {
+        None => ("constant", table.line),
+        Some((s, line)) => (s.as_str(), *line),
+    };
+    let reject = |key: &str| -> Result<(), SpecError> {
+        match table.entry(key) {
+            Some(e) => Err(SpecError::at(
+                e.line,
+                format!("`{key}` conflicts with pattern = \"{pattern_name}\""),
+            )),
+            None => Ok(()),
+        }
+    };
+    match pattern_name {
+        "constant" => {
+            for key in [
+                "swing",
+                "peak_multiplier",
+                "start_fraction",
+                "length_fraction",
+            ] {
+                reject(key)?;
+            }
+            Ok(TrafficPattern::Constant { rate_per_sec: rate })
+        }
+        "diurnal" => {
+            for key in ["peak_multiplier", "start_fraction", "length_fraction"] {
+                reject(key)?;
+            }
+            let swing = match table.num("swing")? {
+                None => 0.75,
+                Some((s, line)) => {
+                    if !(0.0..1.0).contains(&s) {
+                        return Err(SpecError::at(
+                            line,
+                            format!("`swing` must be in [0, 1), got {s}"),
+                        ));
+                    }
+                    s
+                }
+            };
+            Ok(TrafficPattern::Diurnal {
+                mean_rate_per_sec: rate,
+                swing,
+            })
+        }
+        "flash-crowd" => {
+            reject("swing")?;
+            let fraction = |key: &str, default: f64| -> Result<f64, SpecError> {
+                match table.num(key)? {
+                    None => Ok(default),
+                    Some((v, line)) => {
+                        if !(0.0..1.0).contains(&v) || v == 0.0 {
+                            return Err(SpecError::at(
+                                line,
+                                format!("`{key}` must be in (0, 1), got {v}"),
+                            ));
+                        }
+                        Ok(v)
+                    }
+                }
+            };
+            let peak = match table.positive("peak_multiplier")? {
+                None => 6.0,
+                Some((v, _)) => v,
+            };
+            Ok(TrafficPattern::FlashCrowd {
+                base_rate_per_sec: rate,
+                peak_multiplier: peak,
+                start_fraction: fraction("start_fraction", 0.4)?,
+                length_fraction: fraction("length_fraction", 0.2)?,
+            })
+        }
+        other => Err(SpecError::at(
+            pattern_line,
+            format!("unknown pattern `{other}` (constant|diurnal|flash-crowd)"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLUSTER_SPEC: &str = r#"
+# A cluster experiment.
+[experiment]
+kind = "cluster"
+seed = 7
+duration_ms = 50
+repeats = 2
+
+[workload]
+kind = "memcached"
+rate_per_sec = 160_000.0
+
+[cluster]
+nodes = 8
+policy = "jsq"
+"#;
+
+    #[test]
+    fn parses_a_cluster_spec() {
+        let spec = ExperimentSpec::parse(CLUSTER_SPEC).unwrap();
+        assert_eq!(
+            spec.kind,
+            SpecKind::Cluster {
+                nodes: 8,
+                policy: RoutingPolicyKind::JoinShortestQueue
+            }
+        );
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.duration, SimDuration::from_millis(50));
+        assert_eq!(spec.repeats, 2);
+        assert_eq!(spec.platform, PlatformKind::Cpc1a, "platform defaults");
+        assert_eq!(
+            spec.traffic,
+            TrafficPattern::Constant {
+                rate_per_sec: 160_000.0
+            }
+        );
+        assert!(spec.timeseries_interval.is_none());
+    }
+
+    #[test]
+    fn parses_patterns_and_telemetry() {
+        let text = r#"
+[experiment]
+kind = "fleet"
+
+[workload]
+kind = "kafka"
+rate_per_sec = 8000
+pattern = "diurnal"
+swing = 0.5
+
+[fleet]
+servers = 4
+
+[telemetry]
+sample_interval_us = 250
+"#;
+        let spec = ExperimentSpec::parse(text).unwrap();
+        assert_eq!(spec.kind, SpecKind::Fleet { servers: 4 });
+        assert_eq!(
+            spec.traffic,
+            TrafficPattern::Diurnal {
+                mean_rate_per_sec: 8000.0,
+                swing: 0.5
+            }
+        );
+        assert_eq!(
+            spec.timeseries_interval,
+            Some(SimDuration::from_micros(250))
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "[experiment]\nkind = \"single\"\nbogus_key = 1\n\n[workload]\nkind = \"memcached\"\nrate_per_sec = 100\n";
+        let err = ExperimentSpec::parse(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("bogus_key"), "{err}");
+    }
+
+    #[test]
+    fn rejects_contradictory_shapes() {
+        let text = r#"
+[experiment]
+kind = "single"
+
+[workload]
+kind = "memcached"
+rate_per_sec = 100
+
+[cluster]
+nodes = 4
+"#;
+        let err = ExperimentSpec::parse(text).unwrap_err();
+        assert!(err.message.contains("conflicts with kind"), "{err}");
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        for (text, needle) in [
+            ("key = 1", "outside any"),
+            ("[experiment", "unterminated table"),
+            ("[experiment]\nkind\n", "expected `key = value`"),
+            ("[experiment]\nkind = \n", "missing value"),
+            (
+                "[experiment]\nkind = \"single\nx = 1\n",
+                "unterminated string",
+            ),
+            ("[experiment]\nkind = oops\n", "invalid value"),
+            (
+                "[experiment]\nkind = \"x\"\n[experiment]\n",
+                "defined twice",
+            ),
+        ] {
+            let err = ExperimentSpec::parse(text).unwrap_err();
+            assert!(err.message.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_platform_axis_and_platform_table_are_one_knob() {
+        let base = |sweep: &str| {
+            format!(
+                "[experiment]\nkind = \"sweep\"\n\n[platform]\nname = \"cshallow\"\n\n\
+                 [workload]\nkind = \"memcached\"\nrate_per_sec = 100\n\n[sweep]\nrates = [100]\n{sweep}"
+            )
+        };
+        // A declared [platform] becomes the single-point axis.
+        let spec = ExperimentSpec::parse(&base("")).unwrap();
+        let SpecKind::Sweep { platforms, .. } = spec.kind else {
+            panic!("expected sweep");
+        };
+        assert_eq!(platforms, vec![PlatformKind::Cshallow]);
+        // Declaring both is a conflict, not a silent shadowing.
+        let err = ExperimentSpec::parse(&base("platforms = [\"cpc1a\"]\n")).unwrap_err();
+        assert!(
+            err.message.contains("conflicts with the [platform]"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn seeds_keep_full_u64_precision() {
+        let text = format!(
+            "[experiment]\nkind = \"single\"\nseed = {}\n\n[workload]\nkind = \"memcached\"\nrate_per_sec = 100\n",
+            u64::MAX
+        );
+        let spec = ExperimentSpec::parse(&text).unwrap();
+        assert_eq!(spec.seed, u64::MAX, "no float rounding above 2^53");
+        // Float and negative seeds are rejected, not rounded.
+        for bad in ["seed = 1.5", "seed = -1"] {
+            let text = format!(
+                "[experiment]\nkind = \"single\"\n{bad}\n\n[workload]\nkind = \"memcached\"\nrate_per_sec = 100\n"
+            );
+            let err = ExperimentSpec::parse(&text).unwrap_err();
+            assert!(
+                err.message.contains("non-negative integer") || err.message.contains("invalid"),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        for bad in ["inf", "-inf", "nan", "1e999"] {
+            let text = format!(
+                "[experiment]\nkind = \"single\"\n\n[workload]\nkind = \"memcached\"\nrate_per_sec = {bad}\n"
+            );
+            let err = ExperimentSpec::parse(&text).unwrap_err();
+            assert_eq!(err.line, 6, "{bad:?} -> {err}");
+            assert!(
+                err.message.contains("non-finite") || err.message.contains("invalid value"),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_axes_parse() {
+        let text = r#"
+[experiment]
+kind = "sweep"
+
+[workload]
+kind = "memcached"
+rate_per_sec = 1 # overridden per point; must still be positive
+
+[sweep]
+rates = [4_000, 10_000, 25_000]
+platforms = ["cshallow", "cpc1a"]
+"#;
+        let spec = ExperimentSpec::parse(text).unwrap();
+        let SpecKind::Sweep { rates, platforms } = spec.kind else {
+            panic!("expected sweep");
+        };
+        assert_eq!(rates, vec![4_000.0, 10_000.0, 25_000.0]);
+        assert_eq!(platforms, vec![PlatformKind::Cshallow, PlatformKind::Cpc1a]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Integration tests of the `apc-cli` command layer: spec execution end to
+//! end, export determinism, and every documented error path.
+
+use std::path::PathBuf;
+
+use apc_analysis::export::JsonValue;
+use apc_cli::{execute, CliError};
+
+/// A scratch file unique to this test process, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("apc-cli-test-{}-{name}", std::process::id()));
+        Scratch(path)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("temp paths are UTF-8")
+    }
+
+    fn write(&self, content: &str) -> &Self {
+        std::fs::write(&self.0, content).expect("write scratch file");
+        self
+    }
+
+    fn read(&self) -> String {
+        std::fs::read_to_string(&self.0).expect("read scratch file")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| (*s).to_owned()).collect()
+}
+
+const SINGLE_SPEC: &str = r#"
+[experiment]
+kind = "single"
+name = "test-single"
+seed = 7
+duration_ms = 2
+
+[workload]
+kind = "memcached"
+rate_per_sec = 20_000
+"#;
+
+const CLUSTER_SPEC: &str = r#"
+[experiment]
+kind = "cluster"
+seed = 7
+duration_ms = 5
+
+[workload]
+kind = "memcached"
+rate_per_sec = 40_000
+
+[cluster]
+nodes = 2
+policy = "jsq"
+
+[telemetry]
+sample_interval_us = 1000
+"#;
+
+#[test]
+fn runs_a_single_spec_to_json() {
+    let spec = Scratch::new("single.toml");
+    spec.write(SINGLE_SPEC);
+    let out = execute(&args(&["run", spec.path(), "--format", "json"])).unwrap();
+    let parsed = JsonValue::parse(&out).expect("output is valid JSON");
+    // The JSON shape is count-independent: one run still exports the fleet
+    // object (consumers keep parsing when a count changes).
+    assert_eq!(parsed.get("servers").and_then(JsonValue::as_u64), Some(1));
+    let run = &parsed.get("runs").and_then(JsonValue::as_array).unwrap()[0];
+    assert_eq!(
+        run.get("config").and_then(JsonValue::as_str),
+        Some("CPC1A"),
+        "platform defaults to cpc1a"
+    );
+    assert!(
+        run.get("completed_requests")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+}
+
+#[test]
+fn cluster_spec_runs_end_to_end_with_timeseries() {
+    let spec = Scratch::new("cluster.toml");
+    spec.write(CLUSTER_SPEC);
+    let json_out = Scratch::new("cluster.json");
+    let ts_out = Scratch::new("cluster-ts.csv");
+    let stdout = execute(&args(&[
+        "run",
+        spec.path(),
+        "--format",
+        "json",
+        "--out",
+        json_out.path(),
+        "--timeseries-out",
+        ts_out.path(),
+    ]))
+    .unwrap();
+    assert!(stdout.contains("wrote"), "{stdout}");
+    let parsed = JsonValue::parse(&json_out.read()).expect("file is valid JSON");
+    // Cluster outcomes always export as an array (one entry per repeat).
+    let clusters = parsed.as_array().expect("cluster JSON is an array");
+    assert_eq!(clusters.len(), 1);
+    assert_eq!(
+        clusters[0].get("policy").and_then(JsonValue::as_str),
+        Some("join-shortest-queue")
+    );
+    let ts = ts_out.read();
+    assert!(ts.starts_with("node,at_ns,"), "{ts}");
+    assert!(ts.contains("node 0,") && ts.contains("node 1,"));
+    // The `validate` subcommand round-trips the export.
+    let report = execute(&args(&["validate", json_out.path()])).unwrap();
+    assert!(report.contains("valid JSON (array"), "{report}");
+}
+
+#[test]
+fn identical_seeds_export_byte_identically_across_pool_sizes() {
+    let spec = Scratch::new("pool.toml");
+    spec.write(CLUSTER_SPEC);
+    let run = |workers: &str, format: &str| {
+        execute(&args(&[
+            "run",
+            spec.path(),
+            "--format",
+            format,
+            "--parallelism",
+            workers,
+        ]))
+        .unwrap()
+    };
+    assert_eq!(run("1", "json"), run("8", "json"));
+    assert_eq!(run("1", "csv"), run("8", "csv"));
+}
+
+#[test]
+fn named_scenarios_run_through_the_cli() {
+    let out = execute(&args(&[
+        "run",
+        "cluster-8-mid",
+        "--duration-ms",
+        "2",
+        "--format",
+        "csv",
+    ]))
+    .unwrap();
+    assert!(out.starts_with("repeat,node,policy,routed,"), "{out}");
+    assert_eq!(out.lines().count(), 9, "header + 8 nodes");
+
+    let out = execute(&args(&[
+        "cluster",
+        "cluster-8-trough",
+        "--duration-ms",
+        "2",
+    ]))
+    .unwrap();
+    assert!(out.contains("cluster (power-aware)"), "{out}");
+}
+
+#[test]
+fn sweep_expands_the_cartesian_grid() {
+    let spec = Scratch::new("sweep.toml");
+    spec.write(
+        r#"
+[experiment]
+kind = "sweep"
+duration_ms = 2
+
+[workload]
+kind = "memcached"
+rate_per_sec = 1
+
+[sweep]
+rates = [5_000, 20_000]
+platforms = ["cshallow", "cpc1a"]
+"#,
+    );
+    let out = execute(&args(&["sweep", spec.path(), "--format", "csv"])).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 2x2 grid: {out}");
+    assert!(lines[1].starts_with("cshallow@5000,"));
+    assert!(lines[4].starts_with("cpc1a@20000,"));
+}
+
+#[test]
+fn list_names_every_library_scenario() {
+    let table = execute(&args(&["list"])).unwrap();
+    for name in [
+        "diurnal",
+        "flash-crowd",
+        "heterogeneous",
+        "low-load-sweep",
+        "cluster-8-mid",
+        "cluster-8-trough",
+        "cluster-16-kafka",
+    ] {
+        assert!(table.contains(name), "missing {name} in\n{table}");
+    }
+    let json = execute(&args(&["list", "--format", "json"])).unwrap();
+    let parsed = JsonValue::parse(&json).expect("list JSON parses");
+    assert_eq!(parsed.as_array().map(<[_]>::len), Some(7));
+}
+
+// ---- error paths -------------------------------------------------------
+
+#[test]
+fn malformed_specs_fail_with_line_numbers() {
+    let spec = Scratch::new("bad.toml");
+    spec.write("[experiment]\nkind = \"single\"\n[workload]\nkind = memcached\n");
+    let err = execute(&args(&["run", spec.path()])).unwrap_err();
+    let CliError::Input(message) = &err else {
+        panic!("expected input error, got {err:?}");
+    };
+    assert!(message.contains("line 4"), "{message}");
+    assert!(message.contains("invalid value"), "{message}");
+    assert_eq!(err.exit_code(), 1);
+}
+
+#[test]
+fn unknown_scenario_names_are_rejected_with_suggestions() {
+    let err = execute(&args(&["run", "no-such-scenario"])).unwrap_err();
+    let CliError::Input(message) = &err else {
+        panic!("expected input error, got {err:?}");
+    };
+    assert!(message.contains("unknown scenario"), "{message}");
+    assert!(message.contains("cluster-8-mid"), "{message}");
+}
+
+#[test]
+fn conflicting_flags_are_usage_errors() {
+    // The same flag twice.
+    let err = execute(&args(&[
+        "run",
+        "cluster-8-mid",
+        "--format",
+        "json",
+        "--format",
+        "csv",
+    ]))
+    .unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("given twice")),
+        "{err:?}"
+    );
+    assert_eq!(err.exit_code(), 2);
+
+    // A policy on a fleet scenario.
+    let err = execute(&args(&["run", "diurnal", "--policy", "jsq"])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("does not apply to fleet scenario")),
+        "{err:?}"
+    );
+
+    // A policy override on a cluster spec file (specs own their policy;
+    // `--policy` only applies to named cluster scenarios).
+    let cluster_spec = Scratch::new("conflict-cluster.toml");
+    cluster_spec.write(CLUSTER_SPEC);
+    let err = execute(&args(&[
+        "cluster",
+        cluster_spec.path(),
+        "--policy",
+        "random",
+    ]))
+    .unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("--policy")),
+        "{err:?}"
+    );
+
+    // A platform override on a spec file (specs own their platform).
+    let spec = Scratch::new("conflict.toml");
+    spec.write(SINGLE_SPEC);
+    let err = execute(&args(&["run", spec.path(), "--platform", "cdeep"])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("--platform")),
+        "{err:?}"
+    );
+
+    // --timeseries-out without a [telemetry] table.
+    let err = execute(&args(&[
+        "run",
+        spec.path(),
+        "--timeseries-out",
+        "/tmp/nope.csv",
+    ]))
+    .unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("[telemetry]")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn unknown_flags_and_commands_are_usage_errors() {
+    let err = execute(&args(&["run", "diurnal", "--nodes", "4"])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("--nodes")),
+        "{err:?}"
+    );
+    let err = execute(&args(&["frobnicate"])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("frobnicate")),
+        "{err:?}"
+    );
+    let err = execute(&args(&[])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+}
+
+#[test]
+fn sweep_rejects_non_sweep_specs() {
+    let spec = Scratch::new("notsweep.toml");
+    spec.write(SINGLE_SPEC);
+    let err = execute(&args(&["sweep", spec.path()])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Input(m) if m.contains("not a sweep spec")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn cluster_rejects_non_cluster_targets() {
+    let spec = Scratch::new("notcluster.toml");
+    spec.write(SINGLE_SPEC);
+    let err = execute(&args(&["cluster", spec.path()])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Input(m) if m.contains("not a cluster spec")),
+        "{err:?}"
+    );
+    let err = execute(&args(&["cluster", "diurnal"])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Input(m) if m.contains("fleet scenario")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn validate_rejects_invalid_json() {
+    let bad = Scratch::new("bad.json");
+    bad.write("{\"unterminated\": ");
+    let err = execute(&args(&["validate", bad.path()])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Input(m) if m.contains("JSON error")),
+        "{err:?}"
+    );
+    let err = execute(&args(&["validate", "/no/such/file.json"])).unwrap_err();
+    assert!(matches!(err, CliError::Io(_)), "{err:?}");
+}

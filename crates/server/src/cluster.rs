@@ -119,6 +119,17 @@ impl ClusterSimulation {
             .collect();
         let balancer = Rc::new(RefCell::new(Balancer::new(loadgen, policy, node_count)));
         let balancer_id = sim.add_component("balancer", Rc::clone(&balancer));
+        // Each node's observers are scoped to the node's own components (see
+        // `ServerNode::register`); subscribe them to the balancer too, since
+        // an arrival deposits into a node's NIC buffer — the instant a
+        // standalone server would account through its own `ClientArrival`.
+        // Subscription order (node 0's power, package, node 1's, …) matches
+        // the old registration-order global fan-out, and every other event
+        // now runs two hooks instead of 2 × node count.
+        for handles in &nodes {
+            sim.add_observer_target(handles.power, balancer_id);
+            sim.add_observer_target(handles.addrs.package, balancer_id);
+        }
         // Bootstrap in the standalone order: the first arrival, then every
         // node's background timers / initial idle entries / power sampling.
         sim.schedule(balancer_id, first_arrival, ServerEvent::ClusterArrival);
@@ -242,23 +253,25 @@ impl fmt::Display for ClusterResult {
         for (i, r) in self.nodes.runs.iter().enumerate() {
             writeln!(
                 f,
-                "node {i:>3}: routed {:>8} {:>10.0} rps {:>7.1} W PC1A {:>5.1}% p99 {}",
+                "node {i:>3}: routed {:>8} {:>10.0} rps {:>7.1} W PC1A {:>5.1}% p99 {} p999 {}",
                 self.routed.get(i).copied().unwrap_or(0),
                 r.throughput(),
                 r.avg_total_power().as_f64(),
                 r.pc1a_residency * 100.0,
                 r.latency.p99,
+                r.latency.p999,
             )?;
         }
         write!(
             f,
-            "cluster ({}): {} nodes {:>10.0} rps {:>7.1} W mean PC1A {:>5.1}% worst p99 {}",
+            "cluster ({}): {} nodes {:>10.0} rps {:>7.1} W mean PC1A {:>5.1}% worst p99 {} p999 {}",
             self.policy,
             self.nodes.servers(),
             self.nodes.aggregate_throughput(),
             self.nodes.total_power_w(),
             self.nodes.mean_pc1a_residency() * 100.0,
             self.nodes.worst_p99(),
+            self.nodes.worst_p999(),
         )
     }
 }

@@ -10,7 +10,9 @@
 //!   availability);
 //! * [`package`] — the package controllers: firmware GPMU (PC6) and, under
 //!   `CPC1A`, the APC APMU (PC1A entry/abort/exit flows);
-//! * [`power`] — power/energy attribution and the optional power trace.
+//! * [`power`] — power/energy attribution and the optional power trace;
+//! * [`timeseries`] — the optional periodic time-series sampler (power,
+//!   residency deltas, queue depth over simulated time).
 //!
 //! Cross-component state (the SoC structural model, work queues, uncore
 //! availability, telemetry) lives in [`state::ServerState`]; everything else
@@ -33,6 +35,7 @@ pub mod package;
 pub mod power;
 pub mod scheduler;
 pub mod state;
+pub mod timeseries;
 
 use apc_core::apmu::WakeCause;
 use apc_sim::component::ComponentId;
@@ -95,6 +98,8 @@ pub enum ServerEvent {
     GpmuExitDone,
     /// Periodic power-trace sample. (→ `power`)
     PowerSample,
+    /// Periodic time-series telemetry sample. (→ `timeseries`)
+    TimeSeriesSample,
 }
 
 /// A unit of work a core can execute.

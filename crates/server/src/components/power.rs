@@ -47,9 +47,7 @@ impl<S: HasNode> EventHandler<ServerEvent, S> for PowerTelemetry {
         let Some(every) = self.sample_every else {
             return;
         };
-        let busy = shared.sched.busy_cores() as f64;
-        let mem_util = busy / shared.soc.cores().len().max(1) as f64;
-        let snapshot = shared.config.power.snapshot(&shared.soc, mem_util);
+        let snapshot = shared.power_snapshot();
         shared
             .telemetry
             .power_trace

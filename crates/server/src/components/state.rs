@@ -16,6 +16,7 @@ use apc_soc::topology::SkxSoc;
 use apc_telemetry::idle::IdlePeriodTracker;
 use apc_telemetry::latency::LatencyRecorder;
 use apc_telemetry::residency::{CoreResidencySet, PackageResidency};
+use apc_telemetry::timeseries::TimeSeries;
 use apc_workloads::request::Request;
 
 use super::{Addresses, WorkItem};
@@ -217,6 +218,10 @@ pub struct TelemetryState {
     /// Optional instantaneous power trace `(time, soc_power)`, filled by the
     /// power component when sampling is enabled.
     pub power_trace: Vec<(SimTime, Watts)>,
+    /// Optional time-series telemetry, filled by the time-series sampler
+    /// component when [`crate::config::ServerConfig::timeseries_interval`]
+    /// is set.
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl TelemetryState {
@@ -232,6 +237,7 @@ impl TelemetryState {
             completed_requests: 0,
             busy_core_time: SimDuration::ZERO,
             power_trace: Vec::new(),
+            timeseries: None,
         }
     }
 }
@@ -272,13 +278,18 @@ impl ServerState {
     pub fn new(config: ServerConfig) -> Self {
         let soc = config.soc.build();
         let cores = soc.cores().len();
+        let mut telemetry = TelemetryState::new(cores);
+        telemetry.timeseries = config
+            .timeseries_interval
+            .filter(|d| !d.is_zero())
+            .map(TimeSeries::new);
         ServerState {
             soc,
             addrs: Addresses::default(),
             nic: NicState::default(),
             sched: SchedState::new(cores),
             uncore: UncoreStatus::default(),
-            telemetry: TelemetryState::new(cores),
+            telemetry,
             workload_name: "",
             offered_rate: 0.0,
             network_rtt: SimDuration::ZERO,
@@ -293,12 +304,21 @@ impl ServerState {
         self.soc.cores().active_count() > 0 || self.sched.any_work_in_flight()
     }
 
+    /// The instantaneous power breakdown implied by the current SoC state
+    /// and memory utilisation — the single derivation shared by energy
+    /// accounting, the power trace and the time-series sampler, so every
+    /// reported power figure agrees on one definition.
+    #[must_use]
+    pub fn power_snapshot(&self) -> apc_power::model::PowerBreakdown {
+        let busy = self.sched.busy_cores() as f64;
+        let mem_util = busy / self.soc.cores().len().max(1) as f64;
+        self.config.power.snapshot(&self.soc, mem_util)
+    }
+
     /// Attributes the interval since the last accounting point to the power
     /// state currently held, advancing the energy meter to `to`.
     pub fn account_power(&mut self, to: SimTime) {
-        let busy = self.sched.busy_cores() as f64;
-        let mem_util = busy / self.soc.cores().len().max(1) as f64;
-        let breakdown = self.config.power.snapshot(&self.soc, mem_util);
+        let breakdown = self.power_snapshot();
         self.telemetry.energy.advance(to, &breakdown);
     }
 

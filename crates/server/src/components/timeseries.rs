@@ -1,0 +1,101 @@
+//! Periodic time-series sampler component.
+//!
+//! When [`crate::config::ServerConfig::timeseries_interval`] is set, the
+//! node builder registers one `TimeSeriesSampler` per node. The sampler
+//! re-arms itself every interval and appends one
+//! [`apc_telemetry::timeseries::TimeSeriesSample`] to the node's
+//! [`TelemetryState::timeseries`](super::state::TelemetryState::timeseries):
+//! instantaneous SoC power, queue depth, busy cores, the current package
+//! C-state and the per-state package residency *deltas* since the previous
+//! sample.
+//!
+//! The sampler is read-only with respect to simulation behaviour: it draws
+//! no randomness and emits only its own re-arm event, so enabling it never
+//! changes request-level outcomes (completions, latencies, transitions) of
+//! an otherwise identical run.
+
+use apc_sim::component::{EventHandler, SimulationContext};
+use apc_sim::SimDuration;
+use apc_soc::cstate::PackageCState;
+use apc_telemetry::timeseries::TimeSeriesSample;
+
+use super::state::HasNode;
+use super::ServerEvent;
+
+/// The four package states the time series tracks, in export order.
+const TRACKED_STATES: [PackageCState; 4] = [
+    PackageCState::PC0,
+    PackageCState::PC0Idle,
+    PackageCState::PC1A,
+    PackageCState::PC6,
+];
+
+/// Samples one node's observable state at a fixed interval.
+pub struct TimeSeriesSampler {
+    node: usize,
+    every: SimDuration,
+    /// Cumulative per-state residency at the previous sample, in
+    /// [`TRACKED_STATES`] order (deltas are differences of cumulatives).
+    prev_residency: [SimDuration; 4],
+}
+
+impl TimeSeriesSampler {
+    /// Creates the sampler for node `node`, sampling every `every`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero — a zero-interval sampler would re-arm at
+    /// the current instant forever (the config builder filters this out).
+    #[must_use]
+    pub fn new(node: usize, every: SimDuration) -> Self {
+        assert!(!every.is_zero(), "time-series interval must be positive");
+        TimeSeriesSampler {
+            node,
+            every,
+            prev_residency: [SimDuration::ZERO; 4],
+        }
+    }
+}
+
+impl<S: HasNode> EventHandler<ServerEvent, S> for TimeSeriesSampler {
+    fn on_event(
+        &mut self,
+        event: ServerEvent,
+        shared: &mut S,
+        ctx: &mut SimulationContext<'_, ServerEvent>,
+    ) {
+        debug_assert!(matches!(event, ServerEvent::TimeSeriesSample));
+        let _ = event;
+        let now = ctx.now();
+        let node = shared.node_mut(self.node);
+
+        let busy_cores = node.sched.busy_cores();
+        let snapshot = node.power_snapshot();
+
+        let residency = &node.telemetry.package_residency;
+        let mut cumulative = [SimDuration::ZERO; 4];
+        let mut deltas = [SimDuration::ZERO; 4];
+        for (i, state) in TRACKED_STATES.into_iter().enumerate() {
+            cumulative[i] = residency.time_in_at(state, now);
+            deltas[i] = cumulative[i].saturating_sub(self.prev_residency[i]);
+        }
+        let sample = TimeSeriesSample {
+            at: now,
+            soc_power_w: snapshot.soc_total().as_f64(),
+            queue_depth: node.outstanding_requests(),
+            busy_cores,
+            package_state: residency.current(),
+            pc0_delta: deltas[0],
+            pc0_idle_delta: deltas[1],
+            pc1a_delta: deltas[2],
+            pc6_delta: deltas[3],
+        };
+        self.prev_residency = cumulative;
+        node.telemetry
+            .timeseries
+            .as_mut()
+            .expect("sampler registered without a time series in telemetry")
+            .push(sample);
+        ctx.emit_self(self.every, ServerEvent::TimeSeriesSample);
+    }
+}

@@ -30,6 +30,10 @@ pub struct ServerConfig {
     /// When set, the power/telemetry component records an instantaneous SoC
     /// power trace at this interval (off by default: traces cost memory).
     pub power_sample_interval: Option<SimDuration>,
+    /// When set, a time-series sampler component records power, package
+    /// residency deltas and queue depth at this interval, delivered in the
+    /// run result's `timeseries` field (off by default: series cost memory).
+    pub timeseries_interval: Option<SimDuration>,
 }
 
 impl ServerConfig {
@@ -65,6 +69,7 @@ impl ServerConfig {
             duration: SimDuration::from_millis(500),
             seed: 0x5eed,
             power_sample_interval: None,
+            timeseries_interval: None,
         }
     }
 
@@ -93,6 +98,16 @@ impl ServerConfig {
     #[must_use]
     pub fn with_power_trace(mut self, every: SimDuration) -> Self {
         self.power_sample_interval = Some(every);
+        self
+    }
+
+    /// Enables time-series telemetry (power, residency deltas, queue depth)
+    /// at the given sampling interval; the series is returned in
+    /// [`RunResult::timeseries`](crate::result::RunResult::timeseries).
+    /// A zero interval is treated as disabled.
+    #[must_use]
+    pub fn with_timeseries(mut self, every: SimDuration) -> Self {
+        self.timeseries_interval = Some(every).filter(|d| !d.is_zero());
         self
     }
 }

@@ -327,6 +327,16 @@ impl FleetResult {
             .fold(SimDuration::ZERO, SimDuration::max)
     }
 
+    /// The worst p999 latency any server observed (the paper's tail-latency
+    /// SLO metric).
+    #[must_use]
+    pub fn worst_p999(&self) -> SimDuration {
+        self.runs
+            .iter()
+            .map(|r| r.latency.p999)
+            .fold(SimDuration::ZERO, SimDuration::max)
+    }
+
     /// Mean request latency across the fleet, weighted by completed
     /// requests.
     #[must_use]
@@ -355,28 +365,30 @@ impl FleetResult {
     }
 }
 
-/// One line per server (config, workload, throughput, power, p99), then the
-/// fleet totals — the format the scenario tables embed.
+/// One line per server (config, workload, throughput, power, p99/p999),
+/// then the fleet totals — the format the scenario tables embed.
 impl std::fmt::Display for FleetResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for (i, r) in self.runs.iter().enumerate() {
             writeln!(
                 f,
-                "server {i:>3}: {:<9} {:<10} {:>10.0} rps {:>7.1} W p99 {}",
+                "server {i:>3}: {:<9} {:<10} {:>10.0} rps {:>7.1} W p99 {} p999 {}",
                 r.config_name,
                 r.workload,
                 r.throughput(),
                 r.avg_total_power().as_f64(),
                 r.latency.p99,
+                r.latency.p999,
             )?;
         }
         write!(
             f,
-            "fleet     : {} servers {:>10.0} rps {:>7.1} W worst p99 {}",
+            "fleet     : {} servers {:>10.0} rps {:>7.1} W worst p99 {} p999 {}",
             self.servers(),
             self.aggregate_throughput(),
             self.total_power_w(),
             self.worst_p99(),
+            self.worst_p999(),
         )
     }
 }

@@ -36,6 +36,7 @@ use crate::components::package::PackageController;
 use crate::components::power::PowerTelemetry;
 use crate::components::scheduler::Scheduler;
 use crate::components::state::HasNode;
+use crate::components::timeseries::TimeSeriesSampler;
 use crate::components::{Addresses, ServerEvent};
 use crate::result::RunResult;
 
@@ -57,6 +58,9 @@ pub struct NodeHandles {
     pub addrs: Addresses,
     /// The power/telemetry component's id.
     pub power: ComponentId,
+    /// The time-series sampler's id, when the node's configuration enables
+    /// time-series telemetry.
+    pub timeseries: Option<ComponentId>,
     /// The node's package controller (APMU/GPMU stats live here).
     pub package: Rc<RefCell<PackageController>>,
 }
@@ -109,13 +113,14 @@ impl ServerNode {
         sim: &mut Simulation<ServerEvent, S>,
         loadgen: Option<LoadGenerator>,
     ) -> NodeHandles {
-        let (seed, platform, noise, sample_every, cores) = {
+        let (seed, platform, noise, sample_every, timeseries_every, cores) = {
             let node = sim.shared().node(self.index);
             (
                 node.config.seed,
                 node.config.platform.clone(),
                 node.config.noise.clone(),
                 node.config.power_sample_interval,
+                node.config.timeseries_interval.filter(|d| !d.is_zero()),
                 node.soc.cores().len(),
             )
         };
@@ -157,17 +162,42 @@ impl ServerNode {
             })
             .collect();
 
+        let timeseries = timeseries_every.map(|every| {
+            sim.add_component_with_stream(
+                self.name("timeseries"),
+                TimeSeriesSampler::new(self.index, every),
+                streams.fork("timeseries"),
+            )
+        });
         let addrs = Addresses {
             nic,
             scheduler,
             package: package_id,
             cores: core_ids,
         };
+
+        // The node's two observers (power accounting, package-residency
+        // tracking) read only this node's state, and only events addressed
+        // to this node's components can mutate it — so their dispatch hooks
+        // are scoped to the node instead of running on every event of the
+        // host simulation. In a standalone server this covers every
+        // component (identical behaviour); in a cluster it keeps the
+        // per-event hook cost O(1) in the node count. The cluster driver
+        // additionally subscribes both observers to its balancer, whose
+        // arrival events deposit into node NIC buffers (see
+        // [`crate::cluster::ClusterSimulation`]).
+        let mut node_components = vec![power, package_id, scheduler, nic];
+        node_components.extend(addrs.cores.iter().copied());
+        node_components.extend(timeseries);
+        sim.scope_observer(power, &node_components);
+        sim.scope_observer(package_id, &node_components);
+
         sim.shared_mut().node_mut(self.index).addrs = addrs.clone();
         NodeHandles {
             index: self.index,
             addrs,
             power,
+            timeseries,
             package,
         }
     }
@@ -211,6 +241,9 @@ impl ServerNode {
         }
         if sample_every.is_some() {
             sim.schedule(handles.power, SimTime::ZERO, ServerEvent::PowerSample);
+        }
+        if let Some(timeseries) = handles.timeseries {
+            sim.schedule(timeseries, SimTime::ZERO, ServerEvent::TimeSeriesSample);
         }
     }
 }
@@ -275,6 +308,7 @@ impl NodeHandles {
                 .telemetry
                 .idle_tracker
                 .fraction_between(SimDuration::from_micros(20), SimDuration::from_micros(200)),
+            timeseries: state.telemetry.timeseries.take(),
             finished_at: end,
         }
     }

@@ -4,6 +4,7 @@ use apc_power::units::Watts;
 use apc_sim::{SimDuration, SimTime};
 use apc_soc::cstate::{CoreCState, PackageCState};
 use apc_telemetry::latency::LatencySummary;
+use apc_telemetry::timeseries::TimeSeries;
 
 /// Everything a run produces; the analysis crate and the benches reduce this
 /// into the paper's tables and figures.
@@ -56,6 +57,10 @@ pub struct RunResult {
     pub idle_periods: u64,
     /// Fraction of fully-idle periods between 20 µs and 200 µs (Fig. 6(c)).
     pub idle_periods_20_200us: f64,
+    /// Time-series telemetry (power, residency deltas, queue depth over
+    /// simulated time), recorded when the configuration sets
+    /// [`crate::config::ServerConfig::timeseries_interval`].
+    pub timeseries: Option<TimeSeries>,
     /// End of the simulated timeline.
     pub finished_at: SimTime,
 }
@@ -137,6 +142,7 @@ mod tests {
                 p50: SimDuration::from_micros(mean_latency_us),
                 p95: SimDuration::from_micros(mean_latency_us * 2),
                 p99: SimDuration::from_micros(mean_latency_us * 3),
+                p999: SimDuration::from_micros(mean_latency_us * 4),
                 max: SimDuration::from_micros(mean_latency_us * 5),
             },
             avg_soc_power: Watts(power),
@@ -153,6 +159,7 @@ mod tests {
             pc6_transitions: 0,
             idle_periods: 100,
             idle_periods_20_200us: 0.6,
+            timeseries: None,
             finished_at: SimTime::from_secs(1),
         }
     }

@@ -432,7 +432,7 @@ impl fmt::Display for ScenarioResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<15} {:<9} {:>2} servers {:>10.0} rps {:>7.1} W mean {} worst p99 {} PC1A {:>5.1}%",
+            "{:<15} {:<9} {:>2} servers {:>10.0} rps {:>7.1} W mean {} worst p99 {} p999 {} PC1A {:>5.1}%",
             self.scenario,
             self.config_name,
             self.servers,
@@ -440,6 +440,7 @@ impl fmt::Display for ScenarioResult {
             self.fleet.total_power_w(),
             self.fleet.mean_latency(),
             self.fleet.worst_p99(),
+            self.fleet.worst_p999(),
             self.fleet.mean_pc1a_residency() * 100.0,
         )
     }

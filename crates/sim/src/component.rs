@@ -188,7 +188,9 @@ pub trait EventHandler<E, S> {
     /// hook cost, so the main loop stays O(observers) rather than
     /// O(components) per event. Components overriding
     /// [`EventHandler::on_pre_dispatch`] or [`EventHandler::on_post_dispatch`]
-    /// must also override this to return `true`.
+    /// must also override this to return `true`. An observer watches every
+    /// event by default; the driver can narrow it to events addressed to
+    /// specific components with [`Simulation::scope_observer`].
     fn observes_dispatch(&self) -> bool {
         false
     }
@@ -238,10 +240,16 @@ pub struct Simulation<E, S> {
     clock: SimTime,
     root_rng: SimRng,
     components: Vec<ComponentSlot<E, S>>,
-    /// Indices of components whose [`EventHandler::observes_dispatch`]
-    /// returned `true` at registration; only these pay the per-event hook
-    /// cost.
+    /// Indices of *global* observers: components whose
+    /// [`EventHandler::observes_dispatch`] returned `true` at registration
+    /// and that have not been narrowed with [`Simulation::scope_observer`].
+    /// These pay the hook cost on every dispatched event.
     observers: Vec<usize>,
+    /// Per-destination observer lists: `scoped[dst]` holds the indices of
+    /// scoped observers whose hooks run when an event addressed to component
+    /// `dst` is dispatched (see [`Simulation::scope_observer`]). Outer index
+    /// is the destination component id; inner order is subscription order.
+    scoped: Vec<Vec<usize>>,
     shared: S,
 }
 
@@ -255,6 +263,7 @@ impl<E, S> Simulation<E, S> {
             root_rng: SimRng::from_seed(seed),
             components: Vec::new(),
             observers: Vec::new(),
+            scoped: Vec::new(),
             shared,
         }
     }
@@ -313,6 +322,77 @@ impl<E, S> Simulation<E, S> {
             handler: Some(Box::new(handler)),
         });
         ComponentId(self.components.len() - 1)
+    }
+
+    /// Narrows an observing component's dispatch hooks to events addressed
+    /// to `targets` (instead of every event in the simulation).
+    ///
+    /// By default an observer ([`EventHandler::observes_dispatch`] `true`)
+    /// runs its pre/post hooks on **every** dispatched event. In a
+    /// simulation hosting many independent sub-systems (e.g. the nodes of a
+    /// cluster) that fans each event past every sub-system's observers, so
+    /// the per-event cost grows with the host size even though only one
+    /// sub-system's state can change per event. Scoping restores O(1)
+    /// hooks per event: after this call the observer's hooks run only for
+    /// events addressed to one of `targets`.
+    ///
+    /// Scoping is correct when everything the observer's hooks read can
+    /// only be mutated by events addressed to `targets` — then every hook
+    /// invocation this skips would have observed (and recorded) exactly the
+    /// state it observed at the previous invocation. Use
+    /// [`Simulation::add_observer_target`] to extend the set later (e.g.
+    /// with a router component registered after the sub-system).
+    ///
+    /// Hook order per event: global observers first (registration order),
+    /// then the destination's scoped observers (subscription order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observer` was not registered as an observing component or
+    /// has already been scoped.
+    pub fn scope_observer(&mut self, observer: ComponentId, targets: &[ComponentId]) {
+        let pos = self
+            .observers
+            .iter()
+            .position(|&i| i == observer.0)
+            .unwrap_or_else(|| {
+                panic!(
+                    "component {:?} is not an unscoped dispatch observer",
+                    self.name(observer)
+                )
+            });
+        self.observers.remove(pos);
+        for &target in targets {
+            self.add_scoped(observer.0, target);
+        }
+    }
+
+    /// Additionally runs the (already scoped) observer's hooks for events
+    /// addressed to `target`. See [`Simulation::scope_observer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observer` is still a global observer (scope it first) or
+    /// is already subscribed to `target`.
+    pub fn add_observer_target(&mut self, observer: ComponentId, target: ComponentId) {
+        assert!(
+            !self.observers.contains(&observer.0),
+            "component {:?} observes every event; scope it before adding targets",
+            self.name(observer)
+        );
+        self.add_scoped(observer.0, target);
+    }
+
+    fn add_scoped(&mut self, observer: usize, target: ComponentId) {
+        if self.scoped.len() <= target.0 {
+            self.scoped.resize_with(target.0 + 1, Vec::new);
+        }
+        assert!(
+            !self.scoped[target.0].contains(&observer),
+            "observer {observer} already subscribed to component {}",
+            target.0
+        );
+        self.scoped[target.0].push(observer);
     }
 
     /// Finds a component id by registration name.
@@ -391,10 +471,12 @@ impl<E, S> Simulation<E, S> {
         self.queue.peek_time()
     }
 
-    /// Dispatches the next event: advances the clock, runs every component's
-    /// pre-dispatch hook, delivers the event to its destination, then runs
-    /// every post-dispatch hook. Returns the event's timestamp, or `None`
-    /// when the queue is empty.
+    /// Dispatches the next event: advances the clock, runs the pre-dispatch
+    /// hook of every observer watching the destination (global observers
+    /// plus the destination's scoped observers — see
+    /// [`Simulation::scope_observer`]), delivers the event, then runs the
+    /// same observers' post-dispatch hooks. Returns the event's timestamp,
+    /// or `None` when the queue is empty.
     ///
     /// # Panics
     ///
@@ -402,12 +484,12 @@ impl<E, S> Simulation<E, S> {
     pub fn step(&mut self) -> Option<SimTime> {
         let (time, envelope) = self.queue.pop()?;
         self.clock = time;
-        self.run_hooks(time, true);
         let dst = envelope.dst.0;
         assert!(
             dst < self.components.len(),
             "event addressed to unregistered component {dst}"
         );
+        self.run_hooks(time, dst, true);
         let mut handler = self.components[dst]
             .handler
             .take()
@@ -422,7 +504,7 @@ impl<E, S> Simulation<E, S> {
             handler.on_event(envelope.payload, &mut self.shared, &mut ctx);
         }
         self.components[dst].handler = Some(handler);
-        self.run_hooks(time, false);
+        self.run_hooks(time, dst, false);
         Some(time)
     }
 
@@ -442,20 +524,32 @@ impl<E, S> Simulation<E, S> {
         dispatched
     }
 
-    fn run_hooks(&mut self, now: SimTime, pre: bool) {
+    fn run_hooks(&mut self, now: SimTime, dst: usize, pre: bool) {
+        // Global observers (registration order), then the destination's
+        // scoped observers (subscription order). Observer sets never change
+        // mid-run, so the two passes cover each watching observer once.
         for idx in 0..self.observers.len() {
             let i = self.observers[idx];
-            let mut handler = self.components[i]
-                .handler
-                .take()
-                .expect("component handler is re-entrant");
-            if pre {
-                handler.on_pre_dispatch(now, &mut self.shared);
-            } else {
-                handler.on_post_dispatch(now, &mut self.shared);
-            }
-            self.components[i].handler = Some(handler);
+            self.run_one_hook(i, now, pre);
         }
+        let scoped_count = self.scoped.get(dst).map_or(0, Vec::len);
+        for idx in 0..scoped_count {
+            let i = self.scoped[dst][idx];
+            self.run_one_hook(i, now, pre);
+        }
+    }
+
+    fn run_one_hook(&mut self, component: usize, now: SimTime, pre: bool) {
+        let mut handler = self.components[component]
+            .handler
+            .take()
+            .expect("component handler is re-entrant");
+        if pre {
+            handler.on_pre_dispatch(now, &mut self.shared);
+        } else {
+            handler.on_post_dispatch(now, &mut self.shared);
+        }
+        self.components[component].handler = Some(handler);
     }
 }
 
@@ -615,6 +709,70 @@ mod tests {
             sim.into_shared().draws
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn scoped_observers_fire_only_for_their_targets() {
+        // Two tickers, one sink-observer scoped to ticker A: the hooks must
+        // fire once per event addressed to A (pre + post), never for B.
+        let mut sim = Simulation::new(7, Shared::default());
+        let sink = sim.add_component("sink", Sink);
+        let a = sim.add_component("a", Ticker { peer: None });
+        let b = sim.add_component("b", Ticker { peer: None });
+        sim.scope_observer(sink, &[a]);
+        sim.schedule(a, SimTime::from_micros(1), Ev::Noise);
+        sim.schedule(b, SimTime::from_micros(2), Ev::Noise);
+        sim.schedule(b, SimTime::from_micros(3), Ev::Noise);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.shared().pre_calls, 1);
+        assert_eq!(sim.shared().post_calls, 1);
+    }
+
+    #[test]
+    fn observer_targets_can_be_extended() {
+        let mut sim = Simulation::new(7, Shared::default());
+        let sink = sim.add_component("sink", Sink);
+        let a = sim.add_component("a", Ticker { peer: None });
+        let b = sim.add_component("b", Ticker { peer: None });
+        sim.scope_observer(sink, &[a]);
+        sim.add_observer_target(sink, b);
+        sim.schedule(a, SimTime::from_micros(1), Ev::Noise);
+        sim.schedule(b, SimTime::from_micros(2), Ev::Noise);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.shared().pre_calls, 2);
+        assert_eq!(sim.shared().post_calls, 2);
+    }
+
+    #[test]
+    fn scoping_an_observer_to_all_components_matches_global_default() {
+        // The scoped path must reproduce the global path exactly when the
+        // scope covers every component (the standalone-server case).
+        let run = |scope: bool| {
+            let (mut sim, ticker, sink) = build();
+            if scope {
+                sim.scope_observer(sink, &[ticker, sink]);
+            }
+            sim.schedule(ticker, SimTime::from_micros(1), Ev::Tick);
+            sim.run_until(SimTime::from_secs(1));
+            (sim.shared().pre_calls, sim.shared().post_calls)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an unscoped dispatch observer")]
+    fn scoping_a_non_observer_panics() {
+        let mut sim: Simulation<Ev, Shared> = Simulation::new(1, Shared::default());
+        let ticker = sim.add_component("ticker", Ticker { peer: None });
+        sim.scope_observer(ticker, &[ticker]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scope it before adding targets")]
+    fn adding_targets_to_a_global_observer_panics() {
+        let mut sim: Simulation<Ev, Shared> = Simulation::new(1, Shared::default());
+        let sink = sim.add_component("sink", Sink);
+        sim.add_observer_target(sink, sink);
     }
 
     #[test]

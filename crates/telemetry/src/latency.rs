@@ -22,6 +22,8 @@ pub struct LatencySummary {
     pub p95: SimDuration,
     /// 99th percentile (the paper's tail metric).
     pub p99: SimDuration,
+    /// 99.9th percentile (the paper's tail-latency SLO metric).
+    pub p999: SimDuration,
     /// Maximum observed latency.
     pub max: SimDuration,
 }
@@ -36,6 +38,7 @@ impl LatencySummary {
             p50: SimDuration::ZERO,
             p95: SimDuration::ZERO,
             p99: SimDuration::ZERO,
+            p999: SimDuration::ZERO,
             max: SimDuration::ZERO,
         }
     }
@@ -81,6 +84,7 @@ impl LatencyRecorder {
             p50: q(&mut self.samples, 0.50),
             p95: q(&mut self.samples, 0.95),
             p99: q(&mut self.samples, 0.99),
+            p999: q(&mut self.samples, 0.999),
             max: self.max,
         }
     }
@@ -104,6 +108,7 @@ mod tests {
         assert!(s.p99 >= SimDuration::from_micros(98));
         assert!(s.p50 >= SimDuration::from_micros(50));
         assert!(s.p95 >= SimDuration::from_micros(95));
+        assert!(s.p999 >= s.p99 && s.p999 <= s.max);
     }
 
     #[test]
@@ -124,6 +129,8 @@ mod tests {
         }
         let s = r.summary();
         assert!(s.p99 >= SimDuration::from_micros(100));
+        // The 1 % outliers dominate the 99.9th percentile.
+        assert_eq!(s.p999, SimDuration::from_millis(1));
         assert_eq!(s.max, SimDuration::from_millis(1));
         assert!(s.mean > SimDuration::from_micros(100));
         assert!(s.mean < SimDuration::from_micros(120));

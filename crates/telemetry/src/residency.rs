@@ -81,6 +81,19 @@ impl<S: Ord + Copy> StateResidency<S> {
             .unwrap_or(SimDuration::ZERO)
     }
 
+    /// Total time attributed to `state` *as of* `now`, including the still
+    /// open dwell in the current state. Unlike [`StateResidency::finish`]
+    /// this is a pure read: mid-run samplers use it to take residency
+    /// snapshots without perturbing the accounting.
+    #[must_use]
+    pub fn time_in_at(&self, state: S, now: SimTime) -> SimDuration {
+        let mut t = self.time_in(state);
+        if state == self.current {
+            t += now.saturating_since(self.since);
+        }
+        t
+    }
+
     /// Total accounted time across all states.
     #[must_use]
     pub fn total(&self) -> SimDuration {
@@ -192,6 +205,24 @@ mod tests {
         assert!((r.fraction_in(CoreCState::CC1) - 0.5).abs() < 1e-12);
         assert_eq!(r.transitions(), 2);
         assert_eq!(r.current(), CoreCState::CC0);
+    }
+
+    #[test]
+    fn time_in_at_includes_the_open_dwell() {
+        let mut r = StateResidency::new(CoreCState::CC0, SimTime::ZERO);
+        r.transition(SimTime::from_micros(10), CoreCState::CC1);
+        // 10 us closed in CC0; CC1 open since t = 10 us.
+        let now = SimTime::from_micros(25);
+        assert_eq!(
+            r.time_in_at(CoreCState::CC0, now),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(
+            r.time_in_at(CoreCState::CC1, now),
+            SimDuration::from_micros(15)
+        );
+        // The read is pure: closed accounting unchanged.
+        assert_eq!(r.time_in(CoreCState::CC1), SimDuration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Time-series telemetry: periodic samples of a server's observable state.
+//!
+//! The paper's time-domain figures (entry/exit flow traces, load curves
+//! riding a diurnal day) need *trajectories*, not run aggregates: power,
+//! package-state residency and queue depth as functions of simulated time.
+//! A [`TimeSeries`] accumulates those samples at a fixed interval; the
+//! server crate's sampler component fills one per node when the experiment
+//! configuration enables it, and the analysis crate's export module renders
+//! it as CSV for plotting.
+//!
+//! Residency is recorded as *deltas*: each sample carries the time spent in
+//! each package C-state since the previous sample, so a stacked-area plot
+//! of the deltas reconstructs the residency timeline exactly (the deltas of
+//! one interval always sum to the interval length).
+
+use apc_sim::{SimDuration, SimTime};
+use apc_soc::cstate::PackageCState;
+
+/// One periodic sample of a node's observable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesSample {
+    /// Simulated timestamp of the sample.
+    pub at: SimTime,
+    /// Instantaneous SoC (package) power, in watts.
+    pub soc_power_w: f64,
+    /// Client requests outstanding at the node (buffered, queued, reserved
+    /// or in service).
+    pub queue_depth: usize,
+    /// Cores executing work at the sample instant.
+    pub busy_cores: usize,
+    /// Package C-state at the sample instant.
+    pub package_state: PackageCState,
+    /// Time spent in PC0 (package active) since the previous sample.
+    pub pc0_delta: SimDuration,
+    /// Time spent in PC0 with all cores idle since the previous sample.
+    pub pc0_idle_delta: SimDuration,
+    /// Time spent in PC1A since the previous sample.
+    pub pc1a_delta: SimDuration,
+    /// Time spent in PC6 since the previous sample.
+    pub pc6_delta: SimDuration,
+}
+
+/// A fixed-interval sequence of [`TimeSeriesSample`]s for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    interval: SimDuration,
+    samples: Vec<TimeSeriesSample>,
+}
+
+impl TimeSeries {
+    /// An empty series sampled every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero (a zero-interval sampler would re-arm
+    /// itself at the current instant forever).
+    #[must_use]
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "time-series interval must be positive");
+        TimeSeries {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The configured sampling interval.
+    #[must_use]
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Appends one sample (samplers call this in timestamp order).
+    pub fn push(&mut self, sample: TimeSeriesSample) {
+        debug_assert!(
+            !self.samples.last().is_some_and(|prev| prev.at >= sample.at),
+            "time-series samples must be pushed in strictly increasing time order"
+        );
+        self.samples.push(sample);
+    }
+
+    /// The recorded samples, in timestamp order.
+    #[must_use]
+    pub fn samples(&self) -> &[TimeSeriesSample] {
+        &self.samples
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_us: u64) -> TimeSeriesSample {
+        TimeSeriesSample {
+            at: SimTime::from_micros(at_us),
+            soc_power_w: 44.0,
+            queue_depth: 2,
+            busy_cores: 1,
+            package_state: PackageCState::PC0,
+            pc0_delta: SimDuration::from_micros(80),
+            pc0_idle_delta: SimDuration::from_micros(20),
+            pc1a_delta: SimDuration::ZERO,
+            pc6_delta: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn series_records_in_order() {
+        let mut ts = TimeSeries::new(SimDuration::from_micros(100));
+        assert!(ts.is_empty());
+        ts.push(sample(0));
+        ts.push(sample(100));
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.samples()[1].at, SimTime::from_micros(100));
+        assert_eq!(ts.interval(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_is_rejected() {
+        let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+}
