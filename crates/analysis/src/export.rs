@@ -36,6 +36,7 @@
 
 use std::fmt::Write as _;
 
+use apc_server::chain::ChainResult;
 use apc_server::cluster::ClusterResult;
 use apc_server::fleet::FleetResult;
 use apc_server::result::RunResult;
@@ -633,6 +634,30 @@ pub fn cluster_result_json(c: &ClusterResult) -> JsonValue {
     o
 }
 
+/// A chain result: policy and graph shape, the chain-latency percentiles
+/// (end-to-end root→last-join plus the leaf-straggler breakdown), the
+/// routing census and the per-node fleet.
+#[must_use]
+pub fn chain_result_json(c: &ChainResult) -> JsonValue {
+    let mut o = JsonValue::object();
+    o.push("policy", JsonValue::Str(c.policy.to_owned()))
+        .push("graph", JsonValue::Str(c.graph.clone()))
+        .push("duration_ns", JsonValue::UInt(c.duration.as_nanos()))
+        .push("chains_started", JsonValue::UInt(c.chains_started))
+        .push("chains_completed", JsonValue::UInt(c.chains_completed))
+        .push("chains_per_sec", JsonValue::Float(c.chains_per_sec()))
+        .push("chain_latency", latency_json(&c.chain_latency))
+        .push("straggler", latency_json(&c.straggler))
+        .push(
+            "routed",
+            JsonValue::Array(c.routed.iter().map(|&n| JsonValue::UInt(n)).collect()),
+        )
+        .push("total_routed", JsonValue::UInt(c.total_routed()))
+        .push("routing_imbalance", JsonValue::Float(c.routing_imbalance()))
+        .push("nodes", fleet_result_json(&c.nodes));
+    o
+}
+
 /// A time series as `{interval_ns, samples: [...]}`; samples carry the
 /// timestamp, power, queue depth and residency deltas.
 #[must_use]
@@ -783,6 +808,56 @@ pub fn cluster_results_csv(results: &[ClusterResult]) -> String {
             );
             run_csv_row(&mut out, r);
         }
+    }
+    out
+}
+
+/// The CSV column set of chain-level exports, in order: identity, chain
+/// census, end-to-end latency percentiles (p50/p99/p999 and mean/max), the
+/// leaf-straggler breakdown, routing spread and fleet power/residency
+/// aggregates. One row summarises one chain run — the percentile columns
+/// are the chain-level tail the per-node `RUN_CSV_HEADER` cannot express.
+pub const CHAIN_CSV_HEADER: &str = "repeat,policy,graph,duration_ns,\
+chains_started,chains_completed,chains_per_sec,e2e_mean_ns,e2e_p50_ns,\
+e2e_p99_ns,e2e_p999_ns,e2e_max_ns,straggler_p50_ns,straggler_p99_ns,\
+straggler_p999_ns,total_routed,routing_imbalance,fleet_power_w,\
+mean_pc1a_residency,worst_rpc_p99_ns";
+
+/// Several chain runs (e.g. repeats of one spec, or one run per platform)
+/// as a single CSV, one row per run (see [`CHAIN_CSV_HEADER`]).
+#[must_use]
+pub fn chain_results_csv(results: &[ChainResult]) -> String {
+    let mut out = format!("{CHAIN_CSV_HEADER}\n");
+    for (repeat, c) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{repeat},{},{},{},{},{},",
+            csv_escape(c.policy),
+            csv_escape(&c.graph),
+            c.duration.as_nanos(),
+            c.chains_started,
+            c.chains_completed,
+        );
+        push_f64(&mut out, c.chains_per_sec());
+        let _ = write!(
+            out,
+            ",{},{},{},{},{},{},{},{},{},",
+            c.chain_latency.mean.as_nanos(),
+            c.chain_latency.p50.as_nanos(),
+            c.chain_latency.p99.as_nanos(),
+            c.chain_latency.p999.as_nanos(),
+            c.chain_latency.max.as_nanos(),
+            c.straggler.p50.as_nanos(),
+            c.straggler.p99.as_nanos(),
+            c.straggler.p999.as_nanos(),
+            c.total_routed(),
+        );
+        push_f64(&mut out, c.routing_imbalance());
+        out.push(',');
+        push_f64(&mut out, c.nodes.total_power_w());
+        out.push(',');
+        push_f64(&mut out, c.nodes.mean_pc1a_residency());
+        let _ = writeln!(out, ",{}", c.nodes.worst_p99().as_nanos());
     }
     out
 }

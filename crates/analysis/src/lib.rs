@@ -24,6 +24,9 @@
 //! assert!((saving - 0.41).abs() < 0.02);
 //! ```
 
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod export;
 pub mod impact;
 pub mod report;

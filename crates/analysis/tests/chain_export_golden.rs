@@ -1,0 +1,198 @@
+//! Golden-file tests of the chain exporters: the exact JSON and CSV bytes
+//! one fixed-seed fan-out run produces.
+//!
+//! Captured from `chain_result_json` / `chain_results_csv` on the pinned
+//! run (CPC1A, 2 nodes, `1x frontend -> 2x kv-get`, 4 K chains/s, 2 ms
+//! window, seed 7). Like `export_golden.rs`, these pin the exporters' field
+//! order / float formatting *and* the chain simulation's determinism on the
+//! export path — if a behavioural change is intentional, re-capture and say
+//! so in the commit.
+
+use apc_analysis::export::{chain_result_json, chain_results_csv, JsonValue, CHAIN_CSV_HEADER};
+use apc_server::balancer::RoutingPolicyKind;
+use apc_server::chain::{run_chain_experiment, ChainResult, RequestGraph};
+use apc_server::config::ServerConfig;
+use apc_sim::SimDuration;
+
+fn golden_chain_run() -> ChainResult {
+    run_chain_experiment(
+        &ServerConfig::c_pc1a()
+            .with_duration(SimDuration::from_millis(2))
+            .with_seed(7),
+        2,
+        RoutingPolicyKind::JoinShortestQueue,
+        RequestGraph::memcached_fanout(2),
+        4_000.0,
+    )
+}
+
+const GOLDEN_CHAIN_JSON: &str = r#"{
+  "policy": "join-shortest-queue",
+  "graph": "1x frontend -> 2x kv-get",
+  "duration_ns": 2000000,
+  "chains_started": 6,
+  "chains_completed": 6,
+  "chains_per_sec": 3000.0,
+  "chain_latency": {
+    "count": 6,
+    "mean_ns": 105376,
+    "p50_ns": 101703,
+    "p95_ns": 131032,
+    "p99_ns": 136303,
+    "p999_ns": 137489,
+    "max_ns": 137621
+  },
+  "straggler": {
+    "count": 6,
+    "mean_ns": 12882,
+    "p50_ns": 15217,
+    "p95_ns": 22154,
+    "p99_ns": 22399,
+    "p999_ns": 22454,
+    "max_ns": 22460
+  },
+  "routed": [
+    11,
+    7
+  ],
+  "total_routed": 18,
+  "routing_imbalance": 1.2222222222222223,
+  "nodes": {
+    "servers": 2,
+    "total_completed_requests": 18,
+    "aggregate_throughput_rps": 9000.0,
+    "total_power_w": 69.06819764499997,
+    "mean_soc_power_w": 32.071684584999986,
+    "mean_pc1a_residency": 0.7881389999999999,
+    "mean_latency_ns": 51256,
+    "worst_p99_ns": 94566,
+    "worst_p999_ns": 96587,
+    "runs": [
+      {
+        "config": "CPC1A",
+        "workload": "chain",
+        "offered_rate_rps": 6000.0,
+        "duration_ns": 2000000,
+        "completed_requests": 11,
+        "throughput_rps": 5500.0,
+        "latency": {
+          "count": 11,
+          "mean_ns": 53327,
+          "p50_ns": 48030,
+          "p95_ns": 85582,
+          "p99_ns": 94566,
+          "p999_ns": 96587,
+          "max_ns": 96812
+        },
+        "avg_soc_power_w": 32.14215511999998,
+        "avg_dram_power_w": 2.4727939000000014,
+        "cpu_utilization": 0.025304,
+        "cc0_fraction": 0.026254,
+        "cc1_fraction": 0.9737459999999999,
+        "cc6_fraction": 0.0,
+        "all_idle_fraction": 0.7852315,
+        "pc1a_residency": 0.785759,
+        "pc6_residency": 0.0,
+        "pc1a_transitions": 20,
+        "pc1a_aborted": 0,
+        "pc6_transitions": 0,
+        "idle_periods": 18,
+        "idle_periods_20_200us": 0.7777777777777778
+      },
+      {
+        "config": "CPC1A",
+        "workload": "chain",
+        "offered_rate_rps": 6000.0,
+        "duration_ns": 2000000,
+        "completed_requests": 7,
+        "throughput_rps": 3500.0,
+        "latency": {
+          "count": 7,
+          "mean_ns": 48001,
+          "p50_ns": 45313,
+          "p95_ns": 59689,
+          "p99_ns": 61830,
+          "p999_ns": 62311,
+          "max_ns": 62365
+        },
+        "avg_soc_power_w": 32.00121404999999,
+        "avg_dram_power_w": 2.452034575000003,
+        "cpu_utilization": 0.02379365,
+        "cc0_fraction": 0.02469365,
+        "cc1_fraction": 0.97530635,
+        "cc6_fraction": 0.0,
+        "all_idle_fraction": 0.785591,
+        "pc1a_residency": 0.790519,
+        "pc6_residency": 0.0,
+        "pc1a_transitions": 18,
+        "pc1a_aborted": 0,
+        "pc6_transitions": 0,
+        "idle_periods": 12,
+        "idle_periods_20_200us": 0.6666666666666666
+      }
+    ]
+  }
+}
+"#;
+
+const GOLDEN_CHAIN_CSV: &str = "repeat,policy,graph,duration_ns,\
+chains_started,chains_completed,chains_per_sec,e2e_mean_ns,e2e_p50_ns,\
+e2e_p99_ns,e2e_p999_ns,e2e_max_ns,straggler_p50_ns,straggler_p99_ns,\
+straggler_p999_ns,total_routed,routing_imbalance,fleet_power_w,\
+mean_pc1a_residency,worst_rpc_p99_ns\n\
+0,join-shortest-queue,1x frontend -> 2x kv-get,2000000,6,6,3000,105376,\
+101703,136303,137489,137621,15217,22399,22454,18,1.2222222222222223,\
+69.06819764499997,0.7881389999999999,94566\n";
+
+#[test]
+fn chain_json_export_matches_golden_bytes() {
+    let text = chain_result_json(&golden_chain_run()).to_pretty_string();
+    assert_eq!(text, GOLDEN_CHAIN_JSON);
+}
+
+#[test]
+fn chain_csv_export_matches_golden_bytes() {
+    let result = golden_chain_run();
+    let text = chain_results_csv(std::slice::from_ref(&result));
+    assert_eq!(text, GOLDEN_CHAIN_CSV);
+    assert!(text.starts_with(CHAIN_CSV_HEADER));
+}
+
+#[test]
+fn golden_chain_json_round_trips_through_the_parser() {
+    let parsed = JsonValue::parse(GOLDEN_CHAIN_JSON).expect("golden JSON parses");
+    assert_eq!(
+        parsed.get("graph").and_then(JsonValue::as_str),
+        Some("1x frontend -> 2x kv-get")
+    );
+    assert_eq!(
+        parsed.get("chains_completed").and_then(JsonValue::as_u64),
+        Some(6)
+    );
+    assert_eq!(
+        parsed
+            .get("chain_latency")
+            .and_then(|l| l.get("p999_ns"))
+            .and_then(JsonValue::as_u64),
+        Some(137_489)
+    );
+    assert_eq!(
+        parsed
+            .get("straggler")
+            .and_then(|l| l.get("p99_ns"))
+            .and_then(JsonValue::as_u64),
+        Some(22_399)
+    );
+    // Every end-to-end latency bounds its chain's straggler gap.
+    let e2e = parsed
+        .get("chain_latency")
+        .and_then(|l| l.get("p50_ns"))
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    let straggler = parsed
+        .get("straggler")
+        .and_then(|l| l.get("p50_ns"))
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    assert!(e2e > straggler);
+}

@@ -31,11 +31,18 @@
 //! assert!(result.avg_soc_power.as_f64() > 10.0);
 //! ```
 
-// Compile and run the code examples in docs/ARCHITECTURE.md as doctests so
-// the architecture guide cannot drift from the real API.
+#![deny(rustdoc::broken_intra_doc_links)]
+
+// Compile and run the code examples in docs/ARCHITECTURE.md and
+// docs/REPRODUCING.md as doctests so the guides cannot drift from the
+// real API (shell snippets in ```bash fences are left alone).
 #[cfg(doctest)]
 #[doc = include_str!("../../../docs/ARCHITECTURE.md")]
 pub struct ArchitectureGuide;
+
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/REPRODUCING.md")]
+pub struct ReproducingGuide;
 
 pub use apc_analysis as analysis;
 pub use apc_core as core;
@@ -64,6 +71,10 @@ pub mod prelude {
     pub use apc_power::model::PowerModel;
     pub use apc_power::units::{Joules, Watts};
     pub use apc_server::balancer::{RoutingPolicy, RoutingPolicyKind};
+    pub use apc_server::chain::{
+        run_chain_experiment, ChainFleet, ChainMember, ChainResult, ChainSimulation, RequestGraph,
+        Tier,
+    };
     pub use apc_server::cluster::{
         run_cluster_experiment, ClusterFleet, ClusterMember, ClusterResult, ClusterSimulation,
     };
@@ -72,7 +83,8 @@ pub mod prelude {
     pub use apc_server::node::ServerNode;
     pub use apc_server::result::RunResult;
     pub use apc_server::scenario::{
-        ClusterScenario, MemberGroup, Scenario, ScenarioResult, TrafficPattern, WorkloadKind,
+        ChainScenario, ClusterScenario, MemberGroup, Scenario, ScenarioResult, TrafficPattern,
+        WorkloadKind,
     };
     pub use apc_server::sim::{run_experiment, ServerSimulation};
     pub use apc_sim::component::{EventHandler, Simulation, SimulationContext};
@@ -80,6 +92,7 @@ pub mod prelude {
     pub use apc_soc::cstate::{CoreCState, PackageCState};
     pub use apc_soc::topology::{SkxSoc, SocConfig};
     pub use apc_telemetry::timeseries::{TimeSeries, TimeSeriesSample};
+    pub use apc_workloads::chain::TierService;
     pub use apc_workloads::loadgen::LoadGenerator;
     pub use apc_workloads::spec::WorkloadSpec;
 }

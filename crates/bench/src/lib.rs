@@ -7,6 +7,8 @@
 //! The harnesses are intentionally thin: all modelling lives in the library
 //! crates, so the same results can be produced programmatically.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use apc_analysis::impact::ImpactInputs;
 use apc_analysis::report::TextTable;
 use apc_analysis::savings::{idle_savings, SavingsInputs};

@@ -26,6 +26,7 @@
 //! output files.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod runner;
 pub mod spec;
@@ -35,7 +36,7 @@ use std::fmt;
 use apc_analysis::export::{csv_escape, JsonValue};
 use apc_analysis::report::TextTable;
 use apc_server::balancer::RoutingPolicyKind;
-use apc_server::scenario::{ClusterScenario, Scenario};
+use apc_server::scenario::{ChainScenario, ClusterScenario, Scenario};
 use apc_sim::SimDuration;
 
 use crate::runner::{execute_spec, Outcome, OutputFormat};
@@ -80,8 +81,9 @@ pub const USAGE: &str = "\
 usage: apc-cli <command> [options]
 
 commands:
-  list                      the named scenario / cluster-scenario libraries
-  run <spec|name>           run a spec file or a named (cluster-)scenario
+  list                      the named scenario / cluster / chain libraries
+  run <spec|name>           run a spec file or a named scenario
+                            (fleet, cluster or fan-out chain)
   sweep <spec>              run a spec's [sweep] grid (rates x platforms)
   cluster <spec|name>       run a cluster spec or named cluster scenario
   validate <file.json>      parse a JSON export (round-trip check)
@@ -91,7 +93,8 @@ options:
   --out <path>              write the output to a file instead of stdout
   --timeseries-out <path>   write recorded time series as CSV to a file
   --platform <name>         cshallow|cdeep|cpc1a (named scenarios; default cpc1a)
-  --policy <name>           random|round-robin|jsq|power-aware (cluster only)
+  --policy <name>           random|round-robin|jsq|power-aware
+                            (cluster and chain scenarios)
   --duration-ms <n>         override the simulated duration
   --seed <n>                override the root seed
   --parallelism <n>         pin the worker-pool size (default: host cores)";
@@ -273,10 +276,11 @@ enum Target {
     Spec(ExperimentSpec),
     Scenario(Scenario),
     ClusterScenario(ClusterScenario),
+    ChainScenario(ChainScenario),
 }
 
 /// Resolves a positional target: a readable file parses as a spec; anything
-/// else must name a library (cluster-)scenario.
+/// else must name a library (cluster-/chain-)scenario.
 fn resolve_target(arg: &str) -> Result<Target, CliError> {
     let looks_like_path = arg.contains('/')
         || arg.contains('\\')
@@ -298,10 +302,14 @@ fn resolve_target(arg: &str) -> Result<Target, CliError> {
     {
         return Ok(Target::ClusterScenario(s));
     }
+    if let Some(s) = ChainScenario::library().into_iter().find(|s| s.name == arg) {
+        return Ok(Target::ChainScenario(s));
+    }
     let known: Vec<&str> = Scenario::library()
         .iter()
         .map(|s| s.name)
         .chain(ClusterScenario::library().iter().map(|s| s.name))
+        .chain(ChainScenario::library().iter().map(|s| s.name))
         .collect();
     Err(CliError::Input(format!(
         "unknown scenario `{arg}` (not a spec file; known scenarios: {})",
@@ -335,6 +343,44 @@ fn run_scenario(
         name: format!("{} ({})", scenario.name, platform.name()),
         labels,
         fleet: fleet.run(),
+    }
+}
+
+fn run_chain_scenario(
+    scenario: &ChainScenario,
+    platform: PlatformKind,
+    policy: RoutingPolicyKind,
+    duration: Option<SimDuration>,
+    seed: Option<u64>,
+    parallelism: Option<usize>,
+) -> Outcome {
+    let mut scenario = scenario.clone();
+    if let Some(d) = duration {
+        scenario = scenario.with_duration(d);
+    }
+    if let Some(s) = seed {
+        scenario = scenario.with_seed(s);
+    }
+    // Route through the ChainFleet pool like the spec path does, so
+    // `--parallelism` means the same thing everywhere.
+    let base = platform
+        .config()
+        .with_duration(scenario.duration)
+        .with_seed(scenario.seed);
+    let mut fleet = apc_server::chain::ChainFleet::new();
+    fleet.push(apc_server::chain::ChainMember::homogeneous(
+        &base,
+        scenario.nodes,
+        policy,
+        scenario.graph.clone(),
+        scenario.chains_per_sec,
+    ));
+    if let Some(workers) = parallelism {
+        fleet = fleet.with_parallelism(workers);
+    }
+    Outcome::Chains {
+        name: format!("{} ({}, {})", scenario.name, platform.name(), policy.name()),
+        results: fleet.run(),
     }
 }
 
@@ -423,6 +469,15 @@ fn cmd_list(inv: &Invocation) -> Result<String, CliError> {
                     s.description.to_owned(),
                 ]);
             }
+            for s in ChainScenario::library() {
+                table.add_row(&[
+                    s.name.to_owned(),
+                    "chain".to_owned(),
+                    s.nodes.to_string(),
+                    s.graph.describe(),
+                    s.description.to_owned(),
+                ]);
+            }
             Ok(table.render())
         }
         OutputFormat::Json => {
@@ -442,6 +497,15 @@ fn cmd_list(inv: &Invocation) -> Result<String, CliError> {
                     .push("kind", JsonValue::Str("cluster".to_owned()))
                     .push("servers", JsonValue::UInt(s.nodes as u64))
                     .push("workloads", JsonValue::Str(s.workload.name().to_owned()))
+                    .push("description", JsonValue::Str(s.description.to_owned()));
+                items.push(o);
+            }
+            for s in ChainScenario::library() {
+                let mut o = JsonValue::object();
+                o.push("name", JsonValue::Str(s.name.to_owned()))
+                    .push("kind", JsonValue::Str("chain".to_owned()))
+                    .push("servers", JsonValue::UInt(s.nodes as u64))
+                    .push("workloads", JsonValue::Str(s.graph.describe()))
                     .push("description", JsonValue::Str(s.description.to_owned()));
                 items.push(o);
             }
@@ -467,6 +531,15 @@ fn cmd_list(inv: &Invocation) -> Result<String, CliError> {
                     csv_escape(s.description)
                 ));
             }
+            for s in ChainScenario::library() {
+                out.push_str(&format!(
+                    "{},chain,{},{},{}\n",
+                    csv_escape(s.name),
+                    s.nodes,
+                    csv_escape(&s.graph.describe()),
+                    csv_escape(s.description)
+                ));
+            }
             Ok(out)
         }
     }
@@ -485,8 +558,8 @@ fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
             }
             if inv.flag("policy").is_some() {
                 return Err(CliError::Usage(
-                    "conflicting flags: `--policy` applies to named cluster scenarios; \
-                     spec files declare their policy in [cluster]"
+                    "conflicting flags: `--policy` applies to named cluster/chain scenarios; \
+                     spec files declare their policy in [cluster]/[chain]"
                         .to_owned(),
                 ));
             }
@@ -515,6 +588,18 @@ fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
                 s,
                 inv.platform()?.unwrap_or(PlatformKind::Cpc1a),
                 inv.policy()?.unwrap_or(RoutingPolicyKind::PowerAware),
+                inv.duration()?,
+                inv.u64_flag("seed")?,
+                inv.parallelism()?,
+            )
+        }
+        Target::ChainScenario(s) => {
+            check_timeseries_flag(inv, false)?;
+            run_chain_scenario(
+                s,
+                inv.platform()?.unwrap_or(PlatformKind::Cpc1a),
+                inv.policy()?
+                    .unwrap_or(RoutingPolicyKind::JoinShortestQueue),
                 inv.duration()?,
                 inv.u64_flag("seed")?,
                 inv.parallelism()?,
@@ -561,8 +646,8 @@ fn cmd_cluster(inv: &Invocation) -> Result<String, CliError> {
             }
             if inv.flag("policy").is_some() {
                 return Err(CliError::Usage(
-                    "conflicting flags: `--policy` applies to named cluster scenarios; \
-                     spec files declare their policy in [cluster]"
+                    "conflicting flags: `--policy` applies to named cluster/chain scenarios; \
+                     spec files declare their policy in [cluster]/[chain]"
                         .to_owned(),
                 ));
             }
@@ -572,6 +657,12 @@ fn cmd_cluster(inv: &Invocation) -> Result<String, CliError> {
         Target::Scenario(s) => {
             return Err(CliError::Input(format!(
                 "`{}` is a fleet scenario; use `apc-cli run {}`",
+                s.name, s.name
+            )))
+        }
+        Target::ChainScenario(s) => {
+            return Err(CliError::Input(format!(
+                "`{}` is a chain scenario; use `apc-cli run {}`",
                 s.name, s.name
             )))
         }

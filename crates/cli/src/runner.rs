@@ -8,14 +8,17 @@
 //! output byte-identical between sequential and parallel execution.
 
 use apc_analysis::export::{
-    cluster_result_json, cluster_results_csv, fleet_result_json, run_results_csv, timeseries_csv,
-    JsonValue,
+    chain_result_json, chain_results_csv, cluster_result_json, cluster_results_csv,
+    fleet_result_json, run_results_csv, timeseries_csv, JsonValue,
 };
 use apc_analysis::report::TextTable;
+use apc_server::chain::{ChainFleet, ChainMember, ChainResult, RequestGraph};
 use apc_server::cluster::{ClusterFleet, ClusterMember, ClusterResult};
 use apc_server::fleet::{Fleet, FleetMember, FleetResult};
 use apc_server::result::RunResult;
-use apc_server::scenario::TrafficPattern;
+use apc_server::scenario::{TrafficPattern, WorkloadKind};
+use apc_sim::SimDuration;
+use apc_workloads::chain::TierService;
 
 use crate::spec::{ExperimentSpec, PlatformKind, SpecKind};
 
@@ -64,6 +67,46 @@ pub enum Outcome {
         /// The executed clusters, in repeat order.
         results: Vec<ClusterResult>,
     },
+    /// Chain results, one per repeat (or one per run of a comparison).
+    Chains {
+        /// Experiment name (titles the table output).
+        name: String,
+        /// The executed chain clusters, in repeat order.
+        results: Vec<ChainResult>,
+    },
+}
+
+/// The leaf-tier service spec a workload kind implies for chain
+/// experiments: the same calibration as the workload's dominant request
+/// class in the single-server mixes.
+#[must_use]
+pub fn leaf_service_for(workload: WorkloadKind) -> TierService {
+    match workload {
+        WorkloadKind::MemcachedEtc => TierService::memcached_leaf(),
+        WorkloadKind::Kafka => TierService::kafka_leaf(),
+        WorkloadKind::MysqlOltp => TierService::mysql_leaf(),
+    }
+}
+
+/// Builds the [`RequestGraph`] a chain spec describes: a frontend tier
+/// fanning out to `fanout` leaves of the workload's calibration, with
+/// optional per-tier mean-service overrides.
+#[must_use]
+pub fn chain_graph(
+    workload: WorkloadKind,
+    fanout: usize,
+    frontend_service: Option<SimDuration>,
+    leaf_service: Option<SimDuration>,
+) -> RequestGraph {
+    let mut frontend = TierService::frontend();
+    if let Some(mean) = frontend_service {
+        frontend = frontend.with_mean_service(mean);
+    }
+    let mut leaf = leaf_service_for(workload);
+    if let Some(mean) = leaf_service {
+        leaf = leaf.with_mean_service(mean);
+    }
+    RequestGraph::fanout(frontend, leaf, fanout)
 }
 
 /// Executes a parsed spec end-to-end; `parallelism` pins the worker pool
@@ -137,6 +180,43 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
             Outcome::Clusters {
                 name: spec.name.clone(),
                 results: cluster_fleet.run(),
+            }
+        }
+        SpecKind::Chain {
+            nodes,
+            fanout,
+            policy,
+            frontend_service,
+            leaf_service,
+        } => {
+            let graph = chain_graph(spec.workload, *fanout, *frontend_service, *leaf_service);
+            let mut chain_fleet = ChainFleet::new();
+            for i in 0..spec.repeats {
+                let seed = repeat_seed(spec.seed, i, spec.repeats);
+                let base = spec
+                    .platform
+                    .config()
+                    .with_duration(spec.duration)
+                    .with_seed(seed);
+                let base = match spec.timeseries_interval {
+                    Some(every) => base.with_timeseries(every),
+                    None => base,
+                };
+                let rate = spec.traffic.mean_rate_per_sec();
+                chain_fleet.push(ChainMember::homogeneous(
+                    &base,
+                    *nodes,
+                    *policy,
+                    graph.clone(),
+                    rate,
+                ));
+            }
+            if let Some(workers) = parallelism {
+                chain_fleet = chain_fleet.with_parallelism(workers);
+            }
+            Outcome::Chains {
+                name: spec.name.clone(),
+                results: chain_fleet.run(),
             }
         }
     }
@@ -240,6 +320,22 @@ impl Outcome {
                     .to_pretty_string()
             }
             (Outcome::Clusters { results, .. }, OutputFormat::Csv) => cluster_results_csv(results),
+            (Outcome::Chains { name, results }, OutputFormat::Table) => {
+                let mut out = String::new();
+                for (i, result) in results.iter().enumerate() {
+                    if results.len() > 1 {
+                        out.push_str(&format!("== {name} repeat {i} ==\n"));
+                    } else {
+                        out.push_str(&format!("== {name} ==\n"));
+                    }
+                    out.push_str(&format!("{result}\n"));
+                }
+                out
+            }
+            (Outcome::Chains { results, .. }, OutputFormat::Json) => {
+                JsonValue::Array(results.iter().map(chain_result_json).collect()).to_pretty_string()
+            }
+            (Outcome::Chains { results, .. }, OutputFormat::Csv) => chain_results_csv(results),
         }
     }
 
@@ -251,18 +347,10 @@ impl Outcome {
                 labels.iter().cloned().zip(fleet.runs.iter()).collect()
             }
             Outcome::Clusters { results, .. } => {
-                let mut rows = Vec::new();
-                for (repeat, c) in results.iter().enumerate() {
-                    for (i, r) in c.nodes.runs.iter().enumerate() {
-                        let label = if results.len() > 1 {
-                            format!("repeat {repeat} node {i}")
-                        } else {
-                            format!("node {i}")
-                        };
-                        rows.push((label, r));
-                    }
-                }
-                rows
+                cluster_node_rows(results.iter().map(|c| &c.nodes).collect())
+            }
+            Outcome::Chains { results, .. } => {
+                cluster_node_rows(results.iter().map(|c| &c.nodes).collect())
             }
         }
     }
@@ -287,6 +375,24 @@ impl Outcome {
         }
         any.then_some(out)
     }
+}
+
+/// Labels the per-node runs of several cluster-shaped results (`node <i>`,
+/// prefixed with the repeat when there is more than one result).
+fn cluster_node_rows(fleets: Vec<&FleetResult>) -> Vec<(String, &RunResult)> {
+    let mut rows = Vec::new();
+    let repeats = fleets.len();
+    for (repeat, fleet) in fleets.into_iter().enumerate() {
+        for (i, r) in fleet.runs.iter().enumerate() {
+            let label = if repeats > 1 {
+                format!("repeat {repeat} node {i}")
+            } else {
+                format!("node {i}")
+            };
+            rows.push((label, r));
+        }
+    }
+    rows
 }
 
 fn runs_table(name: &str, labels: &[String], runs: &[RunResult]) -> String {

@@ -33,6 +33,19 @@
 //! sample_interval_us = 100  # enables the time-series sink
 //! ```
 //!
+//! A `kind = "chain"` experiment swaps `[cluster]` for a `[chain]` table
+//! describing the multi-tier fan-out executed across the cluster
+//! (`rate_per_sec` then counts *root chains* per second):
+//!
+//! ```toml
+//! [chain]
+//! nodes = 8
+//! fanout = 4                # leaf RPCs per chain (1 = a linear hop)
+//! policy = "jsq"            # default jsq (latency-optimal for joins)
+//! frontend_service_us = 10  # optional frontend-tier mean service time
+//! leaf_service_us = 19      # optional leaf-tier mean service time
+//! ```
+//!
 //! Parsing is **strict**: unknown tables, unknown keys, missing required
 //! keys and type mismatches are errors carrying the offending line number,
 //! so a typo fails loudly instead of silently running a default.
@@ -459,6 +472,20 @@ pub enum SpecKind {
         /// The routing policy.
         policy: RoutingPolicyKind,
     },
+    /// An N-node cluster executing multi-tier fan-out request chains
+    /// through a chain coordinator (`rate_per_sec` counts root chains).
+    Chain {
+        /// Number of nodes.
+        nodes: usize,
+        /// Leaf RPCs issued per chain (the fan-out width; 1 = linear hop).
+        fanout: usize,
+        /// The routing policy RPCs are spread with.
+        policy: RoutingPolicyKind,
+        /// Frontend-tier mean service time override.
+        frontend_service: Option<SimDuration>,
+        /// Leaf-tier mean service time override.
+        leaf_service: Option<SimDuration>,
+    },
     /// A cartesian sweep over offered rates × platforms (single-server runs).
     Sweep {
         /// The load axis (requests per second).
@@ -532,6 +559,7 @@ impl ExperimentSpec {
                     | "workload"
                     | "fleet"
                     | "cluster"
+                    | "chain"
                     | "sweep"
                     | "telemetry"
             ) {
@@ -632,6 +660,36 @@ impl ExperimentSpec {
                 };
                 SpecKind::Cluster { nodes, policy }
             }
+            "chain" => {
+                let t = find("chain").ok_or_else(|| {
+                    SpecError::at(kind_line, "kind = \"chain\" needs a [chain] table")
+                })?;
+                let (nodes, _) = t
+                    .count("nodes")?
+                    .ok_or_else(|| SpecError::at(t.line, "[chain] needs `nodes`"))?;
+                let (fanout, _) = t
+                    .count("fanout")?
+                    .ok_or_else(|| SpecError::at(t.line, "[chain] needs `fanout`"))?;
+                let policy = match t.str("policy")? {
+                    None => RoutingPolicyKind::JoinShortestQueue,
+                    Some((s, line)) => parse_policy(&s).ok_or_else(|| {
+                        SpecError::at(
+                            line,
+                            format!("unknown policy `{s}` (random|round-robin|jsq|power-aware)"),
+                        )
+                    })?,
+                };
+                let frontend_service =
+                    t.duration("frontend_service_us", SimDuration::from_micros_f64)?;
+                let leaf_service = t.duration("leaf_service_us", SimDuration::from_micros_f64)?;
+                SpecKind::Chain {
+                    nodes,
+                    fanout,
+                    policy,
+                    frontend_service,
+                    leaf_service,
+                }
+            }
             "sweep" => {
                 let t = find("sweep").ok_or_else(|| {
                     SpecError::at(kind_line, "kind = \"sweep\" needs a [sweep] table")
@@ -724,7 +782,7 @@ impl ExperimentSpec {
             other => {
                 return Err(SpecError::at(
                     kind_line,
-                    format!("unknown experiment kind `{other}` (single|fleet|cluster|sweep)"),
+                    format!("unknown experiment kind `{other}` (single|fleet|cluster|chain|sweep)"),
                 ))
             }
         };
@@ -734,6 +792,7 @@ impl ExperimentSpec {
         for (table, wanted) in [
             ("fleet", "fleet"),
             ("cluster", "cluster"),
+            ("chain", "chain"),
             ("sweep", "sweep"),
         ] {
             if let Some(t) = find(table) {
@@ -747,7 +806,8 @@ impl ExperimentSpec {
         }
         if repeats > 1 && matches!(kind, SpecKind::Fleet { .. } | SpecKind::Sweep { .. }) {
             return Err(SpecError::doc(format!(
-                "`repeats` applies to single and cluster experiments, not kind = \"{kind_name}\""
+                "`repeats` applies to single, cluster and chain experiments, \
+                 not kind = \"{kind_name}\""
             )));
         }
         if matches!(kind, SpecKind::Cluster { .. })
@@ -756,6 +816,14 @@ impl ExperimentSpec {
             return Err(SpecError::doc(
                 "cluster experiments support only pattern = \"constant\" \
                  (the balancer owns one stationary arrival stream)",
+            ));
+        }
+        if matches!(kind, SpecKind::Chain { .. })
+            && !matches!(traffic, TrafficPattern::Constant { .. })
+        {
+            return Err(SpecError::doc(
+                "chain experiments support only pattern = \"constant\" \
+                 (the coordinator owns one stationary root-arrival stream)",
             ));
         }
         if matches!(kind, SpecKind::Sweep { .. })

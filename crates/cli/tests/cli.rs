@@ -169,6 +169,145 @@ fn named_scenarios_run_through_the_cli() {
     assert!(out.contains("cluster (power-aware)"), "{out}");
 }
 
+const CHAIN_SPEC: &str = r#"
+[experiment]
+kind = "chain"
+name = "test-chain"
+seed = 7
+duration_ms = 5
+
+[workload]
+kind = "memcached"
+rate_per_sec = 4_000   # root chains per second
+
+[chain]
+nodes = 4
+fanout = 4
+policy = "jsq"
+"#;
+
+#[test]
+fn chain_spec_runs_end_to_end() {
+    let spec = Scratch::new("chain.toml");
+    spec.write(CHAIN_SPEC);
+    let out = execute(&args(&["run", spec.path(), "--format", "json"])).unwrap();
+    let parsed = JsonValue::parse(&out).expect("output is valid JSON");
+    // Chain outcomes always export as an array (one entry per repeat).
+    let chains = parsed.as_array().expect("chain JSON is an array");
+    assert_eq!(chains.len(), 1);
+    let c = &chains[0];
+    assert_eq!(
+        c.get("policy").and_then(JsonValue::as_str),
+        Some("join-shortest-queue")
+    );
+    assert_eq!(
+        c.get("graph").and_then(JsonValue::as_str),
+        Some("1x frontend -> 4x kv-get")
+    );
+    assert!(
+        c.get("chains_completed")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+    let latency = c.get("chain_latency").expect("chain_latency object");
+    for key in ["p50_ns", "p99_ns", "p999_ns"] {
+        assert!(
+            latency.get(key).and_then(JsonValue::as_u64).unwrap() > 0,
+            "{key}"
+        );
+    }
+    assert!(c.get("straggler").is_some(), "straggler breakdown exported");
+
+    // The CSV shape leads with the chain percentiles header.
+    let csv = execute(&args(&["run", spec.path(), "--format", "csv"])).unwrap();
+    assert!(csv.starts_with("repeat,policy,graph,"), "{csv}");
+    assert!(csv.contains("e2e_p999_ns"), "{csv}");
+    assert!(csv.contains("straggler_p999_ns"), "{csv}");
+    assert_eq!(csv.lines().count(), 2, "header + one run: {csv}");
+}
+
+#[test]
+fn chain_exports_are_byte_identical_across_pool_sizes() {
+    let spec = Scratch::new("chain-pool.toml");
+    spec.write(CHAIN_SPEC);
+    let run = |workers: &str, format: &str| {
+        execute(&args(&[
+            "run",
+            spec.path(),
+            "--format",
+            format,
+            "--parallelism",
+            workers,
+        ]))
+        .unwrap()
+    };
+    assert_eq!(run("1", "json"), run("8", "json"));
+    assert_eq!(run("1", "csv"), run("8", "csv"));
+}
+
+#[test]
+fn named_chain_scenarios_run_through_the_cli() {
+    let out = execute(&args(&[
+        "run",
+        "mesh-8-fanout4",
+        "--duration-ms",
+        "2",
+        "--platform",
+        "cpc1a",
+    ]))
+    .unwrap();
+    assert!(
+        out.contains("mesh-8-fanout4 (cpc1a, join-shortest-queue)"),
+        "{out}"
+    );
+    assert!(out.contains("e2e p50"), "{out}");
+    // Chain scenarios are `run` targets, not `cluster` targets.
+    let err = execute(&args(&["cluster", "mesh-8-fanout4"])).unwrap_err();
+    let CliError::Input(message) = &err else {
+        panic!("expected input error, got {err:?}");
+    };
+    assert!(message.contains("chain scenario"), "{message}");
+}
+
+#[test]
+fn chain_spec_validation_errors_carry_line_numbers() {
+    // Missing [chain] table.
+    let spec = Scratch::new("chain-missing.toml");
+    spec.write(
+        "[experiment]\nkind = \"chain\"\n\n[workload]\nkind = \"memcached\"\nrate_per_sec = 100\n",
+    );
+    let err = execute(&args(&["run", spec.path()])).unwrap_err();
+    assert!(err.to_string().contains("needs a [chain] table"), "{err}");
+    // Missing fanout.
+    let spec = Scratch::new("chain-nofanout.toml");
+    spec.write(
+        "[experiment]\nkind = \"chain\"\n\n[workload]\nkind = \"memcached\"\nrate_per_sec = 100\n\n[chain]\nnodes = 4\n",
+    );
+    let err = execute(&args(&["run", spec.path()])).unwrap_err();
+    assert!(err.to_string().contains("[chain] needs `fanout`"), "{err}");
+    // A [chain] table under a different kind is a conflict.
+    let spec = Scratch::new("chain-conflict.toml");
+    spec.write(
+        "[experiment]\nkind = \"single\"\n\n[workload]\nkind = \"memcached\"\nrate_per_sec = 100\n\n[chain]\nnodes = 4\nfanout = 2\n",
+    );
+    let err = execute(&args(&["run", spec.path()])).unwrap_err();
+    assert!(
+        err.to_string().contains("[chain] conflicts with kind"),
+        "{err}"
+    );
+    // Non-constant patterns cannot drive the coordinator's root stream.
+    let spec = Scratch::new("chain-pattern.toml");
+    spec.write(
+        "[experiment]\nkind = \"chain\"\n\n[workload]\nkind = \"memcached\"\nrate_per_sec = 100\npattern = \"diurnal\"\n\n[chain]\nnodes = 4\nfanout = 2\n",
+    );
+    let err = execute(&args(&["run", spec.path()])).unwrap_err();
+    assert!(
+        err.to_string().contains("chain experiments support only"),
+        "{err}"
+    );
+}
+
 #[test]
 fn sweep_expands_the_cartesian_grid() {
     let spec = Scratch::new("sweep.toml");
@@ -205,12 +344,14 @@ fn list_names_every_library_scenario() {
         "cluster-8-mid",
         "cluster-8-trough",
         "cluster-16-kafka",
+        "mesh-8-fanout4",
+        "mesh-16-memcached",
     ] {
         assert!(table.contains(name), "missing {name} in\n{table}");
     }
     let json = execute(&args(&["list", "--format", "json"])).unwrap();
     let parsed = JsonValue::parse(&json).expect("list JSON parses");
-    assert_eq!(parsed.as_array().map(<[_]>::len), Some(7));
+    assert_eq!(parsed.as_array().map(<[_]>::len), Some(9));
 }
 
 // ---- error paths -------------------------------------------------------

@@ -43,6 +43,9 @@
 //! assert!(outcome.latency().as_nanos() <= 200);
 //! ```
 
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod apmu;
 pub mod area;
 pub mod clmr;

@@ -25,6 +25,9 @@
 //! assert_eq!(governor.select(SimDuration::from_millis(10)), CoreCState::CC1);
 //! ```
 
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod config;
 pub mod governor;
 pub mod gpmu;

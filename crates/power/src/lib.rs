@@ -27,6 +27,9 @@
 //! assert!((saving - 0.41).abs() < 0.02);
 //! ```
 
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod budget;
 pub mod energy;
 pub mod model;

@@ -158,6 +158,15 @@ impl CoreExec {
                     shared.telemetry.completed_requests += 1;
                 }
                 shared.telemetry.busy_core_time += request.service + shared.config.softirq_overhead;
+                // A chain-tagged RPC reports its completion to the chain
+                // coordinator, which joins it into the fan-out and issues
+                // the next tier (or records the chain's end-to-end latency).
+                if let Some(tag) = request.chain {
+                    ctx.emit_now(
+                        tag.coordinator,
+                        ServerEvent::ChainLeafDone { chain: tag.chain },
+                    );
+                }
             }
             WorkItem::Background { work } => {
                 shared.telemetry.busy_core_time += work;
@@ -181,9 +190,13 @@ impl CoreExec {
         shared: &mut ServerState,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
-        // Predicted idle: the time until this core's next background tick
-        // (the OS knows its own timers; client arrivals are unpredictable).
-        let predicted = shared.sched.next_background_at[self.index].saturating_since(now);
+        // Predicted idle: the time until the next event the OS knows about —
+        // this core's background timer or the NIC's armed coalesced
+        // delivery (open-loop client arrivals stay unpredictable). The bound
+        // is shared by every arrival path, so a core idling while a fan-out
+        // sibling's request sits in the coalescing buffer will not pick CC6
+        // against a known-imminent interrupt.
+        let predicted = shared.predicted_idle_bound(self.index, now);
         let target = self.governor.select(predicted);
         let entry = shared
             .soc

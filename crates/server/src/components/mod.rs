@@ -100,6 +100,18 @@ pub enum ServerEvent {
     PowerSample,
     /// Periodic time-series telemetry sample. (→ `timeseries`)
     TimeSeriesSample,
+    /// The next root request of a request chain arrives at the chain
+    /// coordinator, which fans it out across the cluster. Never fires
+    /// outside a chain simulation. (→ `chain-coordinator`)
+    ChainArrival,
+    /// A core finished serving one chain-tagged RPC; the coordinator joins
+    /// it into its chain (emitted by the serving core to the coordinator
+    /// named in the request's [`apc_workloads::request::ChainTag`]).
+    /// (→ `chain-coordinator`)
+    ChainLeafDone {
+        /// The coordinator-local chain the completed RPC belongs to.
+        chain: u64,
+    },
 }
 
 /// A unit of work a core can execute.

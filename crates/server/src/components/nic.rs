@@ -27,6 +27,11 @@ pub(crate) fn buffer_request(
     node.nic.buffer.push_back(request);
     if !node.nic.deliver_pending {
         node.nic.deliver_pending = true;
+        // Record the delivery instant so the idle governor's predicted-idle
+        // bound (see `ServerState::predicted_idle_bound`) knows work is
+        // imminent: a core going idle inside the coalescing window must not
+        // pick a C-state it cannot amortise before the interrupt fires.
+        node.nic.next_deliver_at = ctx.now() + node.config.nic_coalescing;
         ctx.emit(
             node.addrs.nic,
             node.config.nic_coalescing,
@@ -91,6 +96,7 @@ impl NicArrival {
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
         shared.nic.deliver_pending = false;
+        shared.nic.next_deliver_at = apc_sim::SimTime::MAX;
         if shared.nic.buffer.is_empty() {
             return;
         }

@@ -108,12 +108,30 @@ impl FreeCoreSet {
 /// delivery. Shared (rather than private to the NIC component) because in a
 /// cluster the load balancer deposits routed requests into a node's buffer,
 /// while the node's own NIC component drains it on `NicDeliver`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct NicState {
     /// Requests buffered during the current coalescing window.
     pub buffer: VecDeque<Request>,
     /// `true` while a `NicDeliver` interrupt is armed for the buffer.
     pub deliver_pending: bool,
+    /// When the armed `NicDeliver` interrupt fires ([`SimTime::MAX`] when
+    /// none is armed). Written by the single shared deposit helper (both the
+    /// standalone NIC and the cluster balancer/coordinator arrival paths go
+    /// through it), read by the idle governor's predicted-idle bound — a
+    /// core going idle with a delivery already armed knows work is imminent
+    /// and must not pick a deep C-state it cannot amortise (see
+    /// [`ServerState::predicted_idle_bound`]).
+    pub next_deliver_at: SimTime,
+}
+
+impl Default for NicState {
+    fn default() -> Self {
+        NicState {
+            buffer: VecDeque::new(),
+            deliver_pending: false,
+            next_deliver_at: SimTime::MAX,
+        }
+    }
 }
 
 /// Work-queue and per-core occupancy state, read by the scheduler and
@@ -330,6 +348,21 @@ impl ServerState {
         self.telemetry.idle_tracker.finish(end);
     }
 
+    /// The OS's bound on how long `core` will stay idle from `now`: the
+    /// sooner of the core's next background timer and the NIC's armed
+    /// coalesced-interrupt delivery. Both are events the kernel genuinely
+    /// knows about (its own timer wheel, the interrupt it armed); open-loop
+    /// client arrivals stay unpredictable. The idle governor uses this one
+    /// bound on every idle entry, whichever path deposited the pending work
+    /// — the standalone NIC and the cluster balancer/chain-coordinator all
+    /// arm delivery through the same helper.
+    #[must_use]
+    pub fn predicted_idle_bound(&self, core: usize, now: SimTime) -> SimDuration {
+        self.sched.next_background_at[core]
+            .min(self.nic.next_deliver_at)
+            .saturating_since(now)
+    }
+
     /// Number of client requests currently outstanding at this node: buffered
     /// in the NIC, queued for dispatch, reserved on a waking core or in
     /// service. The join-shortest-queue routing policy's load signal.
@@ -493,12 +526,13 @@ mod tests {
     fn outstanding_requests_counts_every_stage() {
         let mut state = ServerState::new(ServerConfig::c_pc1a());
         assert_eq!(state.outstanding_requests(), 0);
-        let request = || apc_workloads::request::Request {
-            id: apc_workloads::request::RequestId(0),
-            arrival: apc_sim::SimTime::ZERO,
-            service: SimDuration::from_micros(10),
-            class: apc_workloads::request::RequestClass::KvGet,
-            memory_intensive: true,
+        let request = || {
+            apc_workloads::request::Request::new(
+                apc_workloads::request::RequestId(0),
+                apc_workloads::request::RequestClass::KvGet,
+                apc_sim::SimTime::ZERO,
+                SimDuration::from_micros(10),
+            )
         };
         state.nic.buffer.push_back(request());
         state.sched.client_queue.push_back(request());

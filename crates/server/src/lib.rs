@@ -23,12 +23,17 @@
 //! * [`balancer`] — the cluster-level arrival stream and the pluggable
 //!   [`balancer::RoutingPolicy`] (random, round-robin, join-shortest-queue,
 //!   power-aware packing);
+//! * [`chain`] — multi-tier RPC request chains ([`chain::RequestGraph`]:
+//!   linear chains and frontend → N-leaf scatter-gather with wait-for-all
+//!   joins), executed across the cluster by a [`chain::ChainCoordinator`]
+//!   that records end-to-end latency and the leaf-straggler gap;
 //! * [`fleet`] — the [`fleet::Fleet`] runner executing many independent
 //!   server instances in parallel and aggregating their results;
 //! * [`scenario`] — declarative [`scenario::Scenario`] specs plus a library
 //!   of named fleet experiments (diurnal, flash crowd, heterogeneous,
-//!   low-load sweep) and cluster-routing scenarios
-//!   ([`scenario::ClusterScenario`]);
+//!   low-load sweep), cluster-routing scenarios
+//!   ([`scenario::ClusterScenario`]) and fan-out chain scenarios
+//!   ([`scenario::ChainScenario`]: `mesh-8-fanout4`, `mesh-16-memcached`);
 //! * [`result`] — [`result::RunResult`] with derived metrics.
 //!
 //! # Example
@@ -45,8 +50,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod balancer;
+pub mod chain;
 pub mod cluster;
 pub mod components;
 pub mod config;
@@ -57,6 +64,9 @@ pub mod scenario;
 pub mod sim;
 
 pub use balancer::{RoutingPolicy, RoutingPolicyKind};
+pub use chain::{
+    run_chain_experiment, ChainFleet, ChainMember, ChainResult, ChainSimulation, RequestGraph, Tier,
+};
 pub use cluster::{
     run_cluster_experiment, ClusterFleet, ClusterMember, ClusterResult, ClusterSimulation,
 };
@@ -65,6 +75,7 @@ pub use fleet::{Fleet, FleetMember, FleetResult};
 pub use node::ServerNode;
 pub use result::RunResult;
 pub use scenario::{
-    ClusterScenario, MemberGroup, Scenario, ScenarioResult, TrafficPattern, WorkloadKind,
+    ChainScenario, ClusterScenario, MemberGroup, Scenario, ScenarioResult, TrafficPattern,
+    WorkloadKind,
 };
 pub use sim::{run_experiment, ServerSimulation};

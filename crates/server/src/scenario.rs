@@ -40,6 +40,7 @@ use apc_workloads::arrival::{
 use apc_workloads::spec::WorkloadSpec;
 
 use crate::balancer::RoutingPolicyKind;
+use crate::chain::{ChainMember, ChainResult, RequestGraph};
 use crate::cluster::{ClusterMember, ClusterResult};
 use crate::config::ServerConfig;
 use crate::fleet::{Fleet, FleetMember, FleetResult};
@@ -593,6 +594,144 @@ impl ClusterScenario {
             ClusterScenario::eight_node_memcached(),
             ClusterScenario::eight_node_trough(),
             ClusterScenario::sixteen_node_kafka(),
+        ]
+    }
+}
+
+/// A declarative fan-out chain experiment: an N-node cluster executing one
+/// [`RequestGraph`] (frontend → fan-out leaves with wait-for-all joins) at a
+/// root-chain arrival rate, to be run under each routing policy × platform
+/// configuration of interest.
+///
+/// This is the traffic class that motivates PC1A: the scatter-gather join
+/// waits for the slowest leaf, so one node waking from a deep package
+/// C-state stretches the whole chain's tail. Expect `Cdeep` to widen the
+/// end-to-end p999 where `CPC1A` holds both power and tail.
+///
+/// # Example
+///
+/// ```
+/// use apc_server::balancer::RoutingPolicyKind;
+/// use apc_server::config::ServerConfig;
+/// use apc_server::scenario::ChainScenario;
+/// use apc_sim::SimDuration;
+///
+/// let scenario = ChainScenario::mesh_8_fanout4()
+///     .with_duration(SimDuration::from_millis(20));
+/// let result = scenario.run(&ServerConfig::c_pc1a(), RoutingPolicyKind::JoinShortestQueue);
+/// assert_eq!(result.nodes.servers(), 8);
+/// assert!(result.chains_completed > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainScenario {
+    /// Short name used in tables.
+    pub name: &'static str,
+    /// One-line description of what the scenario exercises.
+    pub description: &'static str,
+    /// Number of server nodes in the cluster.
+    pub nodes: usize,
+    /// The chain shape every root request executes.
+    pub graph: RequestGraph,
+    /// Root-chain arrival rate (chains per second).
+    pub chains_per_sec: f64,
+    /// Simulated duration of the run.
+    pub duration: SimDuration,
+    /// Cluster seed (node seeds fork from it; see
+    /// [`crate::chain::ChainMember::homogeneous`]).
+    pub seed: u64,
+}
+
+impl ChainScenario {
+    /// A chain scenario with the given shape and the library defaults
+    /// (100 ms window, seed `0x5ce0`).
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        nodes: usize,
+        graph: RequestGraph,
+        chains_per_sec: f64,
+    ) -> Self {
+        ChainScenario {
+            name,
+            description,
+            nodes,
+            graph,
+            chains_per_sec,
+            duration: SimDuration::from_millis(100),
+            seed: 0x5ce0,
+        }
+    }
+
+    /// Overrides the simulated duration (tests use short windows).
+    #[must_use]
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides the cluster seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Materialises and runs the scenario on top of `base` (which supplies
+    /// the platform, power model and noise; its duration and seed are
+    /// replaced by the scenario's) under `policy`.
+    #[must_use]
+    pub fn run(&self, base: &ServerConfig, policy: RoutingPolicyKind) -> ChainResult {
+        let base = base
+            .clone()
+            .with_duration(self.duration)
+            .with_seed(self.seed);
+        ChainMember::homogeneous(
+            &base,
+            self.nodes,
+            policy,
+            self.graph.clone(),
+            self.chains_per_sec,
+        )
+        .run()
+    }
+
+    // ---- the named chain-scenario library ------------------------------
+
+    /// Eight nodes, memcached scatter-gather with fan-out 4 at 8 K chains/s
+    /// (40 K RPC/s cluster-wide): the headline fan-out comparison — how wake
+    /// latency compounds at the join under `Cshallow`/`Cdeep`/`CPC1A`.
+    #[must_use]
+    pub fn mesh_8_fanout4() -> Self {
+        ChainScenario::new(
+            "mesh-8-fanout4",
+            "8-node memcached scatter-gather, fan-out 4, wait-for-all join",
+            8,
+            RequestGraph::memcached_fanout(4),
+            8_000.0,
+        )
+    }
+
+    /// Sixteen nodes, memcached scatter-gather with fan-out 8 at 6 K
+    /// chains/s: wider fan-in, more chances for one leaf to land on a
+    /// sleeping node — the regime where the straggler gap dominates p999.
+    #[must_use]
+    pub fn mesh_16_memcached() -> Self {
+        ChainScenario::new(
+            "mesh-16-memcached",
+            "16-node memcached scatter-gather, fan-out 8, straggler-bound tail",
+            16,
+            RequestGraph::memcached_fanout(8),
+            6_000.0,
+        )
+    }
+
+    /// Every named chain scenario, in presentation order.
+    #[must_use]
+    pub fn library() -> Vec<ChainScenario> {
+        vec![
+            ChainScenario::mesh_8_fanout4(),
+            ChainScenario::mesh_16_memcached(),
         ]
     }
 }

@@ -157,15 +157,24 @@ fn golden_results_match_pre_refactor_capture() {
             478u64,
             0.0f64,
         ),
+        // Cdeep re-captured when the idle governor's predicted-idle bound
+        // gained the NIC's armed coalesced-delivery time: a core idling
+        // inside the coalescing window no longer picks CC6 against a
+        // known-imminent interrupt, so Cdeep serves with fewer CC6 wake
+        // penalties (mean 199.2 -> 179.1 us, p99 328.6 -> 319.9 us) and
+        // slightly lower SoC power (49.06 -> 47.70 W: the avoided wake
+        // transitions and shorter busy tails outweigh the lost CC6
+        // residency at this load). Cshallow/CPC1A (CC1-only governors) are
+        // bit-identical to the pre-refactor capture.
         (
             ServerConfig::c_deep(),
             2791,
-            199_226,
-            328_638,
-            49.06422115511976,
+            179_053,
+            319_939,
+            47.701750616199554,
             0,
             2,
-            115,
+            175,
             0.0,
         ),
         (

@@ -34,6 +34,9 @@
 //! assert!(soc.cores().all_in_cc1_or_deeper());
 //! ```
 
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod area;
 pub mod clm;
 pub mod clock;

@@ -12,6 +12,9 @@
 //! * [`timeseries`] — periodic samples of power, residency deltas and queue
 //!   depth over simulated time (the time-domain figures).
 
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod idle;
 pub mod latency;
 pub mod residency;

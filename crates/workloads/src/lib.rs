@@ -4,11 +4,14 @@
 //! (Memcached with the Facebook ETC mix, Kafka, MySQL/sysbench OLTP) plus the
 //! OS background noise that bounds full-system idleness.
 //!
-//! * [`request`] — request/class types;
+//! * [`request`] — request/class types (including the chain tag multi-tier
+//!   RPCs carry);
 //! * [`arrival`] — stationary (Poisson, MMPP) and time-varying
 //!   (piecewise-rate, sinusoidal) arrival processes;
 //! * [`spec`] — per-service specifications, operating points and the
 //!   background-noise model;
+//! * [`chain`] — per-tier service-time specifications for multi-tier
+//!   request chains (frontend → fan-out leaves);
 //! * [`loadgen`] — the open-loop load generator.
 //!
 //! # Example
@@ -24,8 +27,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod arrival;
+pub mod chain;
 pub mod loadgen;
 pub mod request;
 pub mod spec;
@@ -34,6 +39,7 @@ pub use arrival::{
     ArrivalProcess, MmppArrivals, PiecewiseRateArrivals, PoissonArrivals, RateSegment,
     SinusoidArrivals,
 };
+pub use chain::TierService;
 pub use loadgen::LoadGenerator;
-pub use request::{Request, RequestClass, RequestId};
+pub use request::{ChainTag, Request, RequestClass, RequestId};
 pub use spec::{BackgroundNoise, OperatingPoint, WorkloadSpec};
