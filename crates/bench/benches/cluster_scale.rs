@@ -1,16 +1,19 @@
 //! Cluster-simulation scaling: wall-clock cost per simulated second as the
-//! node count grows (1 / 4 / 8 nodes in one event loop).
+//! node count grows (1 / 4 / 8 / 16 nodes in one event loop).
 //!
 //! The cluster layer multiplies the event rate of the host event loop by
 //! roughly the node count (every node contributes arrivals, wakes and
 //! background timers to one queue). Per-node dispatch observers are scoped
 //! to their node's components (`Simulation::scope_observer`), so the hook
 //! cost per event is O(1) in the node count and wall-clock scales close to
-//! linearly with nodes: ~1.6 / 9.0 / 14.9 ms per 20 ms simulated at
-//! 1 / 4 / 8 nodes on the reference container (the pre-scoping global
-//! fan-out measured 1.5 / 17.8 / 49.9 ms — super-linear). Cluster arrival
-//! events still fan out to every node's observers (a deposit can touch any
-//! node), which is the remaining super-linear term.
+//! linearly with nodes. History on the reference container, ms per 20 ms
+//! simulated at 1 / 4 / 8 nodes: the pre-scoping global hook fan-out
+//! measured ~1.5 / 17.8 / 49.9 (super-linear); observer scoping brought
+//! that to ~1.6 / 9.0 / 14.9; the timer-wheel event core plus epoch-keyed
+//! power/residency caching (see `BENCH_event_core.json` at the repo root
+//! for the current recorded numbers) cut it a further ~2.5x. Cluster
+//! arrival events still fan out to every node's observers (a deposit can
+//! touch any node), which is the remaining super-linear term.
 //!
 //! ```text
 //! cargo bench -p apc-bench --bench cluster_scale
@@ -35,7 +38,7 @@ const RATE_PER_NODE: f64 = 20_000.0;
 fn bench_cluster_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_scale");
     group.sample_size(10);
-    for nodes in [1usize, 4, 8] {
+    for nodes in [1usize, 4, 8, 16] {
         group.bench_function(&format!("cpc1a_jsq_{nodes}_nodes_20ms"), |b| {
             b.iter(|| {
                 let base = ServerConfig::c_pc1a().with_duration(WINDOW);

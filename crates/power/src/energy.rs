@@ -101,6 +101,15 @@ impl EnergyMeter {
         &self.energy
     }
 
+    /// The timestamp the meter has been advanced to (the last accounting
+    /// point). An [`EnergyMeter::advance`] to this time or earlier is a
+    /// no-op, which lets callers skip computing the power breakdown for
+    /// zero-length intervals.
+    #[must_use]
+    pub fn last(&self) -> SimTime {
+        self.last
+    }
+
     /// Total elapsed (integrated) time.
     #[must_use]
     pub fn elapsed(&self) -> SimDuration {

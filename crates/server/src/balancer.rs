@@ -94,7 +94,10 @@ impl RoutingPolicy for JoinShortestQueue {
     }
 
     fn route(&mut self, cluster: &ClusterState, _rng: &mut SimRng) -> usize {
-        min_by_key_index(cluster, |node| node.outstanding_requests())
+        min_by_key_index(cluster, |node| {
+            debug_assert_eq!(node.outstanding, node.outstanding_requests());
+            node.outstanding
+        })
     }
 }
 
@@ -116,8 +119,8 @@ impl RoutingPolicy for PowerAware {
     fn route(&mut self, cluster: &ClusterState, _rng: &mut SimRng) -> usize {
         let awake = (0..cluster.node_count())
             .filter(|&i| cluster.node(i).any_core_active())
-            .min_by_key(|&i| (cluster.node(i).outstanding_requests(), i));
-        awake.unwrap_or_else(|| min_by_key_index(cluster, |n| n.outstanding_requests()))
+            .min_by_key(|&i| (cluster.node(i).outstanding, i));
+        awake.unwrap_or_else(|| min_by_key_index(cluster, |n| n.outstanding))
     }
 }
 

@@ -512,12 +512,12 @@ impl ChainSimulation {
         )));
         let coordinator_id = sim.add_component("chain-coordinator", Rc::clone(&coordinator));
         // The coordinator deposits RPCs into node NIC buffers (on arrivals
-        // *and* on joins that issue the next tier), so every node's scoped
-        // observers must also watch it — the same dispatch-observer routing
-        // the cluster balancer uses (see `crate::cluster::ClusterSimulation`).
+        // *and* on joins that issue the next tier), so every node's power
+        // observer must also watch it — the same dispatch-observer routing
+        // the cluster balancer uses (see `crate::cluster::ClusterSimulation`,
+        // including why the package observers stay unsubscribed).
         for handles in &nodes {
             sim.add_observer_target(handles.power, coordinator_id);
-            sim.add_observer_target(handles.addrs.package, coordinator_id);
         }
         // Bootstrap in the cluster order: the first root arrival, then every
         // node's background timers / initial idle entries / power sampling.

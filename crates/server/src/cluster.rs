@@ -120,15 +120,16 @@ impl ClusterSimulation {
         let balancer = Rc::new(RefCell::new(Balancer::new(loadgen, policy, node_count)));
         let balancer_id = sim.add_component("balancer", Rc::clone(&balancer));
         // Each node's observers are scoped to the node's own components (see
-        // `ServerNode::register`); subscribe them to the balancer too, since
-        // an arrival deposits into a node's NIC buffer — the instant a
-        // standalone server would account through its own `ClientArrival`.
-        // Subscription order (node 0's power, package, node 1's, …) matches
-        // the old registration-order global fan-out, and every other event
-        // now runs two hooks instead of 2 × node count.
+        // `ServerNode::register`); subscribe the power observers to the
+        // balancer too, since an arrival deposits into a node's NIC buffer —
+        // the instant a standalone server would account through its own
+        // `ClientArrival`. The package observers stay unsubscribed: a
+        // balancer event only touches a NIC buffer, which none of the
+        // package-state inputs read, so their hooks would record a
+        // same-state no-op transition (the range check in
+        // `PackageController::on_post_dispatch` guards the same invariant).
         for handles in &nodes {
             sim.add_observer_target(handles.power, balancer_id);
-            sim.add_observer_target(handles.addrs.package, balancer_id);
         }
         // Bootstrap in the standalone order: the first arrival, then every
         // node's background timers / initial idle entries / power sampling.
@@ -167,7 +168,7 @@ impl ClusterSimulation {
     /// [`ClusterResult`].
     #[must_use]
     pub fn run(mut self) -> ClusterResult {
-        self.sim.run_until(self.end_at);
+        let events_dispatched = self.sim.run_until(self.end_at);
         let end = self.end_at;
         let runs = self
             .nodes
@@ -179,6 +180,7 @@ impl ClusterSimulation {
             policy: balancer.policy_name(),
             routed: balancer.routed().to_vec(),
             duration: self.end_at.saturating_since(SimTime::ZERO),
+            events_dispatched,
             nodes: FleetResult { runs },
         }
     }
@@ -198,6 +200,11 @@ pub struct ClusterResult {
     pub routed: Vec<u64>,
     /// The simulated duration.
     pub duration: SimDuration,
+    /// Total simulation events dispatched by the run's single event loop
+    /// (every node plus the balancer). The event core's workload size: wall
+    /// time divided by this is the per-event cost of the whole stack (queue,
+    /// dispatch hooks, handlers).
+    pub events_dispatched: u64,
     /// Per-node results in node order, with fleet-style aggregates.
     pub nodes: FleetResult,
 }

@@ -61,10 +61,12 @@ impl CoreExec {
         };
         let work = noise.sample_work(ctx.rng());
         shared.sched.background[self.index].push_back(work);
+        shared.sched.background_pending.insert(self.index);
         // Background work is initiated by a timer interrupt: it wakes the
-        // package if necessary, then the scheduler places it. Under
-        // `PackagePolicy::None` a wake is always a no-op — skip the event.
-        if shared.config.platform.package_policy != PackagePolicy::None {
+        // package if necessary, then the scheduler places it. Unless the
+        // package is in (or entering) a package C-state the wake would be a
+        // no-op — skip the event (see `PackageMirror::wakeable`).
+        if shared.pkg.wakeable {
             ctx.emit_now(
                 shared.addrs.package,
                 ServerEvent::PackageWake {
@@ -116,8 +118,9 @@ impl CoreExec {
             .transition(self.core_id(), now, CoreCState::CC0);
         // Leaving ACC1: the first core to run again clears AllowL0s (the
         // package controller owns that edge; the edge only exists under the
-        // PC1A policy).
-        if shared.config.platform.package_policy == PackagePolicy::Pc1a {
+        // PC1A policy, and only while the APMU actually sits in ACC1 — any
+        // other state handles `CoreActive` as a no-op, so skip the event).
+        if shared.pkg.acc1_armed {
             ctx.emit_now(shared.addrs.package, ServerEvent::CoreActive);
         }
         let item = shared.sched.pending_start[self.index]
@@ -151,6 +154,7 @@ impl CoreExec {
             .expect("core had no running work");
         match item {
             WorkItem::Client(request) => {
+                shared.outstanding -= 1;
                 let server_side = now.saturating_since(request.arrival);
                 let total = server_side + shared.network_rtt;
                 if request.class.is_client_visible() {
@@ -178,6 +182,9 @@ impl CoreExec {
             return;
         }
         if let Some(work) = shared.sched.background[self.index].pop_front() {
+            if shared.sched.background[self.index].is_empty() {
+                shared.sched.background_pending.remove(self.index);
+            }
             self.start_service(WorkItem::Background { work }, shared, ctx);
             return;
         }

@@ -2,7 +2,6 @@
 //! coalescing.
 
 use apc_core::apmu::WakeCause;
-use apc_pmu::config::PackagePolicy;
 use apc_sim::component::{EventHandler, SimulationContext};
 use apc_soc::io::IoId;
 use apc_workloads::loadgen::LoadGenerator;
@@ -25,6 +24,7 @@ pub(crate) fn buffer_request(
     request: Request,
 ) {
     node.nic.buffer.push_back(request);
+    node.outstanding += 1;
     if !node.nic.deliver_pending {
         node.nic.deliver_pending = true;
         // Record the delivery instant so the idle governor's predicted-idle
@@ -107,8 +107,10 @@ impl NicArrival {
         let now = ctx.now();
         shared.soc.ios_mut().controller_mut(nic).begin_traffic(now);
         shared.soc.ios_mut().controller_mut(nic).end_traffic(now);
-        // Under `PackagePolicy::None` a package wake is always a no-op.
-        if shared.config.platform.package_policy != PackagePolicy::None {
+        // Wake the package only when there is something to wake: unless the
+        // package is in (or entering) a package C-state the controller would
+        // treat the event as a no-op — see `PackageMirror::wakeable`.
+        if shared.pkg.wakeable {
             ctx.emit_now(
                 shared.addrs.package,
                 ServerEvent::PackageWake {

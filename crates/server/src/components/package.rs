@@ -4,7 +4,7 @@
 use apc_core::apmu::{Apmu, ApmuState, WakeCause, WakeOutcome};
 use apc_pmu::config::PackagePolicy;
 use apc_pmu::gpmu::{Gpmu, GpmuPhase};
-use apc_sim::component::{EventHandler, SimulationContext};
+use apc_sim::component::{ComponentId, EventHandler, SimulationContext};
 use apc_sim::SimTime;
 use apc_soc::cstate::PackageCState;
 
@@ -32,6 +32,14 @@ pub struct PackageController {
     /// A wake arrived while the GPMU entry flow was still running; exit as
     /// soon as the entry completes.
     gpmu_pending_wake: bool,
+    /// `(soc change-epoch, core-occupancy bit)` as of the last post-dispatch
+    /// residency update. The package state is a pure function of the SoC
+    /// state (core activity), scheduler occupancy (the work-in-flight half
+    /// of [`ServerState::any_core_active`]) and this controller's own FSMs;
+    /// while the first two are unchanged *and* no event has run through this
+    /// controller (which clears the cache), the state cannot have moved and
+    /// the residency update — a same-state no-op — can be skipped outright.
+    residency_cache: Option<(u64, bool)>,
 }
 
 impl PackageController {
@@ -50,6 +58,7 @@ impl PackageController {
             apmu,
             gpmu: Gpmu::new(package_limit),
             gpmu_pending_wake: false,
+            residency_cache: None,
         }
     }
 
@@ -76,9 +85,22 @@ impl PackageController {
         }
     }
 
-    /// Mirrors uncore availability into the shared state.
+    /// Mirrors uncore availability and the package-event gating facts into
+    /// the shared state (see
+    /// [`super::state::PackageMirror`]).
     fn sync_uncore(&self, shared: &mut ServerState) {
         shared.uncore.available = self.uncore_available();
+        shared.pkg.acc1_armed = self.apmu.state() == ApmuState::Acc1;
+        shared.pkg.wakeable = match self.policy {
+            PackagePolicy::Pc1a => matches!(
+                self.apmu.state(),
+                ApmuState::Acc1 | ApmuState::Entering { .. } | ApmuState::InPc1a { .. }
+            ),
+            PackagePolicy::Pc6 => {
+                matches!(self.gpmu.phase(), GpmuPhase::Entering | GpmuPhase::InPc6)
+            }
+            PackagePolicy::None => false,
+        };
     }
 
     fn on_package_wake(
@@ -232,17 +254,40 @@ impl<S: HasNode> EventHandler<ServerEvent, S> for PackageController {
             other => unreachable!("package controller received unexpected event {other:?}"),
         }
         self.sync_uncore(shared);
+        // The handler may have moved the FSMs; the cached residency state is
+        // no longer trustworthy (the SoC epoch alone cannot see FSM moves).
+        self.residency_cache = None;
     }
 
     fn observes_dispatch(&self) -> bool {
         true
     }
 
-    fn on_post_dispatch(&mut self, now: SimTime, shared: &mut S) {
-        // Track the package C-state after every event, whatever component
-        // handled it (on any node): state may change through core activity
-        // alone.
+    fn observes_pre_dispatch(&self) -> bool {
+        false
+    }
+
+    fn on_post_dispatch(&mut self, now: SimTime, dst: ComponentId, shared: &mut S) {
+        // Track the package C-state after every event addressed to this
+        // node, whatever component handled it: state may change through
+        // core activity alone. Events outside the node's component range
+        // only deposit into the NIC buffer, which none of the package-state
+        // inputs (core activity, running/pending work, PMU FSMs) read, so
+        // the transition below would always be a same-state no-op for them.
         let shared = shared.node_mut(self.node);
+        let d = dst.as_usize();
+        if d < shared.component_range.0 || d > shared.component_range.1 {
+            return;
+        }
+        // Same SoC epoch + same occupancy + no intervening event through
+        // this controller (which clears the cache) ⇒ the derivation below
+        // would yield the same state again and `transition` would
+        // early-return: skip both.
+        let epoch = shared.soc.change_epoch();
+        let occupied = shared.sched.free_cores.count() < shared.sched.running.len();
+        if self.residency_cache == Some((epoch, occupied)) {
+            return;
+        }
         let any_active = shared.any_core_active();
         let state = match self.policy {
             PackagePolicy::Pc1a => self.apmu.package_state(any_active),
@@ -256,5 +301,6 @@ impl<S: HasNode> EventHandler<ServerEvent, S> for PackageController {
             }
         };
         shared.telemetry.package_residency.transition(now, state);
+        self.residency_cache = Some((epoch, occupied));
     }
 }

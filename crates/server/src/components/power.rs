@@ -1,6 +1,7 @@
 //! Power and energy accounting component.
 
-use apc_sim::component::{EventHandler, SimulationContext};
+use apc_power::model::PowerBreakdown;
+use apc_sim::component::{ComponentId, EventHandler, SimulationContext};
 use apc_sim::{SimDuration, SimTime};
 
 use super::state::HasNode;
@@ -13,11 +14,31 @@ use super::ServerEvent;
 /// that actually held across it — the same invariant the monolithic loop
 /// maintained by calling `account_power` at the top of its event loop.
 ///
+/// The power breakdown is a pure function of three inputs: the uncore
+/// component states, the per-core C-state vector and the busy-core count
+/// (which fixes memory utilisation). The component caches the breakdown
+/// keyed on all three — the SoC's
+/// [`uncore_change_epoch`](apc_soc::topology::SkxSoc::uncore_change_epoch),
+/// the injective
+/// [`cstate_fingerprint`](apc_soc::core::CoreSet::cstate_fingerprint) and
+/// `busy_cores()` — and recomputes only when a key moved; zero-length
+/// intervals skip the breakdown entirely. Equal keys guarantee a recompute
+/// would reproduce the cached value bit for bit (same inputs through the
+/// same float operations), so both shortcuts preserve the
+/// recompute-every-event accounting exactly — same intervals, same
+/// piecewise-constant power values. (A `None` fingerprint — more cores
+/// than the encoding can hold — disables the cache rather than risking a
+/// stale hit.)
+///
 /// When a sampling interval is configured the component also records an
 /// instantaneous SoC power trace, useful for debugging entry/exit flows.
 pub struct PowerTelemetry {
     node: usize,
     sample_every: Option<SimDuration>,
+    /// `(uncore change-epoch, core C-state fingerprint, busy-core count,
+    /// breakdown)` as of the last recomputation; stale once any key differs
+    /// from the node's current value.
+    cached: Option<(u64, u64, usize, PowerBreakdown)>,
 }
 
 impl PowerTelemetry {
@@ -30,6 +51,7 @@ impl PowerTelemetry {
         PowerTelemetry {
             node,
             sample_every: sample_every.filter(|d| !d.is_zero()),
+            cached: None,
         }
     }
 }
@@ -59,7 +81,31 @@ impl<S: HasNode> EventHandler<ServerEvent, S> for PowerTelemetry {
         true
     }
 
-    fn on_pre_dispatch(&mut self, now: SimTime, shared: &mut S) {
-        shared.node_mut(self.node).account_power(now);
+    fn observes_post_dispatch(&self) -> bool {
+        false
+    }
+
+    fn on_pre_dispatch(&mut self, now: SimTime, _dst: ComponentId, shared: &mut S) {
+        let node = shared.node_mut(self.node);
+        if now <= node.telemetry.energy.last() {
+            // Zero-length interval: `advance` would be a no-op, so the
+            // breakdown is not needed at all.
+            return;
+        }
+        let epoch = node.soc.uncore_change_epoch();
+        let busy = node.sched.busy_cores();
+        let breakdown = match (node.soc.cores().cstate_fingerprint(), &self.cached) {
+            (Some(fp), Some((e, f, b, cached))) if *e == epoch && *f == fp && *b == busy => cached,
+            (Some(fp), _) => {
+                self.cached = Some((epoch, fp, busy, node.power_snapshot()));
+                &self.cached.as_ref().expect("cache filled above").3
+            }
+            // Too many cores for the fingerprint: no caching, recompute.
+            (None, _) => {
+                self.cached = Some((epoch, 0, usize::MAX, node.power_snapshot()));
+                &self.cached.as_ref().expect("cache filled above").3
+            }
+        };
+        node.telemetry.energy.advance(now, breakdown);
     }
 }

@@ -43,14 +43,21 @@ impl<S: HasNode> EventHandler<ServerEvent, S> for Scheduler {
             // GpmuExitDone) emits a Dispatch, so there is nothing to re-arm.
             return;
         }
-        // Background work is pinned to its core: walk the free cores in
-        // index order, assigning where pinned work waits.
+        // Background work is pinned to its core: walk the cores that are
+        // free AND have pinned work queued (one bitset intersection per 64
+        // cores), in index order — the same cores, in the same order, the
+        // old walk over all free cores found by probing each queue.
         let mut from = 0;
-        while let Some(core) = shared.sched.free_cores.lowest_at_or_after(from) {
-            if !shared.sched.background[core].is_empty() {
-                let work = shared.sched.background[core].pop_front().expect("checked");
-                self.assign(shared, ctx, core, WorkItem::Background { work });
+        while let Some(core) = shared
+            .sched
+            .free_cores
+            .lowest_common_at_or_after(&shared.sched.background_pending, from)
+        {
+            let work = shared.sched.background[core].pop_front().expect("checked");
+            if shared.sched.background[core].is_empty() {
+                shared.sched.background_pending.remove(core);
             }
+            self.assign(shared, ctx, core, WorkItem::Background { work });
             from = core + 1;
         }
         // Client requests go to any free core (lowest index first).

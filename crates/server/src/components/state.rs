@@ -50,6 +50,14 @@ impl FreeCoreSet {
         }
     }
 
+    /// A set of `cores` cores with no bits set. Alias of
+    /// [`FreeCoreSet::new_all_occupied`] for uses where the set tracks
+    /// something other than freeness (e.g. pending background work).
+    #[must_use]
+    pub fn empty(cores: usize) -> Self {
+        FreeCoreSet::new_all_occupied(cores)
+    }
+
     /// Marks `core` free.
     pub fn insert(&mut self, core: usize) {
         debug_assert!(core < self.len);
@@ -94,6 +102,30 @@ impl FreeCoreSet {
                 return None;
             }
             word = self.words[word_idx];
+        }
+    }
+
+    /// The lowest index `>= from` present in both `self` and `other`, if
+    /// any. Same traversal as [`FreeCoreSet::lowest_at_or_after`] over the
+    /// intersection of the two sets (both must cover the same core count).
+    #[must_use]
+    pub fn lowest_common_at_or_after(&self, other: &FreeCoreSet, from: usize) -> Option<usize> {
+        debug_assert_eq!(self.len, other.len);
+        if from >= self.len {
+            return None;
+        }
+        let mut word_idx = from / 64;
+        let mut word = self.words[word_idx] & other.words[word_idx] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                let core = word_idx * 64 + word.trailing_zeros() as usize;
+                return (core < self.len).then_some(core);
+            }
+            word_idx += 1;
+            if word_idx >= self.words.len() {
+                return None;
+            }
+            word = self.words[word_idx] & other.words[word_idx];
         }
     }
 
@@ -152,6 +184,11 @@ pub struct SchedState {
     /// Cores currently able to accept work; the scheduler's O(1) dispatch
     /// index (see [`FreeCoreSet`]).
     pub free_cores: FreeCoreSet,
+    /// Cores whose background queue is non-empty — always equal to
+    /// `!background[core].is_empty()` bit for bit. The dispatch round
+    /// intersects it with `free_cores` so placing pinned background work
+    /// skips free cores with nothing queued instead of probing each queue.
+    pub background_pending: FreeCoreSet,
 }
 
 impl SchedState {
@@ -165,6 +202,7 @@ impl SchedState {
             pending_start: vec![None; cores],
             next_background_at: vec![SimTime::MAX; cores],
             free_cores: FreeCoreSet::new_all_occupied(cores),
+            background_pending: FreeCoreSet::empty(cores),
         }
     }
 
@@ -213,6 +251,31 @@ impl Default for UncoreStatus {
     fn default() -> Self {
         UncoreStatus { available: true }
     }
+}
+
+/// Package-FSM facts mirrored into the shared state by the package
+/// controller (alongside [`UncoreStatus`]) after every event it handles, so
+/// the components that *emit* package events — cores finishing a wake, the
+/// NIC delivering a batch — can skip emissions the controller would handle
+/// as pure no-ops. Skipping is bit-identical: every gated event is emitted
+/// with `emit_now` (zero-length interval, so the energy meter's accounting
+/// point is a no-op) and its handler would leave all package-state inputs
+/// untouched (so the residency observation it triggers repeats the previous
+/// one and is dropped by the same-state early return).
+///
+/// Both flags start `false`, matching the FSM starting points (APMU in PC0,
+/// GPMU `Active`), and only package-controller handlers ever change the
+/// facts they mirror — so a mirror read between package events is always
+/// current.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PackageMirror {
+    /// The APMU sits in ACC1: the first core to run again must send
+    /// `CoreActive` so the controller clears AllowL0s (PC1A policy only).
+    pub acc1_armed: bool,
+    /// A `PackageWake` would do work: the package is in, or entering, a
+    /// package C-state (PC1A: `Acc1`/`Entering`/`InPc1a`; PC6:
+    /// `Entering`/`InPc6`). `false` under `PackagePolicy::None`.
+    pub wakeable: bool,
 }
 
 /// All measurement state: power/energy, latency, residencies, idle periods
@@ -271,6 +334,15 @@ pub struct ServerState {
     pub config: ServerConfig,
     /// Peer component ids, filled by the driver after registration.
     pub addrs: Addresses,
+    /// Inclusive range of raw component ids registered for this node
+    /// (components are registered contiguously per node), filled by the
+    /// driver after registration. The node's observers use it to recognise
+    /// events that cannot have mutated this node's state: anything
+    /// dispatched outside the range only *deposits* into the NIC buffer
+    /// (balancer / chain-coordinator arrivals), which no power or
+    /// package-state derivation reads. The default covers every component,
+    /// which is always safe (no skipping).
+    pub component_range: (usize, usize),
     /// The SoC structural model.
     pub soc: SkxSoc,
     /// NIC arrival buffering (coalescing window).
@@ -279,6 +351,19 @@ pub struct ServerState {
     pub sched: SchedState,
     /// Uncore availability, maintained by the package controller.
     pub uncore: UncoreStatus,
+    /// Package-FSM facts mirrored by the package controller so event
+    /// *emitters* can skip package events the controller would handle as
+    /// no-ops (see [`PackageMirror`]).
+    pub pkg: PackageMirror,
+    /// Maintained count of outstanding client requests — always equal to
+    /// what [`ServerState::outstanding_requests`] derives by scanning.
+    /// Only two stage boundaries change the total, so only they touch it:
+    /// the NIC-buffer deposit (+1, every arrival path goes through the
+    /// shared `buffer_request` helper) and client service completion (−1);
+    /// moves between buffer → queue → reserved → running are neutral. The
+    /// JSQ and power-aware balancers read a load signal per node per
+    /// arrival, so it must be O(1).
+    pub outstanding: usize,
     /// Measurements.
     pub telemetry: TelemetryState,
     /// Workload name (for the run result).
@@ -304,9 +389,12 @@ impl ServerState {
         ServerState {
             soc,
             addrs: Addresses::default(),
+            component_range: (0, usize::MAX),
             nic: NicState::default(),
             sched: SchedState::new(cores),
             uncore: UncoreStatus::default(),
+            pkg: PackageMirror::default(),
+            outstanding: 0,
             telemetry,
             workload_name: "",
             offered_rate: 0.0,
@@ -319,7 +407,17 @@ impl ServerState {
     /// cannot be considered idle).
     #[must_use]
     pub fn any_core_active(&self) -> bool {
-        self.soc.cores().active_count() > 0 || self.sched.any_work_in_flight()
+        if self.soc.cores().any_active() {
+            return true;
+        }
+        // No core is busy: work is in flight exactly when some core is
+        // reserved/occupied, i.e. missing from the free set. (During boot
+        // all cores are occupied *and* busy until their initial idle entry,
+        // so the short-circuit above covers the window where the free set
+        // alone would over-report; see `FreeCoreSet::new_all_occupied`.)
+        let occupied = self.sched.free_cores.count() < self.sched.running.len();
+        debug_assert_eq!(occupied, self.sched.any_work_in_flight());
+        occupied
     }
 
     /// The instantaneous power breakdown implied by the current SoC state

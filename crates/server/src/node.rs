@@ -192,7 +192,20 @@ impl ServerNode {
         sim.scope_observer(power, &node_components);
         sim.scope_observer(package_id, &node_components);
 
-        sim.shared_mut().node_mut(self.index).addrs = addrs.clone();
+        // All ids from `power` (first registered) to the last one belong to
+        // this node; the observers use the range to skip events that cannot
+        // have mutated node state (see `ServerState::component_range`).
+        let first = power.as_usize();
+        let last = node_components
+            .iter()
+            .map(|c| c.as_usize())
+            .max()
+            .expect("node registers at least one component");
+        {
+            let state = sim.shared_mut().node_mut(self.index);
+            state.addrs = addrs.clone();
+            state.component_range = (first, last);
+        }
         NodeHandles {
             index: self.index,
             addrs,

@@ -195,13 +195,31 @@ pub trait EventHandler<E, S> {
         false
     }
 
+    /// Whether this observer wants the *pre*-dispatch hook. Defaults to
+    /// [`EventHandler::observes_dispatch`]; a post-only observer (one whose
+    /// [`EventHandler::on_pre_dispatch`] stays the default no-op) should
+    /// override this to `false` so the main loop never pays a virtual call
+    /// for the empty hook. Sampled once at registration time.
+    fn observes_pre_dispatch(&self) -> bool {
+        self.observes_dispatch()
+    }
+
+    /// Whether this observer wants the *post*-dispatch hook. Defaults to
+    /// [`EventHandler::observes_dispatch`]; see
+    /// [`EventHandler::observes_pre_dispatch`] for the narrowing rationale.
+    fn observes_post_dispatch(&self) -> bool {
+        self.observes_dispatch()
+    }
+
     /// Called for every observing component immediately before an event is
     /// dispatched (the clock has already advanced to the event's timestamp).
-    fn on_pre_dispatch(&mut self, _now: SimTime, _shared: &mut S) {}
+    /// `dst` is the event's destination component, letting a scoped observer
+    /// subscribed to several targets tell which one is about to run.
+    fn on_pre_dispatch(&mut self, _now: SimTime, _dst: ComponentId, _shared: &mut S) {}
 
     /// Called for every observing component immediately after an event was
-    /// dispatched.
-    fn on_post_dispatch(&mut self, _now: SimTime, _shared: &mut S) {}
+    /// dispatched. `dst` is the component that handled it.
+    fn on_post_dispatch(&mut self, _now: SimTime, _dst: ComponentId, _shared: &mut S) {}
 }
 
 /// Registering an `Rc<RefCell<T>>` lets the caller keep a handle to the
@@ -216,40 +234,57 @@ impl<E, S, T: EventHandler<E, S>> EventHandler<E, S> for Rc<RefCell<T>> {
         self.borrow().observes_dispatch()
     }
 
-    fn on_pre_dispatch(&mut self, now: SimTime, shared: &mut S) {
-        self.borrow_mut().on_pre_dispatch(now, shared);
+    fn observes_pre_dispatch(&self) -> bool {
+        self.borrow().observes_pre_dispatch()
     }
 
-    fn on_post_dispatch(&mut self, now: SimTime, shared: &mut S) {
-        self.borrow_mut().on_post_dispatch(now, shared);
+    fn observes_post_dispatch(&self) -> bool {
+        self.borrow().observes_post_dispatch()
     }
-}
 
-struct ComponentSlot<E, S> {
-    name: String,
-    rng: SimRng,
-    // `Option` so the handler can be moved out while it runs, letting it
-    // borrow the queue and shared state without aliasing itself.
-    handler: Option<Box<dyn EventHandler<E, S>>>,
+    fn on_pre_dispatch(&mut self, now: SimTime, dst: ComponentId, shared: &mut S) {
+        self.borrow_mut().on_pre_dispatch(now, dst, shared);
+    }
+
+    fn on_post_dispatch(&mut self, now: SimTime, dst: ComponentId, shared: &mut S) {
+        self.borrow_mut().on_post_dispatch(now, dst, shared);
+    }
 }
 
 /// The simulation driver: owns the clock, the event queue, the root RNG, the
 /// shared state and the registered components, and runs the main loop.
+///
+/// Component storage is a struct-of-arrays (`names` / `rngs` / `handlers`
+/// indexed by [`ComponentId`]) so the dispatch loop can borrow a handler,
+/// the destination's RNG and the shared state simultaneously as disjoint
+/// fields — no `Option` dance or per-event moves.
 pub struct Simulation<E, S> {
     queue: EventQueue<Envelope<E>>,
     clock: SimTime,
     root_rng: SimRng,
-    components: Vec<ComponentSlot<E, S>>,
-    /// Indices of *global* observers: components whose
-    /// [`EventHandler::observes_dispatch`] returned `true` at registration
-    /// and that have not been narrowed with [`Simulation::scope_observer`].
-    /// These pay the hook cost on every dispatched event.
-    observers: Vec<usize>,
-    /// Per-destination observer lists: `scoped[dst]` holds the indices of
-    /// scoped observers whose hooks run when an event addressed to component
-    /// `dst` is dispatched (see [`Simulation::scope_observer`]). Outer index
-    /// is the destination component id; inner order is subscription order.
-    scoped: Vec<Vec<usize>>,
+    names: Vec<String>,
+    rngs: Vec<SimRng>,
+    handlers: Vec<Box<dyn EventHandler<E, S>>>,
+    /// Per-component `(pre, post)` observation flags sampled at registration
+    /// ([`EventHandler::observes_pre_dispatch`] /
+    /// [`EventHandler::observes_post_dispatch`]); consulted when the
+    /// observer is later scoped so each hook list only ever holds
+    /// components with a non-default hook body.
+    observes: Vec<(bool, bool)>,
+    /// Indices of *global* observers: components whose observation flags
+    /// were set at registration and that have not been narrowed with
+    /// [`Simulation::scope_observer`]. These pay the hook cost on every
+    /// dispatched event. Split by phase so a post-only observer costs
+    /// nothing on the pre pass (and vice versa).
+    observers_pre: Vec<usize>,
+    observers_post: Vec<usize>,
+    /// Per-destination observer lists: `scoped_pre[dst]` /
+    /// `scoped_post[dst]` hold the indices of scoped observers whose hooks
+    /// run when an event addressed to component `dst` is dispatched (see
+    /// [`Simulation::scope_observer`]). Outer index is the destination
+    /// component id; inner order is subscription order.
+    scoped_pre: Vec<Vec<usize>>,
+    scoped_post: Vec<Vec<usize>>,
     shared: S,
 }
 
@@ -261,9 +296,14 @@ impl<E, S> Simulation<E, S> {
             queue: EventQueue::new(),
             clock: SimTime::ZERO,
             root_rng: SimRng::from_seed(seed),
-            components: Vec::new(),
-            observers: Vec::new(),
-            scoped: Vec::new(),
+            names: Vec::new(),
+            rngs: Vec::new(),
+            handlers: Vec::new(),
+            observes: Vec::new(),
+            observers_pre: Vec::new(),
+            observers_post: Vec::new(),
+            scoped_pre: Vec::new(),
+            scoped_post: Vec::new(),
             shared,
         }
     }
@@ -313,15 +353,22 @@ impl<E, S> Simulation<E, S> {
             self.lookup(&name).is_none(),
             "component name {name:?} registered twice"
         );
-        if handler.observes_dispatch() {
-            self.observers.push(self.components.len());
+        let index = self.handlers.len();
+        let flags = (
+            handler.observes_pre_dispatch(),
+            handler.observes_post_dispatch(),
+        );
+        if flags.0 {
+            self.observers_pre.push(index);
         }
-        self.components.push(ComponentSlot {
-            name,
-            rng,
-            handler: Some(Box::new(handler)),
-        });
-        ComponentId(self.components.len() - 1)
+        if flags.1 {
+            self.observers_post.push(index);
+        }
+        self.observes.push(flags);
+        self.names.push(name);
+        self.rngs.push(rng);
+        self.handlers.push(Box::new(handler));
+        ComponentId(index)
     }
 
     /// Narrows an observing component's dispatch hooks to events addressed
@@ -351,17 +398,19 @@ impl<E, S> Simulation<E, S> {
     /// Panics if `observer` was not registered as an observing component or
     /// has already been scoped.
     pub fn scope_observer(&mut self, observer: ComponentId, targets: &[ComponentId]) {
-        let pos = self
-            .observers
-            .iter()
-            .position(|&i| i == observer.0)
-            .unwrap_or_else(|| {
-                panic!(
-                    "component {:?} is not an unscoped dispatch observer",
-                    self.name(observer)
-                )
-            });
-        self.observers.remove(pos);
+        let in_pre = self.observers_pre.iter().position(|&i| i == observer.0);
+        let in_post = self.observers_post.iter().position(|&i| i == observer.0);
+        assert!(
+            in_pre.is_some() || in_post.is_some(),
+            "component {:?} is not an unscoped dispatch observer",
+            self.name(observer)
+        );
+        if let Some(pos) = in_pre {
+            self.observers_pre.remove(pos);
+        }
+        if let Some(pos) = in_post {
+            self.observers_post.remove(pos);
+        }
         for &target in targets {
             self.add_scoped(observer.0, target);
         }
@@ -376,7 +425,7 @@ impl<E, S> Simulation<E, S> {
     /// is already subscribed to `target`.
     pub fn add_observer_target(&mut self, observer: ComponentId, target: ComponentId) {
         assert!(
-            !self.observers.contains(&observer.0),
+            !self.observers_pre.contains(&observer.0) && !self.observers_post.contains(&observer.0),
             "component {:?} observes every event; scope it before adding targets",
             self.name(observer)
         );
@@ -384,24 +433,29 @@ impl<E, S> Simulation<E, S> {
     }
 
     fn add_scoped(&mut self, observer: usize, target: ComponentId) {
-        if self.scoped.len() <= target.0 {
-            self.scoped.resize_with(target.0 + 1, Vec::new);
+        let (pre, post) = self.observes[observer];
+        if self.scoped_pre.len() <= target.0 {
+            self.scoped_pre.resize_with(target.0 + 1, Vec::new);
+            self.scoped_post.resize_with(target.0 + 1, Vec::new);
         }
         assert!(
-            !self.scoped[target.0].contains(&observer),
+            !self.scoped_pre[target.0].contains(&observer)
+                && !self.scoped_post[target.0].contains(&observer),
             "observer {observer} already subscribed to component {}",
             target.0
         );
-        self.scoped[target.0].push(observer);
+        if pre {
+            self.scoped_pre[target.0].push(observer);
+        }
+        if post {
+            self.scoped_post[target.0].push(observer);
+        }
     }
 
     /// Finds a component id by registration name.
     #[must_use]
     pub fn lookup(&self, name: &str) -> Option<ComponentId> {
-        self.components
-            .iter()
-            .position(|c| c.name == name)
-            .map(ComponentId)
+        self.names.iter().position(|n| n == name).map(ComponentId)
     }
 
     /// The registration name of a component.
@@ -411,13 +465,13 @@ impl<E, S> Simulation<E, S> {
     /// Panics if the id was not issued by this simulation.
     #[must_use]
     pub fn name(&self, id: ComponentId) -> &str {
-        &self.components[id.0].name
+        &self.names[id.0]
     }
 
     /// The number of registered components.
     #[must_use]
     pub fn component_count(&self) -> usize {
-        self.components.len()
+        self.handlers.len()
     }
 
     /// The current simulated time.
@@ -486,25 +540,18 @@ impl<E, S> Simulation<E, S> {
         self.clock = time;
         let dst = envelope.dst.0;
         assert!(
-            dst < self.components.len(),
+            dst < self.handlers.len(),
             "event addressed to unregistered component {dst}"
         );
-        self.run_hooks(time, dst, true);
-        let mut handler = self.components[dst]
-            .handler
-            .take()
-            .expect("component handler is re-entrant");
-        {
-            let mut ctx = SimulationContext {
-                now: time,
-                self_id: envelope.dst,
-                queue: &mut self.queue,
-                rng: &mut self.components[dst].rng,
-            };
-            handler.on_event(envelope.payload, &mut self.shared, &mut ctx);
-        }
-        self.components[dst].handler = Some(handler);
-        self.run_hooks(time, dst, false);
+        self.run_pre_hooks(time, envelope.dst);
+        let mut ctx = SimulationContext {
+            now: time,
+            self_id: envelope.dst,
+            queue: &mut self.queue,
+            rng: &mut self.rngs[dst],
+        };
+        self.handlers[dst].on_event(envelope.payload, &mut self.shared, &mut ctx);
+        self.run_post_hooks(time, envelope.dst);
         Some(time)
     }
 
@@ -524,32 +571,31 @@ impl<E, S> Simulation<E, S> {
         dispatched
     }
 
-    fn run_hooks(&mut self, now: SimTime, dst: usize, pre: bool) {
-        // Global observers (registration order), then the destination's
-        // scoped observers (subscription order). Observer sets never change
-        // mid-run, so the two passes cover each watching observer once.
-        for idx in 0..self.observers.len() {
-            let i = self.observers[idx];
-            self.run_one_hook(i, now, pre);
+    // Global observers (registration order), then the destination's scoped
+    // observers (subscription order). Observer sets never change mid-run, so
+    // the two passes cover each watching observer once.
+    fn run_pre_hooks(&mut self, now: SimTime, dst: ComponentId) {
+        for idx in 0..self.observers_pre.len() {
+            let i = self.observers_pre[idx];
+            self.handlers[i].on_pre_dispatch(now, dst, &mut self.shared);
         }
-        let scoped_count = self.scoped.get(dst).map_or(0, Vec::len);
+        let scoped_count = self.scoped_pre.get(dst.0).map_or(0, Vec::len);
         for idx in 0..scoped_count {
-            let i = self.scoped[dst][idx];
-            self.run_one_hook(i, now, pre);
+            let i = self.scoped_pre[dst.0][idx];
+            self.handlers[i].on_pre_dispatch(now, dst, &mut self.shared);
         }
     }
 
-    fn run_one_hook(&mut self, component: usize, now: SimTime, pre: bool) {
-        let mut handler = self.components[component]
-            .handler
-            .take()
-            .expect("component handler is re-entrant");
-        if pre {
-            handler.on_pre_dispatch(now, &mut self.shared);
-        } else {
-            handler.on_post_dispatch(now, &mut self.shared);
+    fn run_post_hooks(&mut self, now: SimTime, dst: ComponentId) {
+        for idx in 0..self.observers_post.len() {
+            let i = self.observers_post[idx];
+            self.handlers[i].on_post_dispatch(now, dst, &mut self.shared);
         }
-        self.components[component].handler = Some(handler);
+        let scoped_count = self.scoped_post.get(dst.0).map_or(0, Vec::len);
+        for idx in 0..scoped_count {
+            let i = self.scoped_post[dst.0][idx];
+            self.handlers[i].on_post_dispatch(now, dst, &mut self.shared);
+        }
     }
 }
 
@@ -618,11 +664,11 @@ mod tests {
             true
         }
 
-        fn on_pre_dispatch(&mut self, _now: SimTime, shared: &mut Shared) {
+        fn on_pre_dispatch(&mut self, _now: SimTime, _dst: ComponentId, shared: &mut Shared) {
             shared.pre_calls += 1;
         }
 
-        fn on_post_dispatch(&mut self, _now: SimTime, shared: &mut Shared) {
+        fn on_post_dispatch(&mut self, _now: SimTime, _dst: ComponentId, shared: &mut Shared) {
             shared.post_calls += 1;
         }
     }

@@ -1,13 +1,21 @@
-//! Discrete-event scheduling primitives.
+//! The original binary-heap event queue, kept as the reference model.
 //!
-//! The full-system server simulation (crate `apc-server`) is written as a
-//! classic discrete-event simulation: components schedule future events into
-//! an [`EventQueue`], the main loop repeatedly pops the earliest event,
-//! advances the simulated clock to its timestamp and dispatches it.
+//! [`HeapEventQueue`] is the queue the engine shipped with before the timer
+//! wheel landed: a `BinaryHeap` ordered by `(time, seq)` with cancellations
+//! handled by lazy deletion against a live-id set. It is retained for two
+//! reasons:
 //!
-//! The queue is deliberately generic over the event payload so that every
-//! layer (workload generators, C-state governors, package flows) can define
-//! its own event enumeration while sharing the same scheduling machinery.
+//! * it is the *executable specification* of the delivery contract — the
+//!   differential test suite drives it in lockstep with the wheel-based
+//!   [`EventQueue`](crate::engine::EventQueue) and asserts bit-identical
+//!   behaviour;
+//! * it is the baseline in the `event_core` micro-benchmarks, so the wheel's
+//!   advantage stays measured rather than assumed.
+//!
+//! Unlike the original implementation, cancelled entries no longer accumulate
+//! without bound: when dead (cancelled-but-unreaped) entries outnumber live
+//! ones the heap is compacted in O(n), keeping memory O(live) under
+//! cancel-heavy rearm workloads such as NIC deadline coalescing.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -15,7 +23,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::time::SimTime;
 
-/// Multiply-shift hasher for [`EventId`] sets. Event ids are sequential
+/// Multiply-shift hasher for [`HeapEventId`] sets. Event ids are sequential
 /// `u64`s, so full SipHash is wasted work on the schedule/pop hot path; a
 /// single Fibonacci multiply disperses them well enough for a `HashSet`.
 #[derive(Default)]
@@ -35,16 +43,15 @@ impl Hasher for EventIdHasher {
     }
 }
 
-type EventIdSet = HashSet<EventId, BuildHasherDefault<EventIdHasher>>;
+type EventIdSet = HashSet<HeapEventId, BuildHasherDefault<EventIdHasher>>;
 
-/// Identifier of a scheduled event, used for cancellation.
+/// Identifier of an event scheduled into a [`HeapEventQueue`].
 ///
-/// Identifiers are unique within one [`EventQueue`] instance and are never
-/// reused.
+/// Identifiers are unique within one queue instance and are never reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct HeapEventId(u64);
 
-impl EventId {
+impl HeapEventId {
     /// The raw identifier value (mostly useful for logging).
     #[must_use]
     pub const fn as_u64(self) -> u64 {
@@ -59,7 +66,7 @@ impl EventId {
 struct Entry<E> {
     time: SimTime,
     seq: u64,
-    id: EventId,
+    id: HeapEventId,
     payload: E,
 }
 
@@ -86,19 +93,20 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic pending-event queue for discrete-event simulation.
+/// The reference binary-heap event queue.
 ///
 /// Events are delivered in non-decreasing timestamp order; ties are broken by
 /// scheduling order (FIFO). Cancellation is supported through lazy deletion,
-/// which keeps both `schedule` and `pop` at `O(log n)`.
+/// which keeps both `schedule` and `pop` at `O(log n)`; a compaction pass
+/// keeps the heap O(live) when cancellations dominate.
 ///
 /// # Examples
 ///
 /// ```
-/// use apc_sim::engine::EventQueue;
+/// use apc_sim::engine::HeapEventQueue;
 /// use apc_sim::time::SimTime;
 ///
-/// let mut queue = EventQueue::new();
+/// let mut queue = HeapEventQueue::new();
 /// queue.schedule(SimTime::from_nanos(20), "b");
 /// queue.schedule(SimTime::from_nanos(10), "a");
 /// let id = queue.schedule(SimTime::from_nanos(30), "cancelled");
@@ -109,12 +117,12 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(queue.pop(), None);
 /// ```
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Ids of events that are scheduled, not yet delivered and not cancelled.
-    /// Tracking the live set makes [`EventQueue::cancel`] O(1) instead of a
-    /// linear scan of the heap; a heap entry whose id is no longer live is a
-    /// cancelled event awaiting lazy removal.
+    /// Tracking the live set makes [`HeapEventQueue::cancel`] O(1) instead of
+    /// a linear scan of the heap; a heap entry whose id is no longer live is
+    /// a cancelled event awaiting lazy removal.
     live: EventIdSet,
     next_seq: u64,
     /// Timestamp of the most recently delivered event; used to detect
@@ -123,17 +131,17 @@ pub struct EventQueue<E> {
     delivered: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// Creates an empty event queue with the clock at [`SimTime::ZERO`].
     #[must_use]
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             live: EventIdSet::default(),
             next_seq: 0,
@@ -168,6 +176,14 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
+    /// Number of entries physically held by the heap, including cancelled
+    /// entries awaiting lazy removal. Exposed so tests can pin the O(live)
+    /// compaction guarantee.
+    #[must_use]
+    pub fn backing_len(&self) -> usize {
+        self.heap.len()
+    }
+
     /// Schedules `payload` for delivery at time `at` and returns a handle
     /// that can be used to cancel it.
     ///
@@ -175,9 +191,9 @@ impl<E> EventQueue<E> {
     /// causality violation; the event is clamped to the current time so that
     /// it is delivered next, which mirrors how hardware would observe a
     /// "should already have happened" condition immediately.
-    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> HeapEventId {
         let time = if at < self.now { self.now } else { at };
-        let id = EventId(self.next_seq);
+        let id = HeapEventId(self.next_seq);
         let entry = Entry {
             time,
             seq: self.next_seq,
@@ -190,13 +206,18 @@ impl<E> EventQueue<E> {
         id
     }
 
-    /// Cancels a previously scheduled event in O(1).
+    /// Cancels a previously scheduled event in O(1) amortized.
     ///
     /// Returns `true` if the event was still pending, `false` if it had
     /// already been delivered or cancelled. The heap entry itself is removed
-    /// lazily when it reaches the top of the heap.
-    pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id)
+    /// lazily when it reaches the top of the heap, or eagerly by a compaction
+    /// pass once dead entries outnumber live ones.
+    pub fn cancel(&mut self, id: HeapEventId) -> bool {
+        let cancelled = self.live.remove(&id);
+        if cancelled && self.heap.len() > 2 * self.live.len() {
+            self.compact();
+        }
+        cancelled
     }
 
     /// The timestamp of the next live event, if any.
@@ -229,6 +250,17 @@ impl<E> EventQueue<E> {
             self.heap.pop();
         }
     }
+
+    /// Rebuilds the heap from its live entries only. O(n), amortized O(1) per
+    /// cancel because it only runs once dead entries outnumber live ones.
+    /// Delivery order is unaffected: order is a function of `(time, seq)`,
+    /// not of the heap's internal layout.
+    fn compact(&mut self) {
+        let live = &self.live;
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| live.contains(&e.id));
+        self.heap = BinaryHeap::from(entries);
+    }
 }
 
 #[cfg(test)]
@@ -238,7 +270,7 @@ mod tests {
 
     #[test]
     fn delivers_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.schedule(SimTime::from_nanos(30), 3);
         q.schedule(SimTime::from_nanos(10), 1);
         q.schedule(SimTime::from_nanos(20), 2);
@@ -248,7 +280,7 @@ mod tests {
 
     #[test]
     fn equal_timestamps_are_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         let t = SimTime::from_micros(5);
         for i in 0..100 {
             q.schedule(t, i);
@@ -259,7 +291,7 @@ mod tests {
 
     #[test]
     fn cancellation_removes_event() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         let a = q.schedule(SimTime::from_nanos(10), "a");
         let b = q.schedule(SimTime::from_nanos(20), "b");
         assert!(q.cancel(a));
@@ -271,7 +303,7 @@ mod tests {
 
     #[test]
     fn scheduling_in_the_past_clamps_to_now() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.schedule(SimTime::from_micros(10), "first");
         q.pop();
         assert_eq!(q.now(), SimTime::from_micros(10));
@@ -282,7 +314,7 @@ mod tests {
 
     #[test]
     fn peek_skips_cancelled_head() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         let a = q.schedule(SimTime::from_nanos(5), "a");
         q.schedule(SimTime::from_nanos(9), "b");
         q.cancel(a);
@@ -291,7 +323,7 @@ mod tests {
 
     #[test]
     fn tracks_delivered_count_and_now() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         let t0 = SimTime::ZERO + SimDuration::from_micros(1);
         q.schedule(t0, ());
         q.schedule(t0 + SimDuration::from_micros(1), ());
@@ -299,5 +331,22 @@ mod tests {
         assert_eq!(q.delivered(), 2);
         assert_eq!(q.now(), SimTime::from_micros(2));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_heavy_rearm_keeps_backing_storage_bounded() {
+        // The NIC-coalescing pattern: one live deadline, constantly
+        // cancelled and re-armed. Before the compaction fix the heap grew by
+        // one dead entry per rearm.
+        let mut q = HeapEventQueue::new();
+        let mut pending = q.schedule(SimTime::from_nanos(100), 0u32);
+        for i in 1..10_000u32 {
+            assert!(q.cancel(pending));
+            pending = q.schedule(SimTime::from_nanos(100 + u64::from(i)), i);
+            assert!(q.backing_len() <= 2 * q.len() + 1, "heap grew unbounded");
+        }
+        assert_eq!(q.len(), 1);
+        let (_, last) = q.pop().unwrap();
+        assert_eq!(last, 9_999);
     }
 }

@@ -273,6 +273,24 @@ impl CoreSet {
         self.cores.iter()
     }
 
+    /// A compact injective encoding of every core's C-state (2 bits per
+    /// core), or `None` when the socket has more cores than fit one word.
+    /// Equal fingerprints guarantee bit-identical per-core C-states, so a
+    /// cached value derived from them (e.g. a power breakdown) can be
+    /// reused without recomputation; `None` means callers must assume a
+    /// change.
+    #[must_use]
+    pub fn cstate_fingerprint(&self) -> Option<u64> {
+        if self.cores.len() > 32 {
+            return None;
+        }
+        let mut fp = 0u64;
+        for (i, c) in self.cores.iter().enumerate() {
+            fp |= (c.cstate() as u64) << (2 * i);
+        }
+        Some(fp)
+    }
+
     /// The aggregated `InCC1` signal: `true` when **all** cores assert their
     /// per-core `InCC1` (i.e. every core is established in CC1 or deeper).
     /// This is the AND-tree the APMU consumes (paper Fig. 3).
@@ -301,6 +319,16 @@ impl CoreSet {
             .iter()
             .filter(|c| c.activity() == CoreActivity::Busy)
             .count()
+    }
+
+    /// `true` when at least one core is active — a nonzero
+    /// [`CoreSet::active_count`] with an early exit, for the per-event hot
+    /// paths that only need the yes/no answer.
+    #[must_use]
+    pub fn any_active(&self) -> bool {
+        self.cores
+            .iter()
+            .any(|c| c.activity() == CoreActivity::Busy)
     }
 
     /// Number of cores established in exactly the given C-state.
