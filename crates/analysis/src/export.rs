@@ -36,6 +36,7 @@
 
 use std::fmt::Write as _;
 
+use apc_network::NetworkStats;
 use apc_server::chain::ChainResult;
 use apc_server::cluster::ClusterResult;
 use apc_server::fleet::FleetResult;
@@ -614,7 +615,47 @@ pub fn fleet_result_json(f: &FleetResult) -> JsonValue {
     o
 }
 
+/// Network fabric stats as an object: the topology and link parameters the
+/// fabric ran with, then the traffic census (message count, total / mean /
+/// maximum wire delay). `bandwidth_bytes_per_sec` is `null` for
+/// infinite-bandwidth links.
+#[must_use]
+pub fn network_stats_json(n: &NetworkStats) -> JsonValue {
+    let config = &n.config;
+    let mut o = JsonValue::object();
+    o.push(
+        "topology",
+        JsonValue::Str(config.topology.name().to_owned()),
+    )
+    .push(
+        "link_latency_ns",
+        JsonValue::UInt(config.link_latency.as_nanos()),
+    )
+    .push(
+        "bandwidth_bytes_per_sec",
+        config
+            .bandwidth_bytes_per_sec
+            .map_or(JsonValue::Null, JsonValue::UInt),
+    )
+    .push("rpc_bytes", JsonValue::UInt(config.rpc_bytes))
+    .push("messages", JsonValue::UInt(n.messages))
+    .push(
+        "total_wire_delay_ns",
+        JsonValue::UInt(n.total_wire_delay.as_nanos()),
+    )
+    .push(
+        "mean_wire_delay_ns",
+        JsonValue::UInt(n.mean_wire_delay().as_nanos()),
+    )
+    .push(
+        "max_wire_delay_ns",
+        JsonValue::UInt(n.max_wire_delay.as_nanos()),
+    );
+    o
+}
+
 /// A cluster result: policy, routing census, then the per-node fleet.
+/// The `network` key appears only when the run crossed a fabric.
 #[must_use]
 pub fn cluster_result_json(c: &ClusterResult) -> JsonValue {
     let mut o = JsonValue::object();
@@ -629,14 +670,18 @@ pub fn cluster_result_json(c: &ClusterResult) -> JsonValue {
         .push(
             "idle_periods_20_200us",
             JsonValue::Float(c.idle_periods_20_200us()),
-        )
-        .push("nodes", fleet_result_json(&c.nodes));
+        );
+    if let Some(net) = &c.network {
+        o.push("network", network_stats_json(net));
+    }
+    o.push("nodes", fleet_result_json(&c.nodes));
     o
 }
 
 /// A chain result: policy and graph shape, the chain-latency percentiles
 /// (end-to-end root→last-join plus the leaf-straggler breakdown), the
-/// routing census and the per-node fleet.
+/// routing census and the per-node fleet. The `network` key appears only
+/// when the run crossed a fabric.
 #[must_use]
 pub fn chain_result_json(c: &ChainResult) -> JsonValue {
     let mut o = JsonValue::object();
@@ -653,8 +698,11 @@ pub fn chain_result_json(c: &ChainResult) -> JsonValue {
             JsonValue::Array(c.routed.iter().map(|&n| JsonValue::UInt(n)).collect()),
         )
         .push("total_routed", JsonValue::UInt(c.total_routed()))
-        .push("routing_imbalance", JsonValue::Float(c.routing_imbalance()))
-        .push("nodes", fleet_result_json(&c.nodes));
+        .push("routing_imbalance", JsonValue::Float(c.routing_imbalance()));
+    if let Some(net) = &c.network {
+        o.push("network", network_stats_json(net));
+    }
+    o.push("nodes", fleet_result_json(&c.nodes));
     o
 }
 
@@ -792,12 +840,44 @@ pub fn fleet_csv(f: &FleetResult) -> String {
     )
 }
 
+/// The CSV columns carrying the network-fabric census. Emitted only when
+/// at least one exported result crossed a fabric, so fabric-less exports
+/// keep their historical shape byte for byte.
+pub const NETWORK_CSV_COLUMNS: &str =
+    "net_topology,net_link_latency_ns,net_messages,net_mean_wire_delay_ns,net_max_wire_delay_ns";
+
+/// Writes the [`NETWORK_CSV_COLUMNS`] cells (no trailing separator); a run
+/// without a fabric exports empty cells.
+fn push_network_cells(out: &mut String, n: Option<&NetworkStats>) {
+    match n {
+        Some(n) => {
+            let _ = write!(
+                out,
+                "{},{},{},{},{}",
+                csv_escape(n.config.topology.name()),
+                n.config.link_latency.as_nanos(),
+                n.messages,
+                n.mean_wire_delay().as_nanos(),
+                n.max_wire_delay.as_nanos()
+            );
+        }
+        None => out.push_str(",,,,"),
+    }
+}
+
 /// Several cluster runs (e.g. repeats of one spec) as a single CSV with a
 /// leading `repeat` column: `repeat,node,policy,routed,` then the run
+/// columns. When any run crossed a network fabric, the
+/// [`NETWORK_CSV_COLUMNS`] are inserted between `routed` and the run
 /// columns.
 #[must_use]
 pub fn cluster_results_csv(results: &[ClusterResult]) -> String {
-    let mut out = format!("repeat,node,policy,routed,{RUN_CSV_HEADER}\n");
+    let with_network = results.iter().any(|c| c.network.is_some());
+    let mut out = if with_network {
+        format!("repeat,node,policy,routed,{NETWORK_CSV_COLUMNS},{RUN_CSV_HEADER}\n")
+    } else {
+        format!("repeat,node,policy,routed,{RUN_CSV_HEADER}\n")
+    };
     for (repeat, c) in results.iter().enumerate() {
         for (i, r) in c.nodes.runs.iter().enumerate() {
             let _ = write!(
@@ -806,6 +886,10 @@ pub fn cluster_results_csv(results: &[ClusterResult]) -> String {
                 csv_escape(c.policy),
                 c.routed.get(i).copied().unwrap_or(0)
             );
+            if with_network {
+                push_network_cells(&mut out, c.network.as_ref());
+                out.push(',');
+            }
             run_csv_row(&mut out, r);
         }
     }
@@ -824,10 +908,17 @@ straggler_p999_ns,total_routed,routing_imbalance,fleet_power_w,\
 mean_pc1a_residency,worst_rpc_p99_ns";
 
 /// Several chain runs (e.g. repeats of one spec, or one run per platform)
-/// as a single CSV, one row per run (see [`CHAIN_CSV_HEADER`]).
+/// as a single CSV, one row per run (see [`CHAIN_CSV_HEADER`]). When any
+/// run crossed a network fabric, the [`NETWORK_CSV_COLUMNS`] are appended
+/// after the chain columns.
 #[must_use]
 pub fn chain_results_csv(results: &[ChainResult]) -> String {
-    let mut out = format!("{CHAIN_CSV_HEADER}\n");
+    let with_network = results.iter().any(|c| c.network.is_some());
+    let mut out = if with_network {
+        format!("{CHAIN_CSV_HEADER},{NETWORK_CSV_COLUMNS}\n")
+    } else {
+        format!("{CHAIN_CSV_HEADER}\n")
+    };
     for (repeat, c) in results.iter().enumerate() {
         let _ = write!(
             out,
@@ -857,7 +948,12 @@ pub fn chain_results_csv(results: &[ChainResult]) -> String {
         push_f64(&mut out, c.nodes.total_power_w());
         out.push(',');
         push_f64(&mut out, c.nodes.mean_pc1a_residency());
-        let _ = writeln!(out, ",{}", c.nodes.worst_p99().as_nanos());
+        let _ = write!(out, ",{}", c.nodes.worst_p99().as_nanos());
+        if with_network {
+            out.push(',');
+            push_network_cells(&mut out, c.network.as_ref());
+        }
+        out.push('\n');
     }
     out
 }

@@ -9,8 +9,9 @@
 //! so in the commit.
 
 use apc_analysis::export::{chain_result_json, chain_results_csv, JsonValue, CHAIN_CSV_HEADER};
+use apc_network::NetworkConfig;
 use apc_server::balancer::RoutingPolicyKind;
-use apc_server::chain::{run_chain_experiment, ChainResult, RequestGraph};
+use apc_server::chain::{run_chain_experiment, ChainMember, ChainResult, RequestGraph};
 use apc_server::config::ServerConfig;
 use apc_sim::SimDuration;
 
@@ -195,4 +196,207 @@ fn golden_chain_json_round_trips_through_the_parser() {
         .and_then(JsonValue::as_u64)
         .unwrap();
     assert!(e2e > straggler);
+}
+
+// ---- network-fabric golden ---------------------------------------------
+//
+// The same pinned run, but routed through a two-tier fabric with 5 us
+// links (rack size 2). Captured separately from the fabric-less goldens
+// above, which remain untouched: the fabric-less export path never changed
+// bytes. This pins the `network` JSON object, the CSV network columns, and
+// the wired chain simulation's determinism in one shot.
+
+fn golden_network_chain_run() -> ChainResult {
+    ChainMember::homogeneous(
+        &ServerConfig::c_pc1a()
+            .with_duration(SimDuration::from_millis(2))
+            .with_seed(7),
+        2,
+        RoutingPolicyKind::JoinShortestQueue,
+        RequestGraph::memcached_fanout(2),
+        4_000.0,
+    )
+    .with_network(NetworkConfig::two_tier(SimDuration::from_micros(5), 2))
+    .run()
+}
+
+const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
+  "policy": "join-shortest-queue",
+  "graph": "1x frontend -> 2x kv-get",
+  "duration_ns": 2000000,
+  "chains_started": 6,
+  "chains_completed": 5,
+  "chains_per_sec": 2500.0,
+  "chain_latency": {
+    "count": 5,
+    "mean_ns": 160824,
+    "p50_ns": 155591,
+    "p95_ns": 189393,
+    "p99_ns": 195975,
+    "p999_ns": 197456,
+    "max_ns": 197621
+  },
+  "straggler": {
+    "count": 5,
+    "mean_ns": 11212,
+    "p50_ns": 12669,
+    "p95_ns": 21521,
+    "p99_ns": 22272,
+    "p999_ns": 22441,
+    "max_ns": 22460
+  },
+  "routed": [
+    17,
+    1
+  ],
+  "total_routed": 18,
+  "routing_imbalance": 1.8888888888888888,
+  "network": {
+    "topology": "two-tier",
+    "link_latency_ns": 5000,
+    "bandwidth_bytes_per_sec": null,
+    "rpc_bytes": 0,
+    "messages": 35,
+    "total_wire_delay_ns": 525000,
+    "mean_wire_delay_ns": 15000,
+    "max_wire_delay_ns": 15000
+  },
+  "nodes": {
+    "servers": 2,
+    "total_completed_requests": 17,
+    "aggregate_throughput_rps": 8500.0,
+    "total_power_w": 67.56982478999998,
+    "mean_soc_power_w": 31.463871169999987,
+    "mean_pc1a_residency": 0.824281,
+    "mean_latency_ns": 64485,
+    "worst_p99_ns": 108443,
+    "worst_p999_ns": 111475,
+    "runs": [
+      {
+        "config": "CPC1A",
+        "workload": "chain",
+        "offered_rate_rps": 6000.0,
+        "duration_ns": 2000000,
+        "completed_requests": 16,
+        "throughput_rps": 8000.0,
+        "latency": {
+          "count": 16,
+          "mean_ns": 64879,
+          "p50_ns": 59554,
+          "p95_ns": 94967,
+          "p99_ns": 108443,
+          "p999_ns": 111475,
+          "max_ns": 111812
+        },
+        "avg_soc_power_w": 31.886016959999985,
+        "avg_dram_power_w": 2.3730568,
+        "cpu_utilization": 0.029080099999999998,
+        "cc0_fraction": 0.030911799999999996,
+        "cc1_fraction": 0.9690881999999998,
+        "cc6_fraction": 0.0,
+        "all_idle_fraction": 0.818161,
+        "pc1a_residency": 0.813121,
+        "pc6_residency": 0.0,
+        "pc1a_transitions": 15,
+        "pc1a_aborted": 0,
+        "pc6_transitions": 0,
+        "idle_periods": 15,
+        "idle_periods_20_200us": 0.7333333333333333
+      },
+      {
+        "config": "CPC1A",
+        "workload": "chain",
+        "offered_rate_rps": 6000.0,
+        "duration_ns": 2000000,
+        "completed_requests": 1,
+        "throughput_rps": 500.0,
+        "latency": {
+          "count": 1,
+          "mean_ns": 58189,
+          "p50_ns": 58189,
+          "p95_ns": 58189,
+          "p99_ns": 58189,
+          "p999_ns": 58189,
+          "max_ns": 58189
+        },
+        "avg_soc_power_w": 31.04172537999999,
+        "avg_dram_power_w": 2.2690256500000014,
+        "cpu_utilization": 0.018491300000000002,
+        "cc0_fraction": 0.019241299999999996,
+        "cc1_fraction": 0.9807587,
+        "cc6_fraction": 0.0,
+        "all_idle_fraction": 0.829169,
+        "pc1a_residency": 0.835441,
+        "pc6_residency": 0.0,
+        "pc1a_transitions": 14,
+        "pc1a_aborted": 0,
+        "pc6_transitions": 0,
+        "idle_periods": 8,
+        "idle_periods_20_200us": 0.375
+      }
+    ]
+  }
+}
+"#;
+
+const GOLDEN_NETWORK_CHAIN_CSV: &str = "repeat,policy,graph,duration_ns,\
+chains_started,chains_completed,chains_per_sec,e2e_mean_ns,e2e_p50_ns,\
+e2e_p99_ns,e2e_p999_ns,e2e_max_ns,straggler_p50_ns,straggler_p99_ns,\
+straggler_p999_ns,total_routed,routing_imbalance,fleet_power_w,\
+mean_pc1a_residency,worst_rpc_p99_ns,net_topology,net_link_latency_ns,\
+net_messages,net_mean_wire_delay_ns,net_max_wire_delay_ns\n\
+0,join-shortest-queue,1x frontend -> 2x kv-get,2000000,6,5,2500,160824,\
+155591,195975,197456,197621,12669,22272,22441,18,1.8888888888888888,\
+67.56982478999998,0.824281,108443,two-tier,5000,35,15000,15000\n";
+
+#[test]
+fn network_chain_json_export_matches_golden_bytes() {
+    let text = chain_result_json(&golden_network_chain_run()).to_pretty_string();
+    assert_eq!(text, GOLDEN_NETWORK_CHAIN_JSON);
+}
+
+#[test]
+fn network_chain_csv_export_matches_golden_bytes() {
+    let result = golden_network_chain_run();
+    let text = chain_results_csv(std::slice::from_ref(&result));
+    assert_eq!(text, GOLDEN_NETWORK_CHAIN_CSV);
+    // The network columns extend the fabric-less header, never reorder it.
+    assert!(text.starts_with(CHAIN_CSV_HEADER));
+}
+
+#[test]
+fn golden_network_chain_json_round_trips_through_the_parser() {
+    let parsed = JsonValue::parse(GOLDEN_NETWORK_CHAIN_JSON).expect("golden JSON parses");
+    let net = parsed.get("network").expect("network object present");
+    assert_eq!(
+        net.get("topology").and_then(JsonValue::as_str),
+        Some("two-tier")
+    );
+    // 35 messages: 18 routed RPCs + 17 leaf-completion reports (one RPC
+    // had not finished service when the window closed).
+    assert_eq!(net.get("messages").and_then(JsonValue::as_u64), Some(35));
+    assert_eq!(
+        net.get("total_wire_delay_ns").and_then(JsonValue::as_u64),
+        Some(525_000)
+    );
+    // Infinite bandwidth exports as an explicit null, not a missing key.
+    assert!(matches!(
+        net.get("bandwidth_bytes_per_sec"),
+        Some(JsonValue::Null)
+    ));
+    // The wired run is strictly slower end-to-end than the fabric-less
+    // golden above (155_591 ns vs 101_703 ns at p50): the fabric is not
+    // a no-op when links cost real time.
+    let wired_p50 = parsed
+        .get("chain_latency")
+        .and_then(|l| l.get("p50_ns"))
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    let baseline = JsonValue::parse(GOLDEN_CHAIN_JSON).unwrap();
+    let base_p50 = baseline
+        .get("chain_latency")
+        .and_then(|l| l.get("p50_ns"))
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    assert!(wired_p50 > base_p50);
 }

@@ -12,6 +12,8 @@
 //!   power / area models);
 //! * [`workloads`] — Memcached/Kafka/MySQL load generators;
 //! * [`telemetry`] — residency, idle-period and latency telemetry;
+//! * [`network`] — link/topology model and the cluster network fabric
+//!   configuration (flat, two-tier, fat-tree);
 //! * [`server`] — the full-system server simulation;
 //! * [`analysis`] — Eq. 1 savings model, performance-impact model, report
 //!   formatting, deterministic JSON/CSV export.
@@ -46,6 +48,7 @@ pub struct ReproducingGuide;
 
 pub use apc_analysis as analysis;
 pub use apc_core as core;
+pub use apc_network as network;
 pub use apc_pmu as pmu;
 pub use apc_power as power;
 pub use apc_server as server;
@@ -66,6 +69,7 @@ pub mod prelude {
     pub use apc_core::area::ApcAreaModel;
     pub use apc_core::latency::Pc1aLatencyModel;
     pub use apc_core::power::Pc1aPowerEstimator;
+    pub use apc_network::{NetworkConfig, NetworkStats, Topology, TopologyKind};
     pub use apc_pmu::config::PlatformConfig;
     pub use apc_power::budget::PackageStatePower;
     pub use apc_power::model::PowerModel;

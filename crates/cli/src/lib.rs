@@ -289,8 +289,16 @@ fn resolve_target(arg: &str) -> Result<Target, CliError> {
     if looks_like_path {
         let text = std::fs::read_to_string(arg)
             .map_err(|e| CliError::Io(format!("cannot read spec `{arg}`: {e}")))?;
-        let spec =
-            ExperimentSpec::parse(&text).map_err(|e| CliError::Input(format!("{arg}: {e}")))?;
+        let spec = ExperimentSpec::parse(&text).map_err(|e| {
+            let message = format!("{arg}: {e}");
+            // Usage-flagged spec errors ([network] table mistakes) map to
+            // the usage exit code, like a bad flag would.
+            if e.usage {
+                CliError::Usage(message)
+            } else {
+                CliError::Input(message)
+            }
+        })?;
         return Ok(Target::Spec(spec));
     }
     if let Some(s) = Scenario::library().into_iter().find(|s| s.name == arg) {

@@ -166,13 +166,12 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
                     None => base,
                 };
                 let rate = spec.traffic.mean_rate_per_sec();
-                cluster_fleet.push(ClusterMember::homogeneous(
-                    &base,
-                    *nodes,
-                    *policy,
-                    spec.workload.spec(),
-                    rate,
-                ));
+                let mut member =
+                    ClusterMember::homogeneous(&base, *nodes, *policy, spec.workload.spec(), rate);
+                if let Some(net) = spec.network {
+                    member = member.with_network(net);
+                }
+                cluster_fleet.push(member);
             }
             if let Some(workers) = parallelism {
                 cluster_fleet = cluster_fleet.with_parallelism(workers);
@@ -203,13 +202,12 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
                     None => base,
                 };
                 let rate = spec.traffic.mean_rate_per_sec();
-                chain_fleet.push(ChainMember::homogeneous(
-                    &base,
-                    *nodes,
-                    *policy,
-                    graph.clone(),
-                    rate,
-                ));
+                let mut member =
+                    ChainMember::homogeneous(&base, *nodes, *policy, graph.clone(), rate);
+                if let Some(net) = spec.network {
+                    member = member.with_network(net);
+                }
+                chain_fleet.push(member);
             }
             if let Some(workers) = parallelism {
                 chain_fleet = chain_fleet.with_parallelism(workers);

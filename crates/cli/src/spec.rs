@@ -46,10 +46,30 @@
 //! leaf_service_us = 19      # optional leaf-tier mean service time
 //! ```
 //!
+//! Cluster and chain experiments may add a `[network]` table routing every
+//! balancer/coordinator RPC (and leaf-completion report) through a
+//! simulated wire with per-link latency and optional store-and-forward
+//! serialization; without it, delivery is instantaneous (the historical
+//! behaviour, bit for bit):
+//!
+//! ```toml
+//! [network]
+//! topology = "two-tier"     # flat | two-tier | fat-tree
+//! latency_us = 5            # per-link propagation latency (>= 0)
+//! rack_size = 4             # two-tier/fat-tree (default 4)
+//! racks_per_pod = 2         # fat-tree only (default 2)
+//! oversubscription = 4.0    # fat-tree pod->core thinning (default 1.0)
+//! bandwidth_gbps = 25       # omit for infinite bandwidth
+//! rpc_bytes = 2_000         # serialized payload size (default 0)
+//! ```
+//!
 //! Parsing is **strict**: unknown tables, unknown keys, missing required
 //! keys and type mismatches are errors carrying the offending line number,
 //! so a typo fails loudly instead of silently running a default.
+//! `[network]` errors are additionally flagged as *usage* errors (CLI exit
+//! code 2): a bad fabric parameter fails the invocation itself.
 
+use apc_network::NetworkConfig;
 use apc_server::balancer::RoutingPolicyKind;
 use apc_server::config::ServerConfig;
 use apc_server::scenario::{TrafficPattern, WorkloadKind};
@@ -63,6 +83,11 @@ pub struct SpecError {
     pub message: String,
     /// 1-based source line (0 = whole document).
     pub line: usize,
+    /// Usage-level mistake: the CLI maps these to exit code 2 (like a bad
+    /// flag) instead of the general input-error exit code 1. Set for
+    /// `[network]` table errors, where a fat-fingered fabric parameter
+    /// should fail the *invocation* loudly.
+    pub usage: bool,
 }
 
 impl SpecError {
@@ -70,11 +95,18 @@ impl SpecError {
         SpecError {
             message: message.into(),
             line,
+            usage: false,
         }
     }
 
     fn doc(message: impl Into<String>) -> Self {
         SpecError::at(0, message)
+    }
+
+    /// Re-flags the error as a usage-level mistake (exit code 2).
+    fn into_usage(mut self) -> Self {
+        self.usage = true;
+        self
     }
 }
 
@@ -516,6 +548,9 @@ pub struct ExperimentSpec {
     pub repeats: usize,
     /// Time-series sampling interval, when `[telemetry]` enables the sink.
     pub timeseries_interval: Option<SimDuration>,
+    /// Network fabric configuration, when `[network]` declares one
+    /// (cluster and chain experiments only).
+    pub network: Option<NetworkConfig>,
 }
 
 /// Parses a routing-policy spelling shared by spec files and `--policy`.
@@ -562,6 +597,7 @@ impl ExperimentSpec {
                     | "chain"
                     | "sweep"
                     | "telemetry"
+                    | "network"
             ) {
                 return Err(SpecError::at(t.line, format!("unknown table [{}]", t.name)));
             }
@@ -628,6 +664,12 @@ impl ExperimentSpec {
                     })?;
                 Some(interval)
             }
+        };
+
+        // [network] — every error is usage-flagged (CLI exit code 2).
+        let network = match find("network") {
+            None => None,
+            Some(t) => Some(parse_network(t).map_err(SpecError::into_usage)?),
         };
 
         // kind + its table
@@ -804,6 +846,17 @@ impl ExperimentSpec {
                 }
             }
         }
+        if let Some(t) = find("network") {
+            if !matches!(kind, SpecKind::Cluster { .. } | SpecKind::Chain { .. }) {
+                return Err(SpecError::at(
+                    t.line,
+                    format!(
+                        "[network] applies to cluster and chain experiments, \
+                         not kind = \"{kind_name}\""
+                    ),
+                ));
+            }
+        }
         if repeats > 1 && matches!(kind, SpecKind::Fleet { .. } | SpecKind::Sweep { .. }) {
             return Err(SpecError::doc(format!(
                 "`repeats` applies to single, cluster and chain experiments, \
@@ -852,8 +905,93 @@ impl ExperimentSpec {
             seed,
             repeats,
             timeseries_interval,
+            network,
         })
     }
+}
+
+/// Parses the `[network]` table into a [`NetworkConfig`]. Validation is
+/// eager and strict: unknown keys, unknown topology names, negative
+/// latencies and non-positive bandwidths all fail here with the offending
+/// line (the caller re-flags every error as a usage error).
+fn parse_network(t: &Table) -> Result<NetworkConfig, SpecError> {
+    // Check unknown keys up front so they carry the usage flag instead of
+    // falling through to the generic unused-key sweep.
+    const KNOWN: [&str; 7] = [
+        "topology",
+        "latency_us",
+        "bandwidth_gbps",
+        "rpc_bytes",
+        "rack_size",
+        "racks_per_pod",
+        "oversubscription",
+    ];
+    for e in &t.entries {
+        if !KNOWN.contains(&e.key.as_str()) {
+            return Err(SpecError::at(
+                e.line,
+                format!("unknown key `{}` in [network]", e.key),
+            ));
+        }
+    }
+    let (topo_name, topo_line) = t
+        .str("topology")?
+        .ok_or_else(|| SpecError::at(t.line, "[network] needs `topology`"))?;
+    let latency = match t.num("latency_us")? {
+        None => SimDuration::ZERO,
+        Some((n, line)) => {
+            if n < 0.0 {
+                return Err(SpecError::at(
+                    line,
+                    format!("`latency_us` must be >= 0, got {n}"),
+                ));
+            }
+            SimDuration::from_micros_f64(n)
+        }
+    };
+    let rack_size = t.count("rack_size")?.map_or(4, |(n, _)| n);
+    let racks_per_pod = t.count("racks_per_pod")?.map_or(2, |(n, _)| n);
+    let oversubscription = t.positive("oversubscription")?.map_or(1.0, |(n, _)| n);
+    // Keys that only shape the deeper topologies are conflicts elsewhere,
+    // not silently ignored data (same stance as the shape tables).
+    let reject = |key: &str| -> Result<(), SpecError> {
+        match t.entry(key) {
+            Some(e) => Err(SpecError::at(
+                e.line,
+                format!("`{key}` does not apply to topology = \"{topo_name}\""),
+            )),
+            None => Ok(()),
+        }
+    };
+    let mut config = match topo_name.as_str() {
+        "flat" => {
+            for key in ["rack_size", "racks_per_pod", "oversubscription"] {
+                reject(key)?;
+            }
+            NetworkConfig::flat(latency)
+        }
+        "two-tier" => {
+            for key in ["racks_per_pod", "oversubscription"] {
+                reject(key)?;
+            }
+            NetworkConfig::two_tier(latency, rack_size)
+        }
+        "fat-tree" => NetworkConfig::fat_tree(latency, rack_size, racks_per_pod, oversubscription),
+        other => {
+            return Err(SpecError::at(
+                topo_line,
+                format!("unknown topology `{other}` (flat|two-tier|fat-tree)"),
+            ))
+        }
+    };
+    if let Some((gbps, _)) = t.positive("bandwidth_gbps")? {
+        // 1 Gbit/s = 125 MB/s.
+        config = config.with_bandwidth((gbps * 125_000_000.0) as u64);
+    }
+    if let Some((bytes, _)) = t.uint("rpc_bytes")? {
+        config = config.with_rpc_bytes(bytes);
+    }
+    Ok(config)
 }
 
 fn parse_traffic(table: &Table, rate: f64) -> Result<TrafficPattern, SpecError> {
@@ -1118,6 +1256,101 @@ nodes = 4
                 "{bad:?} -> {err}"
             );
         }
+    }
+
+    #[test]
+    fn parses_a_network_table() {
+        let text = r#"
+[experiment]
+kind = "chain"
+
+[workload]
+kind = "memcached"
+rate_per_sec = 4_000
+
+[chain]
+nodes = 8
+fanout = 4
+
+[network]
+topology = "two-tier"
+latency_us = 5
+rack_size = 4
+bandwidth_gbps = 25
+rpc_bytes = 2_000
+"#;
+        let spec = ExperimentSpec::parse(text).unwrap();
+        let net = spec.network.expect("network config parsed");
+        assert_eq!(
+            net,
+            NetworkConfig::two_tier(SimDuration::from_micros(5), 4)
+                .with_bandwidth(3_125_000_000)
+                .with_rpc_bytes(2_000)
+        );
+        // Zero latency is a valid (instantaneous) fabric, not an error.
+        let text = text.replace("latency_us = 5", "latency_us = 0");
+        let net = ExperimentSpec::parse(&text).unwrap().network.unwrap();
+        assert_eq!(net.link_latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn network_errors_are_usage_flagged_with_line_numbers() {
+        let base = |network: &str| {
+            format!(
+                "[experiment]\nkind = \"cluster\"\n\n[workload]\nkind = \"memcached\"\n\
+                 rate_per_sec = 100\n\n[cluster]\nnodes = 4\n\n[network]\n{network}"
+            )
+        };
+        // The [network] table starts at line 11; its first key is line 12.
+        for (table, needle, line) in [
+            ("topology = \"ring\"\n", "unknown topology `ring`", 12),
+            (
+                "topology = \"flat\"\nbogus = 1\n",
+                "unknown key `bogus`",
+                13,
+            ),
+            (
+                "topology = \"flat\"\nlatency_us = -3\n",
+                "`latency_us` must be >= 0",
+                13,
+            ),
+            (
+                "topology = \"flat\"\nbandwidth_gbps = -1\n",
+                "`bandwidth_gbps` must be > 0",
+                13,
+            ),
+            (
+                "topology = \"flat\"\nrack_size = 4\n",
+                "`rack_size` does not apply",
+                13,
+            ),
+            (
+                "topology = \"two-tier\"\noversubscription = 4\n",
+                "`oversubscription` does not apply",
+                13,
+            ),
+        ] {
+            let err = ExperimentSpec::parse(&base(table)).unwrap_err();
+            assert!(err.usage, "{table:?} -> {err}");
+            assert_eq!(err.line, line, "{table:?} -> {err}");
+            assert!(err.message.contains(needle), "{table:?} -> {err}");
+        }
+        // Missing topology anchors to the table header line.
+        let err = ExperimentSpec::parse(&base("latency_us = 1\n")).unwrap_err();
+        assert!(err.usage, "{err}");
+        assert_eq!(err.line, 11, "{err}");
+        assert!(err.message.contains("needs `topology`"), "{err}");
+        // A [network] table outside cluster/chain kinds is a plain
+        // (non-usage) shape conflict.
+        let text = "[experiment]\nkind = \"single\"\n\n[workload]\nkind = \"memcached\"\n\
+                    rate_per_sec = 100\n\n[network]\ntopology = \"flat\"\n";
+        let err = ExperimentSpec::parse(text).unwrap_err();
+        assert!(!err.usage, "{err}");
+        assert!(
+            err.message
+                .contains("[network] applies to cluster and chain"),
+            "{err}"
+        );
     }
 
     #[test]

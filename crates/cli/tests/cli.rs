@@ -308,6 +308,113 @@ fn chain_spec_validation_errors_carry_line_numbers() {
     );
 }
 
+const NETWORK_CHAIN_SPEC: &str = r#"
+[experiment]
+kind = "chain"
+name = "test-chain-net"
+seed = 7
+duration_ms = 5
+
+[workload]
+kind = "memcached"
+rate_per_sec = 4_000
+
+[chain]
+nodes = 4
+fanout = 4
+policy = "jsq"
+
+[network]
+topology = "two-tier"
+latency_us = 5
+rack_size = 2
+"#;
+
+#[test]
+fn network_spec_runs_and_exports_fabric_stats() {
+    let spec = Scratch::new("chain-net.toml");
+    spec.write(NETWORK_CHAIN_SPEC);
+    let out = execute(&args(&["run", spec.path(), "--format", "json"])).unwrap();
+    let parsed = JsonValue::parse(&out).expect("output is valid JSON");
+    let c = &parsed.as_array().expect("chain JSON is an array")[0];
+    let net = c.get("network").expect("network object exported");
+    assert_eq!(
+        net.get("topology").and_then(JsonValue::as_str),
+        Some("two-tier")
+    );
+    assert_eq!(
+        net.get("link_latency_ns").and_then(JsonValue::as_u64),
+        Some(5_000)
+    );
+    assert!(net.get("messages").and_then(JsonValue::as_u64).unwrap() > 0);
+    assert!(
+        net.get("total_wire_delay_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+    // The CSV gains the network columns only because a fabric ran.
+    let csv = execute(&args(&["run", spec.path(), "--format", "csv"])).unwrap();
+    assert!(csv.contains("net_topology"), "{csv}");
+    assert!(csv.contains("two-tier"), "{csv}");
+}
+
+#[test]
+fn network_spec_errors_are_line_numbered_usage_errors() {
+    // Each bad table: the error names the offending line and exits 2.
+    for (name, network, needle, line) in [
+        (
+            "net-topo.toml",
+            "topology = \"ring\"\n",
+            "unknown topology `ring`",
+            "line 18",
+        ),
+        (
+            "net-key.toml",
+            "topology = \"flat\"\njitter_us = 3\n",
+            "unknown key `jitter_us`",
+            "line 19",
+        ),
+        (
+            "net-latency.toml",
+            "topology = \"flat\"\nlatency_us = -5\n",
+            "`latency_us` must be >= 0",
+            "line 19",
+        ),
+        (
+            "net-bw.toml",
+            "topology = \"flat\"\nbandwidth_gbps = 0\n",
+            "`bandwidth_gbps` must be > 0",
+            "line 19",
+        ),
+    ] {
+        let spec = Scratch::new(name);
+        // CHAIN_SPEC is 16 lines ending in a newline; [network] lands on
+        // line 17 and its first key on line 18.
+        spec.write(&format!("{CHAIN_SPEC}\n[network]\n{network}"));
+        let err = execute(&args(&["run", spec.path()])).unwrap_err();
+        let CliError::Usage(message) = &err else {
+            panic!("expected usage error for {network:?}, got {err:?}");
+        };
+        assert!(message.contains(needle), "{network:?} -> {message}");
+        assert!(message.contains(line), "{network:?} -> {message}");
+        assert_eq!(err.exit_code(), 2);
+    }
+    // A [network] table on a non-cluster kind stays a plain input error
+    // (exit 1), like every other shape conflict.
+    let spec = Scratch::new("net-kind.toml");
+    spec.write(&format!("{SINGLE_SPEC}\n[network]\ntopology = \"flat\"\n"));
+    let err = execute(&args(&["run", spec.path()])).unwrap_err();
+    let CliError::Input(message) = &err else {
+        panic!("expected input error, got {err:?}");
+    };
+    assert!(
+        message.contains("[network] applies to cluster and chain"),
+        "{message}"
+    );
+    assert_eq!(err.exit_code(), 1);
+}
+
 #[test]
 fn sweep_expands_the_cartesian_grid() {
     let spec = Scratch::new("sweep.toml");

@@ -1,0 +1,174 @@
+//! Property tests for deterministic topology path resolution.
+//!
+//! Hand-rolled fuzzing over a deterministic `SimRng` stream (the workspace
+//! has no external property-testing dependency): each property is checked
+//! across a few hundred randomly shaped topologies, including
+//! non-power-of-two server counts, partially filled racks and partially
+//! filled pods.
+
+use apc_network::{NetworkConfig, Topology, MAX_PATH_LINKS};
+use apc_sim::{SimDuration, SimRng};
+
+/// Draws a random fuzzed config + server count. Index `case % 3` cycles the
+/// topology kind so every kind gets equal coverage.
+fn fuzz_case(rng: &mut SimRng, case: usize) -> (NetworkConfig, usize) {
+    let servers = 1 + rng.index(40);
+    let latency = SimDuration::from_nanos(rng.index(5_000) as u64);
+    let rack_size = 1 + rng.index(9); // deliberately includes sizes like 3, 5, 7
+    let racks_per_pod = 1 + rng.index(4);
+    let oversubscription = [1.0, 2.0, 4.0][rng.index(3)];
+    let mut config = match case % 3 {
+        0 => NetworkConfig::flat(latency),
+        1 => NetworkConfig::two_tier(latency, rack_size),
+        _ => NetworkConfig::fat_tree(latency, rack_size, racks_per_pod, oversubscription),
+    };
+    if rng.chance(0.5) {
+        config = config
+            .with_bandwidth(1_000_000 + rng.next_u64() % 1_000_000_000)
+            .with_rpc_bytes(rng.index(4096) as u64);
+    }
+    (config, servers)
+}
+
+#[test]
+fn path_resolution_is_deterministic() {
+    let mut rng = SimRng::from_seed(0xA11CE).fork("path-determinism");
+    for case in 0..200 {
+        let (config, servers) = fuzz_case(&mut rng, case);
+        let a = Topology::new(config, servers);
+        let b = Topology::new(config, servers); // independent build, same inputs
+        for src in 0..a.endpoints() {
+            for dst in 0..a.endpoints() {
+                let p = a.path(src, dst);
+                assert_eq!(p, a.path(src, dst), "same topology, same pair");
+                assert_eq!(p, b.path(src, dst), "rebuilt topology, same pair");
+            }
+        }
+    }
+}
+
+#[test]
+fn paths_are_wellformed() {
+    let mut rng = SimRng::from_seed(0xA11CE).fork("path-wellformed");
+    for case in 0..200 {
+        let (config, servers) = fuzz_case(&mut rng, case);
+        let topo = Topology::new(config, servers);
+        for src in 0..topo.endpoints() {
+            for dst in 0..topo.endpoints() {
+                let p = topo.path(src, dst);
+                if src == dst {
+                    assert!(p.is_empty(), "self path must be empty");
+                    continue;
+                }
+                assert!(!p.is_empty());
+                assert!(p.len() <= MAX_PATH_LINKS);
+                // Every id indexes the link table, and no link repeats.
+                let links = p.as_slice();
+                for &l in links {
+                    assert!(l < topo.links().len(), "link id {l} out of table");
+                }
+                for (i, &l) in links.iter().enumerate() {
+                    assert!(!links[i + 1..].contains(&l), "loop-free path");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paths_are_symmetric_mirrors() {
+    let mut rng = SimRng::from_seed(0xA11CE).fork("path-symmetry");
+    for case in 0..200 {
+        let (config, servers) = fuzz_case(&mut rng, case);
+        let topo = Topology::new(config, servers);
+        for src in 0..topo.endpoints() {
+            for dst in 0..topo.endpoints() {
+                let fwd = topo.path(src, dst);
+                let rev = topo.path(dst, src);
+                assert_eq!(fwd.len(), rev.len(), "({src},{dst})");
+                // The reverse path is the mirror: traversed backwards, each
+                // link is the paired opposite direction (up ids are even,
+                // down ids odd, pairs adjacent: mirror(l) = l ^ 1).
+                for (&f, &r) in fwd.as_slice().iter().zip(rev.as_slice().iter().rev()) {
+                    assert_eq!(f ^ 1, r, "({src},{dst}) link mirror");
+                }
+                // Uncontended flight time is therefore symmetric too.
+                assert_eq!(
+                    topo.flight_latency(src, dst),
+                    topo.flight_latency(dst, src),
+                    "({src},{dst}) latency symmetry"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fat_tree_tiers_order_latency() {
+    // With nonzero uniform link latency, deeper tier crossings cost strictly
+    // more: same rack < same pod < inter-pod, and the client (core-attached)
+    // endpoint sits between the pod and inter-pod cases.
+    let topo = Topology::new(
+        NetworkConfig::fat_tree(SimDuration::from_micros(1), 2, 2, 4.0),
+        8,
+    );
+    let same_rack = topo.flight_latency(0, 1);
+    let same_pod = topo.flight_latency(0, 2);
+    let inter_pod = topo.flight_latency(0, 6);
+    let to_client = topo.flight_latency(0, topo.client());
+    assert!(same_rack < same_pod, "{same_rack} < {same_pod}");
+    assert!(same_pod < inter_pod, "{same_pod} < {inter_pod}");
+    assert_eq!(
+        to_client, same_pod,
+        "client attaches one tier above the pods"
+    );
+}
+
+#[test]
+fn flight_latency_satisfies_triangle_inequality() {
+    // Tree routing yields a tree metric, so the triangle inequality must
+    // hold for every endpoint triple on every fuzzed topology.
+    let mut rng = SimRng::from_seed(0xA11CE).fork("triangle");
+    for case in 0..60 {
+        let (config, servers) = fuzz_case(&mut rng, case);
+        let servers = servers.min(12); // keep the triple loop small
+        let topo = Topology::new(config, servers);
+        for a in 0..topo.endpoints() {
+            for b in 0..topo.endpoints() {
+                for c in 0..topo.endpoints() {
+                    let direct = topo.flight_latency(a, c);
+                    let via = topo.flight_latency(a, b) + topo.flight_latency(b, c);
+                    assert!(
+                        direct <= via,
+                        "triangle violated: d({a},{c})={direct} > d({a},{b})+d({b},{c})={via}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn non_power_of_two_racks_resolve_consistently() {
+    // 7 servers in racks of 3: racks {0,1,2}, {3,4,5}, {6}. The trailing
+    // partially-filled rack must behave exactly like a full one.
+    let topo = Topology::new(NetworkConfig::two_tier(SimDuration::from_micros(1), 3), 7);
+    assert_eq!(topo.rack_of(6), 2);
+    assert_eq!(
+        topo.path(6, 0).len(),
+        4,
+        "partial rack still crosses the agg"
+    );
+    assert_eq!(topo.path(6, topo.client()).len(), 3);
+
+    // 10 servers, racks of 3, 2 racks per pod: 4 racks, pods {r0,r1},{r2,r3};
+    // rack 3 and pod 1 are both partially filled.
+    let ft = Topology::new(
+        NetworkConfig::fat_tree(SimDuration::from_micros(1), 3, 2, 2.0),
+        10,
+    );
+    assert_eq!(ft.rack_of(9), 3);
+    assert_eq!(ft.pod_of(ft.rack_of(9)), 1);
+    assert_eq!(ft.path(9, 0).len(), 6, "partial pod still crosses the core");
+    assert_eq!(ft.path(9, 6).len(), 4, "same pod despite partial rack");
+}

@@ -20,7 +20,7 @@ use apc_sim::component::{EventHandler, SimulationContext};
 use apc_sim::rng::SimRng;
 use apc_workloads::loadgen::LoadGenerator;
 
-use crate::components::nic::buffer_request;
+use crate::components::fabric::deliver_routed;
 use crate::components::state::{ClusterState, HasNode};
 use crate::components::ServerEvent;
 
@@ -192,6 +192,9 @@ impl RoutingPolicyKind {
 /// exact code path of a standalone server's NIC, in the same emission order,
 /// so a 1-node cluster replays a standalone server's event sequence
 /// bit-for-bit whatever the policy (there is only one node to route to).
+/// When the cluster carries a network fabric the routed request first
+/// crosses the wire (see [`crate::components::fabric`]); an instantaneous
+/// fabric — or none — deposits synchronously through that same code path.
 pub struct Balancer {
     loadgen: LoadGenerator,
     policy: Box<dyn RoutingPolicy>,
@@ -242,7 +245,7 @@ impl EventHandler<ServerEvent, ClusterState> for Balancer {
             shared.node_count()
         );
         self.routed[target] += 1;
-        buffer_request(shared.node_mut(target), ctx, request);
+        deliver_routed(shared, ctx, target, request);
         ctx.emit_self_at(next_arrival, ServerEvent::ClusterArrival);
     }
 }

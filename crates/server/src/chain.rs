@@ -72,8 +72,10 @@ use apc_workloads::request::{ChainTag, Request, RequestId};
 
 use apc_sim::component::{EventHandler, SimulationContext};
 
+use apc_network::{NetworkConfig, NetworkStats};
+
 use crate::balancer::{RoutingPolicy, RoutingPolicyKind};
-use crate::components::nic::buffer_request;
+use crate::components::fabric::{deliver_routed, Fabric, FabricState};
 use crate::components::state::{ClusterState, HasNode};
 use crate::components::ServerEvent;
 use crate::config::ServerConfig;
@@ -339,7 +341,7 @@ impl ChainCoordinator {
                 shared.node_count()
             );
             self.routed[target] += 1;
-            buffer_request(shared.node_mut(target), ctx, request);
+            deliver_routed(shared, ctx, target, request);
         }
     }
 
@@ -473,6 +475,29 @@ impl ChainSimulation {
         graph: RequestGraph,
         chains_per_sec: f64,
     ) -> Self {
+        Self::with_network(seed, configs, policy, graph, chains_per_sec, None)
+    }
+
+    /// Like [`ChainSimulation::new`], additionally routing every fan-out RPC
+    /// *and* every leaf-completion report through a network fabric (see
+    /// [`crate::components::fabric`]), so wire delay compounds at every tier
+    /// boundary exactly where C-state wake latency does.
+    ///
+    /// `None` — or an [instantaneous](NetworkConfig::is_instantaneous)
+    /// configuration — is bit-identical to the fabric-less path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty or the configs disagree on duration.
+    #[must_use]
+    pub fn with_network(
+        seed: u64,
+        configs: Vec<ServerConfig>,
+        policy: Box<dyn RoutingPolicy>,
+        graph: RequestGraph,
+        chains_per_sec: f64,
+        network: Option<NetworkConfig>,
+    ) -> Self {
         assert!(
             !configs.is_empty(),
             "a chain cluster needs at least one node"
@@ -516,9 +541,17 @@ impl ChainSimulation {
         // observer must also watch it — the same dispatch-observer routing
         // the cluster balancer uses (see `crate::cluster::ClusterSimulation`,
         // including why the package observers stay unsubscribed).
+        // As in the cluster simulation, the fabric registers even when no
+        // network is configured (name-forked RNG stream, zero events — the
+        // no-network event sequence is untouched) and the power observers
+        // watch its NIC-buffer deposits.
+        let fabric_id = sim.add_component("fabric", Fabric);
         for handles in &nodes {
             sim.add_observer_target(handles.power, coordinator_id);
+            sim.add_observer_target(handles.power, fabric_id);
         }
+        sim.shared_mut().fabric =
+            network.map(|config| FabricState::new(config, node_count, fabric_id));
         // Bootstrap in the cluster order: the first root arrival, then every
         // node's background timers / initial idle entries / power sampling.
         let first_arrival = coordinator.borrow().first_arrival();
@@ -553,6 +586,12 @@ impl ChainSimulation {
     pub fn run(mut self) -> ChainResult {
         self.sim.run_until(self.end_at);
         let end = self.end_at;
+        let network = self
+            .sim
+            .shared()
+            .fabric
+            .as_ref()
+            .map(|f| f.net.stats().clone());
         let runs = self
             .nodes
             .iter()
@@ -568,6 +607,7 @@ impl ChainSimulation {
             chain_latency: stats.chain_latency,
             straggler: stats.straggler,
             routed: stats.routed,
+            network,
             nodes: FleetResult { runs },
         }
     }
@@ -601,6 +641,9 @@ pub struct ChainResult {
     pub straggler: LatencySummary,
     /// RPCs routed to each node, in node order.
     pub routed: Vec<u64>,
+    /// Wire-delay statistics of the network fabric, when one was configured
+    /// (`None` for the instantaneous-deposit path).
+    pub network: Option<NetworkStats>,
     /// Per-node results in node order, with fleet-style aggregates.
     pub nodes: FleetResult,
 }
@@ -681,6 +724,9 @@ pub struct ChainMember {
     pub chains_per_sec: f64,
     /// Cluster seed: coordinator streams fork from it.
     pub seed: u64,
+    /// The network fabric every RPC and leaf report crosses (`None` keeps
+    /// the instantaneous-deposit path).
+    pub network: Option<NetworkConfig>,
 }
 
 impl ChainMember {
@@ -703,18 +749,28 @@ impl ChainMember {
             graph,
             chains_per_sec,
             seed: base.seed,
+            network: None,
         }
+    }
+
+    /// Routes every RPC and leaf report of this chain cluster through
+    /// `network` (see [`ChainSimulation::with_network`]).
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = Some(network);
+        self
     }
 
     /// Builds and runs the chain cluster to completion.
     #[must_use]
     pub fn run(self) -> ChainResult {
-        ChainSimulation::new(
+        ChainSimulation::with_network(
             self.seed,
             self.nodes,
             self.policy.build(),
             self.graph,
             self.chains_per_sec,
+            self.network,
         )
         .run()
     }

@@ -46,12 +46,14 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use apc_network::{NetworkConfig, NetworkStats};
 use apc_sim::component::Simulation;
 use apc_sim::{SimDuration, SimTime};
 use apc_workloads::loadgen::LoadGenerator;
 use apc_workloads::spec::WorkloadSpec;
 
 use crate::balancer::{Balancer, RoutingPolicy, RoutingPolicyKind};
+use crate::components::fabric::{Fabric, FabricState};
 use crate::components::state::ClusterState;
 use crate::components::ServerEvent;
 use crate::config::ServerConfig;
@@ -86,6 +88,29 @@ impl ClusterSimulation {
         configs: Vec<ServerConfig>,
         policy: Box<dyn RoutingPolicy>,
         loadgen: LoadGenerator,
+    ) -> Self {
+        Self::with_network(seed, configs, policy, loadgen, None)
+    }
+
+    /// Like [`ClusterSimulation::new`], additionally routing every balancer
+    /// deposit through a network fabric (see [`crate::components::fabric`]).
+    ///
+    /// `None` — or an [instantaneous](NetworkConfig::is_instantaneous)
+    /// configuration such as [`NetworkConfig::ideal`] — is **bit-identical**
+    /// to the fabric-less path: requests deposit synchronously in the exact
+    /// pre-fabric order (`crates/server/tests/network_differential.rs` pins
+    /// this op-for-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty or the configs disagree on duration.
+    #[must_use]
+    pub fn with_network(
+        seed: u64,
+        configs: Vec<ServerConfig>,
+        policy: Box<dyn RoutingPolicy>,
+        loadgen: LoadGenerator,
+        network: Option<NetworkConfig>,
     ) -> Self {
         assert!(!configs.is_empty(), "a cluster needs at least one node");
         let duration = configs[0].duration;
@@ -128,9 +153,19 @@ impl ClusterSimulation {
         // package-state inputs read, so their hooks would record a
         // same-state no-op transition (the range check in
         // `PackageController::on_post_dispatch` guards the same invariant).
+        // The fabric component registers even without a `[network]`
+        // configuration: registration forks its RNG stream by name (a pure
+        // function that perturbs no other stream) and an absent fabric never
+        // receives an event, so the no-network event sequence is untouched.
+        // A deferred `WireDeliver` deposits into a node's NIC buffer just
+        // like a balancer arrival, so the power observers watch it too.
+        let fabric_id = sim.add_component("fabric", Fabric);
         for handles in &nodes {
             sim.add_observer_target(handles.power, balancer_id);
+            sim.add_observer_target(handles.power, fabric_id);
         }
+        sim.shared_mut().fabric =
+            network.map(|config| FabricState::new(config, node_count, fabric_id));
         // Bootstrap in the standalone order: the first arrival, then every
         // node's background timers / initial idle entries / power sampling.
         sim.schedule(balancer_id, first_arrival, ServerEvent::ClusterArrival);
@@ -170,6 +205,12 @@ impl ClusterSimulation {
     pub fn run(mut self) -> ClusterResult {
         let events_dispatched = self.sim.run_until(self.end_at);
         let end = self.end_at;
+        let network = self
+            .sim
+            .shared()
+            .fabric
+            .as_ref()
+            .map(|f| f.net.stats().clone());
         let runs = self
             .nodes
             .iter()
@@ -181,6 +222,7 @@ impl ClusterSimulation {
             routed: balancer.routed().to_vec(),
             duration: self.end_at.saturating_since(SimTime::ZERO),
             events_dispatched,
+            network,
             nodes: FleetResult { runs },
         }
     }
@@ -205,6 +247,9 @@ pub struct ClusterResult {
     /// time divided by this is the per-event cost of the whole stack (queue,
     /// dispatch hooks, handlers).
     pub events_dispatched: u64,
+    /// Wire-delay statistics of the network fabric, when one was configured
+    /// (`None` for the instantaneous-deposit path).
+    pub network: Option<NetworkStats>,
     /// Per-node results in node order, with fleet-style aggregates.
     pub nodes: FleetResult,
 }
@@ -298,6 +343,9 @@ pub struct ClusterMember {
     pub total_rate_per_sec: f64,
     /// Cluster seed: balancer stream and arrival-stream seed.
     pub seed: u64,
+    /// The network fabric every routed RPC crosses (`None` keeps the
+    /// instantaneous-deposit path).
+    pub network: Option<NetworkConfig>,
 }
 
 impl ClusterMember {
@@ -321,14 +369,30 @@ impl ClusterMember {
             spec,
             total_rate_per_sec,
             seed: base.seed,
+            network: None,
         }
+    }
+
+    /// Routes every RPC of this cluster through `network` (see
+    /// [`ClusterSimulation::with_network`]).
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = Some(network);
+        self
     }
 
     /// Builds and runs the cluster to completion.
     #[must_use]
     pub fn run(self) -> ClusterResult {
         let loadgen = LoadGenerator::new(self.spec, self.total_rate_per_sec, self.seed);
-        ClusterSimulation::new(self.seed, self.nodes, self.policy.build(), loadgen).run()
+        ClusterSimulation::with_network(
+            self.seed,
+            self.nodes,
+            self.policy.build(),
+            loadgen,
+            self.network,
+        )
+        .run()
     }
 }
 

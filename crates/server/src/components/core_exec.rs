@@ -10,6 +10,7 @@ use apc_soc::core::CoreId;
 use apc_soc::cstate::CoreCState;
 use apc_workloads::spec::BackgroundNoise;
 
+use super::fabric;
 use super::state::{HasNode, ServerState};
 use super::{ServerEvent, WorkItem};
 
@@ -143,39 +144,48 @@ impl CoreExec {
         ctx.emit_self(service, ServerEvent::ServiceDone);
     }
 
-    fn on_service_done(
+    fn on_service_done<S: HasNode>(
         &mut self,
-        shared: &mut ServerState,
+        shared: &mut S,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
         let now = ctx.now();
-        let item = shared.sched.running[self.index]
+        let node = shared.node_mut(self.node);
+        let item = node.sched.running[self.index]
             .take()
             .expect("core had no running work");
+        let mut leaf_report = None;
         match item {
             WorkItem::Client(request) => {
-                shared.outstanding -= 1;
+                node.outstanding -= 1;
                 let server_side = now.saturating_since(request.arrival);
-                let total = server_side + shared.network_rtt;
+                let total = server_side + node.network_rtt;
                 if request.class.is_client_visible() {
-                    shared.telemetry.latency.record(total);
-                    shared.telemetry.completed_requests += 1;
+                    node.telemetry.latency.record(total);
+                    node.telemetry.completed_requests += 1;
                 }
-                shared.telemetry.busy_core_time += request.service + shared.config.softirq_overhead;
+                node.telemetry.busy_core_time += request.service + node.config.softirq_overhead;
                 // A chain-tagged RPC reports its completion to the chain
                 // coordinator, which joins it into the fan-out and issues
                 // the next tier (or records the chain's end-to-end latency).
-                if let Some(tag) = request.chain {
-                    ctx.emit_now(
-                        tag.coordinator,
-                        ServerEvent::ChainLeafDone { chain: tag.chain },
-                    );
-                }
+                leaf_report = request.chain;
             }
             WorkItem::Background { work } => {
-                shared.telemetry.busy_core_time += work;
+                node.telemetry.busy_core_time += work;
             }
         }
+        if let Some(tag) = leaf_report {
+            // The report crosses the network fabric back to the coordinator
+            // endpoint; without a fabric (or with an instantaneous one) the
+            // zero delay makes this the exact pre-fabric `emit_now`.
+            let delay = fabric::report_delay(shared, self.node, now);
+            ctx.emit(
+                tag.coordinator,
+                delay,
+                ServerEvent::ChainLeafDone { chain: tag.chain },
+            );
+        }
+        let shared = shared.node_mut(self.node);
         // Pick up more work without sleeping if any is available.
         if let Some(next) = shared.sched.client_queue.pop_front() {
             self.start_service(WorkItem::Client(next), shared, ctx);
@@ -260,13 +270,18 @@ impl<S: HasNode> EventHandler<ServerEvent, S> for CoreExec {
         shared: &mut S,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
+        // ServiceDone keeps the whole shared state in reach: a finished
+        // chain RPC's completion report crosses the cluster's network
+        // fabric, which lives outside any single node.
+        if matches!(event, ServerEvent::ServiceDone) {
+            return self.on_service_done(shared, ctx);
+        }
         let node = shared.node_mut(self.node);
         match event {
             ServerEvent::BackgroundTick => self.on_background_tick(node, ctx),
             ServerEvent::InitIdle => self.begin_idle(ctx.now(), node, ctx),
             ServerEvent::BeginWake => self.on_begin_wake(node, ctx),
             ServerEvent::WakeDone { epoch } => self.on_wake_done(epoch, node, ctx),
-            ServerEvent::ServiceDone => self.on_service_done(node, ctx),
             ServerEvent::IdleEntered { epoch } => self.on_idle_entered(epoch, node, ctx),
             other => unreachable!("core {} received unexpected event {other:?}", self.index),
         }

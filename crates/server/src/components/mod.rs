@@ -30,6 +30,7 @@
 //! in one event loop ([`crate::cluster::ClusterSimulation`]).
 
 pub mod core_exec;
+pub mod fabric;
 pub mod nic;
 pub mod package;
 pub mod power;
@@ -54,6 +55,16 @@ pub enum ServerEvent {
     ClusterArrival,
     /// The NIC raises an interrupt delivering the coalesced batch. (→ `nic`)
     NicDeliver,
+    /// A routed request finished its wire flight through the network fabric
+    /// and reaches the destination node's NIC buffer. Only fires when a
+    /// fabric with nonzero wire delay is configured — instantaneous
+    /// transmissions deposit synchronously without an event hop. (→ `fabric`)
+    WireDeliver {
+        /// The destination node.
+        node: usize,
+        /// The request coming off the wire.
+        request: Request,
+    },
     /// A core's periodic background (OS) wakeup fires. (→ `core <i>`)
     BackgroundTick,
     /// Bootstrap: put the freshly booted core to sleep. (→ `core <i>`)

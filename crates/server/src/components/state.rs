@@ -495,6 +495,14 @@ pub trait HasNode {
     fn node_mut(&mut self, index: usize) -> &mut ServerState;
     /// Number of nodes hosted by the simulation.
     fn node_count(&self) -> usize;
+    /// The cluster's network fabric, when one is configured. Defaults to
+    /// `None` — a standalone server has no fabric and a cluster without a
+    /// `[network]` configuration behaves identically to one — so every
+    /// transmission helper (see [`super::fabric`]) degrades to the
+    /// instantaneous pre-fabric path.
+    fn fabric_mut(&mut self) -> Option<&mut super::fabric::FabricState> {
+        None
+    }
 }
 
 /// The single-server case: the state is its own (only) node.
@@ -520,14 +528,19 @@ impl HasNode for ServerState {
 pub struct ClusterState {
     /// Per-node server state, indexed by node number.
     pub nodes: Vec<ServerState>,
+    /// The network fabric every routed RPC and leaf report crosses; `None`
+    /// keeps the instantaneous-deposit behaviour.
+    pub fabric: Option<super::fabric::FabricState>,
 }
 
 impl ClusterState {
-    /// Builds the cluster state for one [`ServerConfig`] per node.
+    /// Builds the cluster state for one [`ServerConfig`] per node, without a
+    /// network fabric (instantaneous deposits).
     #[must_use]
     pub fn new(configs: Vec<ServerConfig>) -> Self {
         ClusterState {
             nodes: configs.into_iter().map(ServerState::new).collect(),
+            fabric: None,
         }
     }
 }
@@ -543,6 +556,10 @@ impl HasNode for ClusterState {
 
     fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    fn fabric_mut(&mut self) -> Option<&mut super::fabric::FabricState> {
+        self.fabric.as_mut()
     }
 }
 

@@ -206,8 +206,10 @@ fn cluster_registry_has_expected_layout() {
     let cores = sim.state().nodes[0].soc.cores().len();
     let inner = sim.simulation();
     assert_eq!(sim.node_count(), n);
-    assert_eq!(inner.component_count(), n * (4 + cores) + 1);
+    // N complete nodes + the balancer + the (always-registered) fabric.
+    assert_eq!(inner.component_count(), n * (4 + cores) + 2);
     assert!(inner.lookup("balancer").is_some());
+    assert!(inner.lookup("fabric").is_some());
     for node in 0..n {
         assert!(inner.lookup(&format!("node {node} nic")).is_some());
         assert!(inner.lookup(&format!("node {node} scheduler")).is_some());

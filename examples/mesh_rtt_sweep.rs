@@ -1,0 +1,98 @@
+//! RTT vs wake latency: how network round-trip time dilutes the tail cost
+//! of deep C-states on fan-out chains.
+//!
+//! ```text
+//! cargo run --release --example mesh_rtt_sweep
+//! ```
+//!
+//! The paper's tail-amplification argument assumes wake latency is a
+//! *visible* fraction of end-to-end latency. This sweep runs the same
+//! 8-node fan-out-4 memcached mesh through a two-tier fabric at increasing
+//! per-link latency (0 → 20 us, i.e. server↔server RTTs of 0 → 160 us for
+//! inter-rack siblings) and compares `Cdeep` and `CPC1A` tails against
+//! `Cshallow` at each point:
+//!
+//! * at zero RTT, a CC6/PC6 wake on one straggler leaf dominates the join
+//!   and `Cdeep`'s p999 amplification over `Cshallow` is at its widest;
+//! * as RTT grows, fixed wire time swamps the (constant) wake latency and
+//!   the amplification ratio shrinks toward 1 — deep sleep becomes cheap
+//!   *relatively*, though every platform's absolute tail inflates;
+//! * `CPC1A` tracks `Cshallow` at every point: nanosecond-scale PC1A
+//!   transitions are invisible at any realistic RTT.
+//!
+//! The assertion at the bottom pins the headline trend: `Cdeep`'s p999
+//! amplification at zero RTT strictly exceeds its amplification at the
+//! largest RTT.
+
+use apc::prelude::*;
+
+/// One platform's chain tail at a given per-link latency.
+fn run(base: &ServerConfig, link_latency: SimDuration) -> ChainResult {
+    let base = base.clone().with_duration(SimDuration::from_millis(20));
+    let mut member = ChainMember::homogeneous(
+        &base,
+        8,
+        RoutingPolicyKind::JoinShortestQueue,
+        RequestGraph::memcached_fanout(4),
+        8_000.0,
+    );
+    // Zero-latency flat fabric would be bit-identical to no fabric at all;
+    // sweep the two-tier topology so inter-rack legs cost 4 links each way.
+    member = member.with_network(NetworkConfig::two_tier(link_latency, 4));
+    member.run()
+}
+
+fn main() {
+    let shallow = ServerConfig::c_shallow();
+    let deep = ServerConfig::c_deep();
+    let pc1a = ServerConfig::c_pc1a();
+
+    let rtts_us = [0u64, 1, 5, 20];
+    let mut table = TextTable::new(
+        "two-tier mesh-8-fanout4, p999 amplification vs Cshallow by link latency",
+        &[
+            "link us",
+            "Cshallow p999",
+            "Cdeep p999",
+            "CPC1A p999",
+            "Cdeep amp",
+            "CPC1A amp",
+            "wire mean",
+        ],
+    );
+
+    let mut deep_amp_at = Vec::new();
+    for us in rtts_us {
+        let link = SimDuration::from_micros(us);
+        let s = run(&shallow, link);
+        let d = run(&deep, link);
+        let p = run(&pc1a, link);
+        let s999 = s.chain_latency.p999.as_nanos() as f64;
+        let d_amp = d.chain_latency.p999.as_nanos() as f64 / s999;
+        let p_amp = p.chain_latency.p999.as_nanos() as f64 / s999;
+        deep_amp_at.push(d_amp);
+        table.add_row(&[
+            format!("{us}"),
+            format!("{}", s.chain_latency.p999),
+            format!("{}", d.chain_latency.p999),
+            format!("{}", p.chain_latency.p999),
+            format!("{d_amp:.2}x"),
+            format!("{p_amp:.2}x"),
+            format!("{}", s.network.as_ref().unwrap().mean_wire_delay()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let first = deep_amp_at.first().copied().unwrap();
+    let last = deep_amp_at.last().copied().unwrap();
+    println!(
+        "Cdeep p999 amplification: {first:.2}x at 0 us links -> {last:.2}x at \
+         {} us links (wire time dilutes wake latency)",
+        rtts_us.last().unwrap(),
+    );
+    assert!(
+        last < first,
+        "deep-C-state tail amplification must shrink as RTT grows \
+         ({first:.2}x at zero RTT vs {last:.2}x at max RTT)"
+    );
+}
