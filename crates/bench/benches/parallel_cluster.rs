@@ -1,0 +1,218 @@
+//! Parallel event-core benchmark: one cluster simulation partitioned across
+//! worker threads under the conservative-lookahead scheduler, against the
+//! sequential event loop it is bit-identical to.
+//!
+//! Writes `BENCH_parallel_cluster.json` at the repository root:
+//!
+//! ```text
+//! cargo bench -p apc-bench --bench parallel_cluster            # full run, writes JSON
+//! cargo bench -p apc-bench --bench parallel_cluster -- --smoke # CI smoke: seconds, no JSON
+//! ```
+//!
+//! The grid is 8/16/32 nodes × 1/2/4/8 workers over a two-tier fabric with
+//! 2 µs per-link latency (the lookahead bound). The `workers = 1` row runs
+//! the plain sequential loop and is the speedup denominator; for reference
+//! the JSON also carries the historical *no-fabric* `cluster_scale` rows
+//! from `BENCH_event_core.json` (a fabric adds wire events, so the two
+//! columns are related but not directly comparable).
+//!
+//! Wall-clock numbers take the minimum over several repeats — the least
+//! noise-contaminated estimate on a shared container. The file records
+//! `host_cores`: on a single-CPU container the parallel rows measure
+//! pure partitioning overhead (barrier crossings, replay bookkeeping), not
+//! speedup — the ≥1.5× target at 16 nodes / ≥4 workers needs a host with
+//! at least that many cores. Every parallel run is asserted bit-identical
+//! to its sequential baseline before its time is accepted.
+
+#![allow(missing_docs)]
+
+use std::time::Instant;
+
+use apc_analysis::export::JsonValue;
+use apc_network::NetworkConfig;
+use apc_server::balancer::RoutingPolicyKind;
+use apc_server::cluster::{ClusterMember, ClusterResult};
+use apc_server::config::ServerConfig;
+use apc_server::parallel::{execution_plan, ExecutionPlan};
+use apc_sim::SimDuration;
+use apc_workloads::spec::WorkloadSpec;
+
+/// Simulated window per iteration (matches the `cluster_scale` bench).
+const WINDOW: SimDuration = SimDuration::from_millis(20);
+/// Offered load per cluster node (matches the `cluster_scale` bench).
+const RATE_PER_NODE: f64 = 20_000.0;
+/// Per-link latency of the benchmarked fabric — the lookahead bound.
+const LINK_LATENCY: SimDuration = SimDuration::from_micros(2);
+
+fn member(nodes: usize) -> ClusterMember {
+    let base = ServerConfig::c_pc1a().with_duration(WINDOW);
+    ClusterMember::homogeneous(
+        &base,
+        nodes,
+        RoutingPolicyKind::JoinShortestQueue,
+        WorkloadSpec::memcached_etc(),
+        RATE_PER_NODE * nodes as f64,
+    )
+    .with_network(NetworkConfig::two_tier(LINK_LATENCY, 4))
+}
+
+/// One timed run at a forced worker count (`1` takes the sequential loop).
+fn timed_run(nodes: usize, workers: usize) -> (f64, ClusterResult) {
+    let m = member(nodes);
+    if workers > 1 {
+        assert!(
+            matches!(
+                execution_plan(nodes, m.network.as_ref(), Some(workers)),
+                ExecutionPlan::Parallel { .. }
+            ),
+            "the benchmark grid must actually exercise the parallel path"
+        );
+    }
+    let start = Instant::now();
+    let result = m.run_with_parallelism(Some(workers));
+    (start.elapsed().as_secs_f64(), result)
+}
+
+/// The historical no-fabric `cluster_scale` rows (node count → ms per 20 ms
+/// of simulated time), carried over from `BENCH_event_core.json` when the
+/// file is present.
+fn event_core_baselines() -> Vec<(u64, f64)> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_event_core.json");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(JsonValue::Object(doc)) = JsonValue::parse(&text) else {
+        return Vec::new();
+    };
+    let Some(JsonValue::Array(rows)) = doc
+        .iter()
+        .find(|(k, _)| k == "cluster_scale")
+        .map(|(_, v)| v)
+    else {
+        return Vec::new();
+    };
+    let field = |row: &[(String, JsonValue)], key: &str| {
+        row.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    rows.iter()
+        .filter_map(|row| {
+            let JsonValue::Object(row) = row else {
+                return None;
+            };
+            let nodes = match field(row, "nodes")? {
+                JsonValue::UInt(n) => n,
+                JsonValue::Int(n) if n >= 0 => n as u64,
+                _ => return None,
+            };
+            let ms = match field(row, "ms_per_20ms_sim")? {
+                JsonValue::Float(f) => f,
+                JsonValue::UInt(n) => n as f64,
+                JsonValue::Int(n) => n as f64,
+                _ => return None,
+            };
+            Some((nodes, ms))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (node_counts, worker_counts, repeats): (&[usize], &[usize], usize) = if smoke {
+        (&[8], &[1, 2], 1)
+    } else {
+        (&[8, 16, 32], &[1, 2, 4, 8], 5)
+    };
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut rows_json = Vec::new();
+    println!(
+        "parallel_cluster ({repeats} repeats, min; 20 ms simulated, JSQ, memcached_etc, \
+         two-tier fabric {} ns links; host has {host_cores} core(s)):",
+        LINK_LATENCY.as_nanos()
+    );
+    for &nodes in node_counts {
+        let mut sequential: Option<(f64, ClusterResult)> = None;
+        for &workers in worker_counts {
+            let mut min_secs = f64::MAX;
+            let mut events = 0u64;
+            for _ in 0..repeats {
+                let (secs, result) = timed_run(nodes, workers);
+                if let Some((_, baseline)) = &sequential {
+                    assert_eq!(
+                        &result, baseline,
+                        "{nodes} nodes at {workers} workers diverged from sequential"
+                    );
+                }
+                min_secs = min_secs.min(secs);
+                events = result.events_dispatched;
+                if workers == 1 && sequential.is_none() {
+                    sequential = Some((secs, result));
+                }
+            }
+            if let Some(seq) = sequential.as_mut().filter(|_| workers == 1) {
+                seq.0 = min_secs;
+            }
+            let ms = min_secs * 1e3;
+            let events_per_sec = events as f64 / min_secs;
+            let speedup = sequential
+                .as_ref()
+                .map_or(1.0, |(seq_secs, _)| seq_secs / min_secs);
+            println!(
+                "  {nodes:>2} nodes, {workers} worker(s): {ms:>8.3} ms per 20 ms sim   \
+                 {events:>7} events   {:>6.2} M events/s   {speedup:>5.2}x vs sequential",
+                events_per_sec / 1e6
+            );
+            rows_json.push(format!(
+                concat!(
+                    "    {{\"nodes\": {}, \"workers\": {}, \"ms_per_20ms_sim\": {:.3}, ",
+                    "\"events_dispatched\": {}, \"events_per_sec\": {:.0}, ",
+                    "\"speedup_vs_sequential\": {:.3}}}"
+                ),
+                nodes, workers, ms, events, events_per_sec, speedup,
+            ));
+        }
+    }
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_parallel_cluster.json");
+        return;
+    }
+
+    let baselines = event_core_baselines();
+    let baseline_json = baselines
+        .iter()
+        .map(|(nodes, ms)| format!("    {{\"nodes\": {nodes}, \"ms_per_20ms_sim\": {ms}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"parallel_cluster\",\n",
+            "  \"methodology\": \"min over {} repeats on a shared container; 20 ms simulated, ",
+            "JSQ, memcached_etc at {} req/s per node; two-tier fabric with {} ns per-link ",
+            "latency (the conservative lookahead); workers forced via run_with_parallelism; ",
+            "every parallel run asserted bit-identical to the workers=1 sequential run\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"caveat\": \"with host_cores = 1 the parallel rows measure partitioning ",
+            "overhead (barrier crossings, hub replay), not speedup; the >=1.5x target at ",
+            "16 nodes with >=4 workers requires a host with at least 4 cores\",\n",
+            "  \"sequential_no_fabric_baseline\": {{\"source\": ",
+            "\"BENCH_event_core.json cluster_scale (no network fabric)\", \"rows\": [\n{}\n  ]}},\n",
+            "  \"parallel_cluster\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        repeats,
+        RATE_PER_NODE,
+        LINK_LATENCY.as_nanos(),
+        host_cores,
+        baseline_json,
+        rows_json.join(",\n"),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_parallel_cluster.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_parallel_cluster.json");
+    println!("wrote {path}");
+}

@@ -97,7 +97,10 @@ options:
                             (cluster and chain scenarios)
   --duration-ms <n>         override the simulated duration
   --seed <n>                override the root seed
-  --parallelism <n>         pin the worker-pool size (default: host cores)";
+  --parallelism <n>         pin the worker count (default: host cores; wins
+                            over a spec's `parallelism` key). A single
+                            cluster/chain run with a nonzero-latency
+                            [network] partitions across the workers";
 
 /// Runs the CLI on `args` (the program name already stripped), returning
 /// the text to print on stdout.

@@ -110,9 +110,13 @@ pub fn chain_graph(
 }
 
 /// Executes a parsed spec end-to-end; `parallelism` pins the worker pool
-/// (`None` sizes it to the host).
+/// (`None` falls back to the spec's own `parallelism` knob, then the host).
+/// Single cluster/chain runs route the budget *inside* the simulation — the
+/// conservative-lookahead partitioned path — whenever the `[network]`
+/// topology admits it; results are bit-identical either way.
 #[must_use]
 pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcome {
+    let parallelism = parallelism.or(spec.parallelism);
     match &spec.kind {
         SpecKind::Single => {
             let (labels, members) = (0..spec.repeats)

@@ -16,6 +16,8 @@
 //! seed = 7
 //! duration_ms = 50
 //! repeats = 2               # single/cluster only
+//! parallelism = 4           # worker threads (default: host cores);
+//!                           # `--parallelism` on the command line wins
 //!
 //! [platform]
 //! name = "cpc1a"            # cshallow | cdeep | cpc1a
@@ -546,6 +548,12 @@ pub struct ExperimentSpec {
     pub seed: u64,
     /// Repeat count (single and cluster kinds only).
     pub repeats: usize,
+    /// Worker-thread pin from the spec itself (`None` sizes the pool to the
+    /// host; an explicit `--parallelism` flag overrides this knob). Besides
+    /// sizing the fleet pools, this is the worker budget of the
+    /// conservative-lookahead partitioned run a single cluster/chain
+    /// experiment takes when its `[network]` topology admits one.
+    pub parallelism: Option<usize>,
     /// Time-series sampling interval, when `[telemetry]` enables the sink.
     pub timeseries_interval: Option<SimDuration>,
     /// Network fabric configuration, when `[network]` declares one
@@ -620,6 +628,12 @@ impl ExperimentSpec {
             })?
             .unwrap_or(SimDuration::from_millis(100));
         let repeats = experiment.count("repeats")?.map_or(1, |(n, _)| n);
+        // Like a bad `--parallelism` flag, a bad spec knob is a usage-level
+        // mistake (exit code 2), still carrying the offending line number.
+        let parallelism = experiment
+            .count("parallelism")
+            .map_err(SpecError::into_usage)?
+            .map(|(n, _)| n);
 
         // [platform]
         let platform_declared = find("platform").is_some();
@@ -904,6 +918,7 @@ impl ExperimentSpec {
             duration,
             seed,
             repeats,
+            parallelism,
             timeseries_interval,
             network,
         })
@@ -1118,6 +1133,27 @@ policy = "jsq"
             }
         );
         assert!(spec.timeseries_interval.is_none());
+        assert!(spec.parallelism.is_none(), "parallelism defaults to host");
+    }
+
+    #[test]
+    fn parallelism_knob_parses_and_rejects_nonsense_as_usage() {
+        let with_knob = CLUSTER_SPEC.replace("repeats = 2", "repeats = 2\nparallelism = 4");
+        let spec = ExperimentSpec::parse(&with_knob).unwrap();
+        assert_eq!(spec.parallelism, Some(4));
+        // `repeats = 2` sits on line 7, so the appended knob is line 8; a
+        // zero or non-integer value is a usage error carrying that line.
+        for bad in [
+            "parallelism = 0",
+            "parallelism = 2.5",
+            "parallelism = \"all\"",
+        ] {
+            let text = CLUSTER_SPEC.replace("repeats = 2", &format!("repeats = 2\n{bad}"));
+            let err = ExperimentSpec::parse(&text).unwrap_err();
+            assert!(err.usage, "{bad} -> {err}");
+            assert_eq!(err.line, 8, "{bad} -> {err}");
+            assert!(err.message.contains("parallelism"), "{bad} -> {err}");
+        }
     }
 
     #[test]

@@ -823,8 +823,17 @@ impl ChainFleet {
     /// Runs every chain cluster to completion — in parallel when the host
     /// allows — returning results in member order, bit-identical to
     /// [`ChainFleet::run_sequential`].
+    ///
+    /// A single-member fleet routes its worker budget *inside* the run: the
+    /// one chain cluster is partitioned per node under the
+    /// conservative-lookahead scheduler (see [`crate::parallel`]) whenever
+    /// its topology admits it — still bit-identical either way.
     #[must_use]
-    pub fn run(self) -> Vec<ChainResult> {
+    pub fn run(mut self) -> Vec<ChainResult> {
+        if self.members.len() == 1 {
+            let member = self.members.pop().expect("one member");
+            return vec![member.run_with_parallelism(self.parallelism)];
+        }
         let workers = effective_workers(self.parallelism, self.members.len());
         run_pool(self.members, workers, ChainMember::run)
     }

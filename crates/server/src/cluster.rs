@@ -443,8 +443,18 @@ impl ClusterFleet {
     /// Runs every cluster to completion — in parallel when the host allows —
     /// returning results in member order, bit-identical to
     /// [`ClusterFleet::run_sequential`].
+    ///
+    /// A single-member fleet has no member-level parallelism to exploit, so
+    /// the worker budget moves *inside* the run instead: the one cluster is
+    /// partitioned per node under the conservative-lookahead scheduler (see
+    /// [`crate::parallel`]) whenever its topology admits it — still
+    /// bit-identical either way.
     #[must_use]
-    pub fn run(self) -> Vec<ClusterResult> {
+    pub fn run(mut self) -> Vec<ClusterResult> {
+        if self.members.len() == 1 {
+            let member = self.members.pop().expect("one member");
+            return vec![member.run_with_parallelism(self.parallelism)];
+        }
         let workers = effective_workers(self.parallelism, self.members.len());
         run_pool(self.members, workers, ClusterMember::run)
     }

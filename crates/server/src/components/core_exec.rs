@@ -177,13 +177,18 @@ impl CoreExec {
         if let Some(tag) = leaf_report {
             // The report crosses the network fabric back to the coordinator
             // endpoint; without a fabric (or with an instantaneous one) the
-            // zero delay makes this the exact pre-fabric `emit_now`.
-            let delay = fabric::report_delay(shared, self.node, now);
-            ctx.emit(
-                tag.coordinator,
-                delay,
-                ServerEvent::ChainLeafDone { chain: tag.chain },
-            );
+            // zero delay makes this the exact pre-fabric `emit_now`. In a
+            // partitioned run the coordinator lives outside this partition:
+            // the shared state captures the report instead and the parallel
+            // driver replays it against the hub at the epoch barrier.
+            if !shared.capture_leaf_report(self.node, now, tag.chain) {
+                let delay = fabric::report_delay(shared, self.node, now);
+                ctx.emit(
+                    tag.coordinator,
+                    delay,
+                    ServerEvent::ChainLeafDone { chain: tag.chain },
+                );
+            }
         }
         let shared = shared.node_mut(self.node);
         // Pick up more work without sleeping if any is available.

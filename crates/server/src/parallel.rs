@@ -1,0 +1,1028 @@
+//! Conservative-lookahead parallel execution of one cluster (or chain)
+//! simulation: the cluster is partitioned per node, every partition runs its
+//! own timer-wheel event loop on a worker thread, and the partitions advance
+//! in lockstep through lookahead-sized epochs — with results **bit-identical**
+//! to the sequential [`crate::cluster::ClusterSimulation`] /
+//! [`crate::chain::ChainSimulation`] event loop.
+//!
+//! # Why this is possible
+//!
+//! With a network fabric configured, *every* cross-node interaction crosses
+//! the wire: routed RPCs arrive as [`ServerEvent::WireDeliver`] events and
+//! chain leaf reports travel node → coordinator with a transmit delay. Both
+//! delays are bounded below by the topology's minimum link latency
+//! ([`NetworkConfig::min_link_latency`]) — the **lookahead** `L`. During an
+//! epoch `[kL, (k+1)L)` no partition can affect another within the same
+//! epoch (a message sent at `t ≥ kL` lands at `t + delay ≥ (k+1)L`), so
+//! partitions run a whole epoch concurrently and exchange messages only at
+//! the epoch barrier. Zero-lookahead configurations (no `[network]` table,
+//! `latency_us = 0`) make the window empty — [`execution_plan`] then falls
+//! back to the sequential path automatically.
+//!
+//! # Partition layout
+//!
+//! * Each **node** becomes one [`Simulation`] over a private `PartitionState`
+//!   holding just that node's [`ServerState`] — the node registers the exact
+//!   component set, RNG streams and bootstrap events it has in the
+//!   sequential cluster (streams derive from the node's own seed, so they
+//!   are identical by construction), plus a local [`Fabric`] delivery
+//!   component for incoming wire messages.
+//! * The **hub** — arrival stream, routing policy, network-fabric link
+//!   occupancy, chain coordinator bookkeeping — stays on the main thread and
+//!   is *replayed* against per-node observations exchanged at the barrier,
+//!   consuming the same RNG streams in the same order as the sequential
+//!   components (`"balancer"` / `"chain-coordinator"` forks of the cluster
+//!   seed, the loadgen's own stream, the `"chain-loadgen"` fork).
+//!
+//! # The determinism argument
+//!
+//! The sequential loop orders events by `(timestamp, insertion instant,
+//! scheduling sequence)` — the engine queues' FIFO key. Within a partition
+//! that order is preserved verbatim (same queue discipline, same local
+//! insertions). Across partitions, three interactions exist, and each is
+//! replayed at the barrier in global key order:
+//!
+//! 1. **Hub → node deposits** ([`ServerEvent::WireDeliver`]) are inserted
+//!    into the destination partition's queue at the epoch boundary via
+//!    [`Simulation::schedule_backdated`], ranked at the instant the hub
+//!    emitted them in the sequential loop (the routing instant). A local
+//!    event at the same integer nanosecond therefore keeps its sequential
+//!    position: scheduled before the routing instant it dispatches first,
+//!    scheduled after it dispatches second.
+//! 2. **Hub routing reads** (queue depths, core activity) are taken by each
+//!    partition exactly at the hub event's `(timestamp, insertion instant)`
+//!    key via the interleaved runner ([`run_interleaved`]) — after every
+//!    local event the sequential queue would have dispatched before the hub
+//!    event, and before every one it would have dispatched after. The hub
+//!    knows each of its events' insertion instants because it inserted
+//!    them: an arrival is scheduled at the previous arrival's dispatch, a
+//!    chain join at the leaf's completion, a wire delivery at its routing
+//!    instant.
+//! 3. **Node → hub reports** (chain leaf completions) are intercepted before
+//!    emission ([`HasNode::capture_leaf_report`]) and replayed against the
+//!    hub-owned network state in global completion order, preserving the
+//!    sequential link-occupancy and stats-accumulation order.
+//!
+//! Power accounting is the one cross-cutting observer: in the sequential
+//! loop every node's energy meter advances at each balancer/coordinator/
+//! fabric dispatch. The parallel driver replicates those advances as *meter
+//! ticks* at the same instants; the meter's advance is a no-op at an
+//! already-accounted timestamp, so tick-vs-hook ordering at one instant
+//! cannot diverge. Residual ambiguity — a hub and a local event agreeing on
+//! *both* timestamp and insertion instant — falls back to a fixed
+//! hub-first / lowest-node-first convention (sequentially it would be
+//! decided by the relative dispatch order of the two *inserting* events,
+//! itself almost always the same convention), and the differential suite
+//! (`crates/server/tests/parallel_differential.rs`) pins equality across
+//! platforms × policies × topologies × worker counts.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use apc_network::{NetworkConfig, NetworkState};
+use apc_sim::component::{ComponentId, Simulation};
+use apc_sim::engine::partition::{run_interleaved, EpochBarrier, EpochWindows};
+use apc_sim::rng::SimRng;
+use apc_sim::{SimDuration, SimTime};
+use apc_telemetry::latency::LatencyRecorder;
+use apc_workloads::arrival::{ArrivalProcess, PoissonArrivals};
+use apc_workloads::loadgen::LoadGenerator;
+use apc_workloads::request::{ChainTag, Request, RequestId};
+
+use crate::balancer::RoutingPolicyKind;
+use crate::chain::{ChainMember, ChainResult, RequestGraph};
+use crate::cluster::{ClusterMember, ClusterResult};
+use crate::components::fabric::Fabric;
+use crate::components::state::{ClusterState, HasNode, ServerState};
+use crate::components::ServerEvent;
+use crate::config::ServerConfig;
+use crate::fleet::{effective_workers, FleetResult};
+use crate::node::{NodeHandles, ServerNode};
+use crate::result::RunResult;
+
+/// How a single cluster/chain run will execute — decided once, up front,
+/// from the run's shape (see [`execution_plan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionPlan {
+    /// Conservative-lookahead partitioned execution across `workers`
+    /// threads, each epoch `lookahead` long.
+    Parallel {
+        /// Worker threads (main thread included), ≥ 2, ≤ node count.
+        workers: usize,
+        /// The epoch length: the topology's minimum link latency.
+        lookahead: SimDuration,
+    },
+    /// The single sequential event loop.
+    Sequential {
+        /// Why partitioning is unavailable.
+        reason: SequentialReason,
+    },
+}
+
+/// Why a run falls back to the sequential event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequentialReason {
+    /// No `[network]` fabric: cross-node interactions are instantaneous, so
+    /// the lookahead window is empty.
+    NoNetwork,
+    /// A fabric is configured but its minimum link latency is zero
+    /// (`latency_us = 0`): same empty window.
+    ZeroLookahead,
+    /// A single node cannot be partitioned.
+    SingleNode,
+    /// Only one worker is available (host parallelism or an explicit
+    /// `--parallelism 1`).
+    SingleWorker,
+}
+
+/// Decides how a cluster/chain run of `nodes` nodes over `network` executes
+/// with `requested` workers (`None` = the host's available parallelism).
+///
+/// Parallel execution needs ≥ 2 nodes, ≥ 2 effective workers, and a network
+/// fabric with nonzero minimum link latency — the conservative lookahead
+/// bound. Anything else is bit-identical to (and runs as) the sequential
+/// loop.
+#[must_use]
+pub fn execution_plan(
+    nodes: usize,
+    network: Option<&NetworkConfig>,
+    requested: Option<usize>,
+) -> ExecutionPlan {
+    let Some(network) = network else {
+        return ExecutionPlan::Sequential {
+            reason: SequentialReason::NoNetwork,
+        };
+    };
+    let lookahead = network.min_link_latency();
+    if lookahead.is_zero() {
+        return ExecutionPlan::Sequential {
+            reason: SequentialReason::ZeroLookahead,
+        };
+    }
+    if nodes < 2 {
+        return ExecutionPlan::Sequential {
+            reason: SequentialReason::SingleNode,
+        };
+    }
+    let workers = effective_workers(requested, nodes);
+    if workers < 2 {
+        return ExecutionPlan::Sequential {
+            reason: SequentialReason::SingleWorker,
+        };
+    }
+    ExecutionPlan::Parallel { workers, lookahead }
+}
+
+/// The shared state of one partition: a single node's [`ServerState`],
+/// addressed by its *global* node index, plus the epoch-local capture
+/// buffers the driver drains at each barrier.
+struct PartitionState {
+    /// The node's global index within the cluster.
+    index: usize,
+    /// The partitioned node (a one-node [`ClusterState`] so node
+    /// registration sees the exact structure it does in the sequential
+    /// cluster). Its `fabric` stays `None`: partitions never *transmit* —
+    /// the hub owns all link occupancy.
+    inner: ClusterState,
+    /// Chain leaf reports captured this epoch: `(completion instant, chain)`.
+    reports: Vec<(SimTime, u64)>,
+}
+
+impl HasNode for PartitionState {
+    fn node(&self, index: usize) -> &ServerState {
+        debug_assert_eq!(index, self.index, "partition addressed as a foreign node");
+        &self.inner.nodes[0]
+    }
+
+    fn node_mut(&mut self, index: usize) -> &mut ServerState {
+        debug_assert_eq!(index, self.index, "partition addressed as a foreign node");
+        &mut self.inner.nodes[0]
+    }
+
+    fn node_count(&self) -> usize {
+        1
+    }
+
+    fn capture_leaf_report(&mut self, node: usize, now: SimTime, chain: u64) -> bool {
+        debug_assert_eq!(node, self.index);
+        self.reports.push((now, chain));
+        true
+    }
+}
+
+/// One node's sub-simulation: its own timer-wheel queue, component set and
+/// local wire-delivery endpoint.
+struct Partition {
+    sim: Simulation<ServerEvent, PartitionState>,
+    handles: NodeHandles,
+    fabric: ComponentId,
+    dispatched: u64,
+}
+
+/// Per-node value shared by every node of a run (what the sequential
+/// drivers write into each node's state before registration).
+#[derive(Clone, Copy)]
+struct NodeMeta {
+    workload_name: &'static str,
+    offered_rate: f64,
+    network_rtt: SimDuration,
+}
+
+fn build_partition(seed: u64, index: usize, config: ServerConfig, meta: NodeMeta) -> Partition {
+    let mut inner = ClusterState::new(vec![config]);
+    inner.nodes[0].workload_name = meta.workload_name;
+    inner.nodes[0].offered_rate = meta.offered_rate;
+    inner.nodes[0].network_rtt = meta.network_rtt;
+    let state = PartitionState {
+        index,
+        inner,
+        reports: Vec::new(),
+    };
+    let mut sim = Simulation::new(seed, state);
+    let builder = ServerNode::new(index);
+    let handles = builder.register(&mut sim, None);
+    // The partition's delivery endpoint for incoming wire messages. As in
+    // the sequential cluster, the node's power observer watches it: a
+    // `WireDeliver` deposits into the NIC buffer, a power-accounting
+    // instant.
+    let fabric = sim.add_component("fabric", Fabric);
+    sim.add_observer_target(handles.power, fabric);
+    builder.bootstrap(&mut sim, &handles);
+    Partition {
+        sim,
+        handles,
+        fabric,
+        dispatched: 0,
+    }
+}
+
+/// The per-epoch exchange published by the hub before barrier 1.
+struct EpochPlan {
+    /// The epoch's exclusive horizon.
+    end: SimTime,
+    /// The `(timestamp, insertion instant)` key of every hub-side dispatch a
+    /// sequential node observer would witness (arrivals, chain joins, wire
+    /// deliveries), sorted ascending — each partition advances its energy
+    /// meter at these instants, interleaved with its local events in
+    /// sequential queue order.
+    times: Vec<(SimTime, SimTime)>,
+    /// Parallel to `times`: `true` where the hub routes and therefore needs
+    /// a `(queue depth, core activity)` sample from every node.
+    sample: Vec<bool>,
+}
+
+/// Hub ↔ partition exchange slot for one node. The epoch protocol makes
+/// access contention-free: the hub writes `mailbox` while workers wait at
+/// barrier 1, workers write `samples`/`reports` before barrier 2, the hub
+/// drains them after it.
+#[derive(Default)]
+struct NodeSlot {
+    /// Wire deliveries due this epoch, in hub emission order:
+    /// `(delivery instant, routing instant the hub emitted at, request)`.
+    mailbox: Vec<(SimTime, SimTime, Request)>,
+    /// One `(outstanding, any_core_active)` row per sampled instant.
+    samples: Vec<(usize, bool)>,
+    /// Chain leaf reports captured this epoch.
+    reports: Vec<(SimTime, u64)>,
+    /// The node's reduced result, parked by its worker after the last epoch.
+    finished: Option<(RunResult, u64)>,
+}
+
+/// Replay of the built-in routing policies against sampled node state —
+/// field-for-field the [`crate::balancer`] implementations, with the
+/// `&ClusterState` reads replaced by the barrier-exchanged sample rows.
+enum PolicyReplay {
+    Random,
+    RoundRobin { next: usize },
+    JoinShortestQueue,
+    PowerAware,
+}
+
+impl PolicyReplay {
+    fn new(kind: RoutingPolicyKind) -> Self {
+        match kind {
+            RoutingPolicyKind::Random => PolicyReplay::Random,
+            RoutingPolicyKind::RoundRobin => PolicyReplay::RoundRobin { next: 0 },
+            RoutingPolicyKind::JoinShortestQueue => PolicyReplay::JoinShortestQueue,
+            RoutingPolicyKind::PowerAware => PolicyReplay::PowerAware,
+        }
+    }
+
+    /// Routes one request given row `row` of every node's samples.
+    fn route(&mut self, rows: &[Vec<(usize, bool)>], row: usize, rng: &mut SimRng) -> usize {
+        let n = rows.len();
+        let outstanding = |i: usize| rows[i][row].0;
+        let active = |i: usize| rows[i][row].1;
+        match self {
+            PolicyReplay::Random => (rng.next_u64() % n as u64) as usize,
+            PolicyReplay::RoundRobin { next } => {
+                let target = *next % n;
+                *next = target + 1;
+                target
+            }
+            PolicyReplay::JoinShortestQueue => (0..n)
+                .min_by_key(|&i| (outstanding(i), i))
+                .expect("cluster has at least one node"),
+            PolicyReplay::PowerAware => {
+                let awake = (0..n)
+                    .filter(|&i| active(i))
+                    .min_by_key(|&i| (outstanding(i), i));
+                awake.unwrap_or_else(|| {
+                    (0..n)
+                        .min_by_key(|&i| (outstanding(i), i))
+                        .expect("cluster has at least one node")
+                })
+            }
+        }
+    }
+}
+
+/// The hub's driver-specific half: epoch planning (before barrier 1) and
+/// the post-barrier replay of routing + transmissions (after barrier 2).
+trait Hub {
+    fn plan_epoch(&mut self, start: SimTime, end: SimTime, slots: &[Mutex<NodeSlot>]) -> EpochPlan;
+    fn phase_b(&mut self, rows: &[Vec<(usize, bool)>], reports: &[(SimTime, usize, u64)]);
+}
+
+/// In-flight cross-partition wire messages, keyed by
+/// `(arrival ns, emission seq)` so equal-instant deliveries replay in hub
+/// emission order; the value carries the emitting instant (the routing
+/// instant) the delivery is rank-backdated to.
+type PendingWire = BTreeMap<(u64, u64), (usize, SimTime, Request)>;
+
+/// Drains the pending-wire messages due before `end` into per-node
+/// mailboxes, recording each delivery instant as a meter tick, and returns
+/// the sorted tick plan.
+fn drain_wire_into_plan(
+    pending: &mut PendingWire,
+    start: SimTime,
+    end: SimTime,
+    entries: &mut Vec<(SimTime, SimTime, bool)>,
+    slots: &[Mutex<NodeSlot>],
+) {
+    let later = pending.split_off(&(end.as_nanos(), 0));
+    for ((at_ns, _seq), (node, emitted, request)) in std::mem::replace(pending, later) {
+        let at = SimTime::from_nanos(at_ns);
+        debug_assert!(at >= start, "wire delivery violated the lookahead bound");
+        entries.push((at, emitted, false));
+        slots[node]
+            .lock()
+            .unwrap()
+            .mailbox
+            .push((at, emitted, request));
+    }
+}
+
+fn plan_from_entries(mut entries: Vec<(SimTime, SimTime, bool)>, end: SimTime) -> EpochPlan {
+    entries.sort_by_key(|e| (e.0, e.1));
+    EpochPlan {
+        end,
+        times: entries.iter().map(|e| (e.0, e.1)).collect(),
+        sample: entries.iter().map(|e| e.2).collect(),
+    }
+}
+
+/// The balancer/arrival half of a parallel cluster run, replayed on the
+/// main thread with the sequential components' exact RNG streams.
+struct ClusterHub {
+    loadgen: LoadGenerator,
+    policy: PolicyReplay,
+    /// The `"balancer"` fork of the cluster seed — the stream the balancer
+    /// component's randomized policies draw from in the sequential loop.
+    policy_rng: SimRng,
+    routed: Vec<u64>,
+    net: NetworkState,
+    client: usize,
+    lookahead: SimDuration,
+    pending_wire: PendingWire,
+    emit_seq: u64,
+    /// When the pending `ClusterArrival` event was inserted (the previous
+    /// arrival's instant; the first is scheduled at construction, instant
+    /// zero) — the queue-order tie-break against same-instant local events.
+    arrival_inserted: SimTime,
+    /// Arrivals of the current epoch, pre-drawn in plan order (the loadgen
+    /// stream is independent of routing).
+    ops: Vec<(SimTime, Request)>,
+    /// Balancer dispatches replayed, for the sequential-loop event census.
+    hub_dispatches: u64,
+}
+
+impl Hub for ClusterHub {
+    fn plan_epoch(&mut self, start: SimTime, end: SimTime, slots: &[Mutex<NodeSlot>]) -> EpochPlan {
+        debug_assert!(self.ops.is_empty());
+        let mut entries = Vec::new();
+        while self.loadgen.peek_next_arrival() < end {
+            let request = self.loadgen.next_request();
+            entries.push((request.arrival, self.arrival_inserted, true));
+            self.arrival_inserted = request.arrival;
+            self.ops.push((request.arrival, request));
+        }
+        drain_wire_into_plan(&mut self.pending_wire, start, end, &mut entries, slots);
+        plan_from_entries(entries, end)
+    }
+
+    fn phase_b(&mut self, rows: &[Vec<(usize, bool)>], reports: &[(SimTime, usize, u64)]) {
+        debug_assert!(reports.is_empty(), "cluster runs have no leaf reports");
+        for (row, (at, request)) in self.ops.drain(..).enumerate() {
+            let target = self.policy.route(rows, row, &mut self.policy_rng);
+            self.routed[target] += 1;
+            let delay = self.net.transmit(self.client, target, at);
+            debug_assert!(delay >= self.lookahead);
+            self.pending_wire.insert(
+                ((at + delay).as_nanos(), self.emit_seq),
+                (target, at, request),
+            );
+            self.emit_seq += 1;
+            self.hub_dispatches += 1;
+        }
+    }
+}
+
+/// Progress of one in-flight chain — the coordinator's bookkeeping,
+/// replayed.
+struct ChainProgress {
+    root_arrival: SimTime,
+    tier: usize,
+    outstanding: usize,
+    first_done: Option<SimTime>,
+}
+
+/// The chain-coordinator half of a parallel chain run. Per epoch it runs a
+/// *skeleton pass* first — replaying arrival generation and join bookkeeping
+/// in merged hub-event time order, drawing the `"chain-loadgen"` stream for
+/// gaps and service times exactly as the sequential coordinator does (those
+/// draws are independent of routing) — then routes the issued RPCs in
+/// `phase_b` once the epoch's samples arrive.
+struct ChainHub {
+    graph: RequestGraph,
+    arrivals: Box<dyn ArrivalProcess>,
+    workload_rng: SimRng,
+    policy: PolicyReplay,
+    /// The `"chain-coordinator"` fork of the cluster seed.
+    policy_rng: SimRng,
+    routed: Vec<u64>,
+    net: NetworkState,
+    client: usize,
+    lookahead: SimDuration,
+    next_arrival: SimTime,
+    /// When the pending `ChainArrival` event was inserted (the previous
+    /// arrival's instant) — the queue-order tie-break against leaf joins.
+    next_arrival_inserted_ns: u64,
+    inflight: BTreeMap<u64, ChainProgress>,
+    next_chain_id: u64,
+    next_request_id: u64,
+    chains_started: u64,
+    chains_completed: u64,
+    e2e: LatencyRecorder,
+    straggler: LatencyRecorder,
+    pending_wire: PendingWire,
+    emit_seq: u64,
+    /// In-flight leaf reports: `(hub arrival ns, insertion ns, seq)` →
+    /// chain, ordered exactly as the sequential queue would dispatch the
+    /// corresponding `ChainLeafDone` events.
+    pending_leaf: BTreeMap<(u64, u64, u64), u64>,
+    leaf_seq: u64,
+    /// RPC batches issued this epoch (one entry per routing instant).
+    ops: Vec<(SimTime, Vec<Request>)>,
+}
+
+impl ChainHub {
+    /// Issues the current tier of `chain`: width service-time draws and
+    /// fully built requests, in the sequential coordinator's draw order.
+    /// Routing happens later in `phase_b`; the `coordinator` address in the
+    /// chain tag is never dispatched to (partitions capture leaf reports
+    /// instead), so a sentinel id stands in for it.
+    fn issue_requests(&mut self, chain: u64, now: SimTime) -> Vec<Request> {
+        let tier = {
+            let progress = self
+                .inflight
+                .get_mut(&chain)
+                .expect("issuing a tier of an unknown chain");
+            let tier = self.graph.tiers()[progress.tier];
+            progress.outstanding = tier.width;
+            progress.first_done = None;
+            tier
+        };
+        let tag = ChainTag {
+            coordinator: ComponentId::from_raw(usize::MAX),
+            chain,
+        };
+        (0..tier.width)
+            .map(|_| {
+                let service = tier.service.sample_service(&mut self.workload_rng);
+                let request = Request::new(
+                    RequestId(self.next_request_id),
+                    tier.service.class,
+                    now,
+                    service,
+                )
+                .with_chain(tag);
+                self.next_request_id += 1;
+                request
+            })
+            .collect()
+    }
+
+    /// Replays one `ChainLeafDone` join; returns the next tier's requests
+    /// when the join advances the chain.
+    fn replay_leaf_done(&mut self, chain: u64, now: SimTime) -> Option<Vec<Request>> {
+        let (advance, finished_root) = {
+            let progress = self
+                .inflight
+                .get_mut(&chain)
+                .expect("leaf completion for an unknown chain");
+            debug_assert!(progress.outstanding > 0, "tier joined more than its width");
+            if progress.first_done.is_none() {
+                progress.first_done = Some(now);
+            }
+            progress.outstanding -= 1;
+            if progress.outstanding > 0 {
+                return None;
+            }
+            let tier = self.graph.tiers()[progress.tier];
+            if tier.width > 1 {
+                let first = progress.first_done.expect("joined tier saw a completion");
+                self.straggler.record(now.saturating_since(first));
+            }
+            if progress.tier + 1 < self.graph.tiers().len() {
+                progress.tier += 1;
+                (true, SimTime::ZERO)
+            } else {
+                (false, progress.root_arrival)
+            }
+        };
+        if advance {
+            return Some(self.issue_requests(chain, now));
+        }
+        self.inflight.remove(&chain);
+        self.chains_completed += 1;
+        self.e2e.record(now.saturating_since(finished_root));
+        None
+    }
+
+    fn replay_report(&mut self, at: SimTime, node: usize, chain: u64) {
+        let delay = self.net.transmit(node, self.client, at);
+        debug_assert!(delay >= self.lookahead);
+        self.pending_leaf.insert(
+            ((at + delay).as_nanos(), at.as_nanos(), self.leaf_seq),
+            chain,
+        );
+        self.leaf_seq += 1;
+    }
+}
+
+impl Hub for ChainHub {
+    fn plan_epoch(&mut self, start: SimTime, end: SimTime, slots: &[Mutex<NodeSlot>]) -> EpochPlan {
+        debug_assert!(self.ops.is_empty());
+        let later = self.pending_leaf.split_off(&(end.as_nanos(), 0, 0));
+        let mut due = std::mem::replace(&mut self.pending_leaf, later).into_iter();
+        let mut next_leaf = due.next();
+        let mut entries = Vec::new();
+        // Skeleton pass: replay the coordinator's hub events in the
+        // sequential dispatch order — (timestamp, queue-insertion instant),
+        // both known for arrivals and joins alike.
+        loop {
+            let arrival_key = (self.next_arrival < end)
+                .then(|| (self.next_arrival.as_nanos(), self.next_arrival_inserted_ns));
+            let leaf_key = next_leaf.as_ref().map(|((at, ins, _), _)| (*at, *ins));
+            let take_arrival = match (arrival_key, leaf_key) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some(l)) => a <= l,
+            };
+            if take_arrival {
+                let now = self.next_arrival;
+                let inserted = SimTime::from_nanos(self.next_arrival_inserted_ns);
+                let chain = self.next_chain_id;
+                self.next_chain_id += 1;
+                self.chains_started += 1;
+                self.inflight.insert(
+                    chain,
+                    ChainProgress {
+                        root_arrival: now,
+                        tier: 0,
+                        outstanding: 0,
+                        first_done: None,
+                    },
+                );
+                let requests = self.issue_requests(chain, now);
+                entries.push((now, inserted, true));
+                self.ops.push((now, requests));
+                let gap = self.arrivals.next_gap(&mut self.workload_rng);
+                self.next_arrival_inserted_ns = now.as_nanos();
+                self.next_arrival = now + gap;
+            } else {
+                let ((at_ns, ins_ns, _), chain) =
+                    next_leaf.take().expect("leaf key implies an entry");
+                next_leaf = due.next();
+                let now = SimTime::from_nanos(at_ns);
+                let inserted = SimTime::from_nanos(ins_ns);
+                debug_assert!(now >= start, "leaf join violated the lookahead bound");
+                match self.replay_leaf_done(chain, now) {
+                    Some(requests) => {
+                        entries.push((now, inserted, true));
+                        self.ops.push((now, requests));
+                    }
+                    None => entries.push((now, inserted, false)),
+                }
+            }
+        }
+        drain_wire_into_plan(&mut self.pending_wire, start, end, &mut entries, slots);
+        plan_from_entries(entries, end)
+    }
+
+    fn phase_b(&mut self, rows: &[Vec<(usize, bool)>], reports: &[(SimTime, usize, u64)]) {
+        // Transmissions share link occupancy, so they must replay in global
+        // time order across both directions: routed RPCs at their hub
+        // instants interleaved with leaf reports at their completion
+        // instants.
+        let ops = std::mem::take(&mut self.ops);
+        let mut next_report = 0;
+        for (row, (at, requests)) in ops.into_iter().enumerate() {
+            while next_report < reports.len() && reports[next_report].0 <= at {
+                let (r_at, node, chain) = reports[next_report];
+                self.replay_report(r_at, node, chain);
+                next_report += 1;
+            }
+            for request in requests {
+                let target = self.policy.route(rows, row, &mut self.policy_rng);
+                self.routed[target] += 1;
+                let delay = self.net.transmit(self.client, target, at);
+                debug_assert!(delay >= self.lookahead);
+                self.pending_wire.insert(
+                    ((at + delay).as_nanos(), self.emit_seq),
+                    (target, at, request),
+                );
+                self.emit_seq += 1;
+            }
+        }
+        for &(r_at, node, chain) in &reports[next_report..] {
+            self.replay_report(r_at, node, chain);
+        }
+    }
+}
+
+/// Runs one epoch of every partition owned by this worker: barrier-time
+/// mailbox insertion (rank-backdated to each message's hub emission instant,
+/// so same-timestamp local events keep their sequential order around it),
+/// the interleaved local loop with meter ticks and samples at the plan's
+/// instants, then the sample/report hand-off.
+fn run_epoch_partitions(parts: &mut [Partition], plan: &EpochPlan, slots: &[Mutex<NodeSlot>]) {
+    for part in parts.iter_mut() {
+        let index = part.handles.index;
+        let mailbox = std::mem::take(&mut slots[index].lock().unwrap().mailbox);
+        for (at, emitted, request) in mailbox {
+            part.sim.schedule_backdated(
+                part.fabric,
+                at,
+                emitted,
+                ServerEvent::WireDeliver {
+                    node: index,
+                    request,
+                },
+            );
+        }
+        let mut rows = Vec::new();
+        part.dispatched += run_interleaved(&mut part.sim, plan.end, &plan.times, |shared, i| {
+            let at = plan.times[i].0;
+            let node = &mut shared.inner.nodes[0];
+            // The meter tick: what the node's power observer records at a
+            // hub dispatch in the sequential loop. `account_power` derives
+            // the same breakdown the observer's cache would, and an
+            // already-accounted instant is a no-op — so tick/dispatch order
+            // at one instant cannot diverge.
+            if at > node.telemetry.energy.last() {
+                node.account_power(at);
+            }
+            if plan.sample[i] {
+                rows.push((node.outstanding, node.any_core_active()));
+            }
+        });
+        let reports = std::mem::take(&mut part.sim.shared_mut().reports);
+        let mut slot = slots[index].lock().unwrap();
+        slot.samples = rows;
+        slot.reports = reports;
+    }
+}
+
+/// Reduces this worker's partitions into their node results after the final
+/// epoch.
+fn finish_partitions(parts: Vec<Partition>, slots: &[Mutex<NodeSlot>], end: SimTime) {
+    for mut part in parts {
+        let result = part.handles.collect_result(part.sim.shared_mut(), end);
+        slots[part.handles.index].lock().unwrap().finished = Some((result, part.dispatched));
+    }
+}
+
+/// The barrier-synchronized epoch loop: builds one partition per node
+/// (statically assigned `index % workers`), advances all partitions through
+/// lookahead-sized epochs under `hub`'s plan/replay, and returns each node's
+/// `(result, events dispatched)` in node order.
+fn run_epochs<H: Hub>(
+    hub: &mut H,
+    seed: u64,
+    configs: Vec<ServerConfig>,
+    meta: NodeMeta,
+    workers: usize,
+    lookahead: SimDuration,
+    end_at: SimTime,
+) -> Vec<(RunResult, u64)> {
+    let node_count = configs.len();
+    let slots: Vec<Mutex<NodeSlot>> = (0..node_count).map(|_| Mutex::default()).collect();
+    let barrier = EpochBarrier::new(workers);
+    let plan_slot: Mutex<Option<Arc<EpochPlan>>> = Mutex::new(None);
+
+    // Static node → worker assignment. Partitions are built *inside* their
+    // worker thread (component handlers are single-threaded by design) from
+    // the Send config split below.
+    let mut owned: Vec<Vec<(usize, ServerConfig)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (index, config) in configs.into_iter().enumerate() {
+        owned[index % workers].push((index, config));
+    }
+
+    std::thread::scope(|scope| {
+        let mut workers_owned = owned.into_iter();
+        let main_owned = workers_owned.next().expect("at least one worker");
+        for worker_owned in workers_owned {
+            let (slots, barrier, plan_slot) = (&slots, &barrier, &plan_slot);
+            scope.spawn(move || {
+                let mut parts: Vec<Partition> = worker_owned
+                    .into_iter()
+                    .map(|(index, config)| build_partition(seed, index, config, meta))
+                    .collect();
+                for _window in EpochWindows::new(lookahead, end_at) {
+                    barrier.wait(); // plan published
+                    let plan = plan_slot
+                        .lock()
+                        .unwrap()
+                        .clone()
+                        .expect("epoch plan published before barrier");
+                    run_epoch_partitions(&mut parts, &plan, slots);
+                    barrier.wait(); // partitions done
+                }
+                finish_partitions(parts, slots, end_at);
+            });
+        }
+
+        // The main thread doubles as worker 0 and runs the hub phases.
+        let mut parts: Vec<Partition> = main_owned
+            .into_iter()
+            .map(|(index, config)| build_partition(seed, index, config, meta))
+            .collect();
+        for (start, end) in EpochWindows::new(lookahead, end_at) {
+            let plan = Arc::new(hub.plan_epoch(start, end, &slots));
+            *plan_slot.lock().unwrap() = Some(Arc::clone(&plan));
+            barrier.wait(); // plan published
+            run_epoch_partitions(&mut parts, &plan, &slots);
+            barrier.wait(); // partitions done
+            let rows: Vec<Vec<(usize, bool)>> = slots
+                .iter()
+                .map(|slot| std::mem::take(&mut slot.lock().unwrap().samples))
+                .collect();
+            let mut reports: Vec<(SimTime, usize, u64)> = Vec::new();
+            for (node, slot) in slots.iter().enumerate() {
+                for (at, chain) in std::mem::take(&mut slot.lock().unwrap().reports) {
+                    reports.push((at, node, chain));
+                }
+            }
+            // Stable by (instant, node): preserves each node's local
+            // completion order; cross-node order at one integer nanosecond
+            // is the driver's deterministic convention (see module docs).
+            reports.sort_by_key(|r| (r.0, r.1));
+            hub.phase_b(&rows, &reports);
+        }
+        finish_partitions(parts, &slots, end_at);
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .finished
+                .expect("every node finished")
+        })
+        .collect()
+}
+
+fn shared_duration(nodes: &[ServerConfig]) -> SimDuration {
+    assert!(!nodes.is_empty(), "a cluster needs at least one node");
+    let duration = nodes[0].duration;
+    assert!(
+        nodes.iter().all(|c| c.duration == duration),
+        "every cluster node must share one measurement duration"
+    );
+    duration
+}
+
+fn run_parallel_cluster(
+    member: ClusterMember,
+    workers: usize,
+    lookahead: SimDuration,
+) -> ClusterResult {
+    let ClusterMember {
+        nodes,
+        policy,
+        spec,
+        total_rate_per_sec,
+        seed,
+        network,
+    } = member;
+    let duration = shared_duration(&nodes);
+    let end_at = SimTime::ZERO + duration;
+    let node_count = nodes.len();
+    let network = network.expect("a parallel plan requires a network fabric");
+    let loadgen = LoadGenerator::new(spec, total_rate_per_sec, seed);
+    let meta = NodeMeta {
+        workload_name: loadgen.spec().name,
+        offered_rate: loadgen.rate_per_sec() / node_count as f64,
+        network_rtt: loadgen.spec().network_rtt,
+    };
+    let net = NetworkState::new(network, node_count);
+    let client = net.client();
+    let mut hub = ClusterHub {
+        loadgen,
+        policy: PolicyReplay::new(policy),
+        policy_rng: SimRng::from_seed(seed).fork("balancer"),
+        routed: vec![0; node_count],
+        net,
+        client,
+        lookahead,
+        pending_wire: BTreeMap::new(),
+        emit_seq: 0,
+        arrival_inserted: SimTime::ZERO,
+        ops: Vec::new(),
+        hub_dispatches: 0,
+    };
+    let finished = run_epochs(&mut hub, seed, nodes, meta, workers, lookahead, end_at);
+    let events_dispatched = hub.hub_dispatches
+        + finished
+            .iter()
+            .map(|(_, dispatched)| dispatched)
+            .sum::<u64>();
+    ClusterResult {
+        policy: policy.name(),
+        routed: hub.routed,
+        duration,
+        events_dispatched,
+        network: Some(hub.net.stats().clone()),
+        nodes: FleetResult {
+            runs: finished.into_iter().map(|(run, _)| run).collect(),
+        },
+    }
+}
+
+fn run_parallel_chain(member: ChainMember, workers: usize, lookahead: SimDuration) -> ChainResult {
+    let ChainMember {
+        nodes,
+        policy,
+        graph,
+        chains_per_sec,
+        seed,
+        network,
+    } = member;
+    let duration = shared_duration(&nodes);
+    let end_at = SimTime::ZERO + duration;
+    let node_count = nodes.len();
+    let network = network.expect("a parallel plan requires a network fabric");
+    let meta = NodeMeta {
+        workload_name: "chain",
+        offered_rate: chains_per_sec * graph.rpcs_per_chain() as f64 / node_count as f64,
+        network_rtt: SimDuration::ZERO,
+    };
+    // Mirror `ChainCoordinator::new`: the first gap is drawn at
+    // construction, and the first `ChainArrival` is inserted at time zero.
+    let mut arrivals: Box<dyn ArrivalProcess> = Box::new(PoissonArrivals::new(chains_per_sec));
+    let mut workload_rng = SimRng::from_seed(seed).fork("chain-loadgen");
+    let first_gap = arrivals.next_gap(&mut workload_rng);
+    let net = NetworkState::new(network, node_count);
+    let client = net.client();
+    let mut hub = ChainHub {
+        graph,
+        arrivals,
+        workload_rng,
+        policy: PolicyReplay::new(policy),
+        policy_rng: SimRng::from_seed(seed).fork("chain-coordinator"),
+        routed: vec![0; node_count],
+        net,
+        client,
+        lookahead,
+        next_arrival: SimTime::ZERO + first_gap,
+        next_arrival_inserted_ns: 0,
+        inflight: BTreeMap::new(),
+        next_chain_id: 0,
+        next_request_id: 0,
+        chains_started: 0,
+        chains_completed: 0,
+        e2e: LatencyRecorder::new(),
+        straggler: LatencyRecorder::new(),
+        pending_wire: BTreeMap::new(),
+        emit_seq: 0,
+        pending_leaf: BTreeMap::new(),
+        leaf_seq: 0,
+        ops: Vec::new(),
+    };
+    let finished = run_epochs(&mut hub, seed, nodes, meta, workers, lookahead, end_at);
+    ChainResult {
+        policy: policy.name(),
+        graph: hub.graph.describe(),
+        duration,
+        chains_started: hub.chains_started,
+        chains_completed: hub.chains_completed,
+        chain_latency: hub.e2e.summary(),
+        straggler: hub.straggler.summary(),
+        routed: hub.routed,
+        network: Some(hub.net.stats().clone()),
+        nodes: FleetResult {
+            runs: finished.into_iter().map(|(run, _)| run).collect(),
+        },
+    }
+}
+
+impl ClusterMember {
+    /// Runs this cluster, partitioned across up to `workers` threads
+    /// (`None` = the host's available parallelism) when
+    /// [`execution_plan`] allows — bit-identical to [`ClusterMember::run`]
+    /// either way.
+    #[must_use]
+    pub fn run_with_parallelism(self, workers: Option<usize>) -> ClusterResult {
+        match execution_plan(self.nodes.len(), self.network.as_ref(), workers) {
+            ExecutionPlan::Sequential { .. } => self.run(),
+            ExecutionPlan::Parallel { workers, lookahead } => {
+                run_parallel_cluster(self, workers, lookahead)
+            }
+        }
+    }
+}
+
+impl ChainMember {
+    /// Runs this chain cluster, partitioned across up to `workers` threads
+    /// (`None` = the host's available parallelism) when
+    /// [`execution_plan`] allows — bit-identical to [`ChainMember::run`]
+    /// either way.
+    #[must_use]
+    pub fn run_with_parallelism(self, workers: Option<usize>) -> ChainResult {
+        match execution_plan(self.nodes.len(), self.network.as_ref(), workers) {
+            ExecutionPlan::Sequential { .. } => self.run(),
+            ExecutionPlan::Parallel { workers, lookahead } => {
+                run_parallel_chain(self, workers, lookahead)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_requires_a_positive_lookahead_and_two_of_everything() {
+        let net = NetworkConfig::two_tier(SimDuration::from_micros(3), 4);
+        assert_eq!(
+            execution_plan(4, Some(&net), Some(4)),
+            ExecutionPlan::Parallel {
+                workers: 4,
+                lookahead: SimDuration::from_micros(3)
+            }
+        );
+        // Workers cap at the node count; an explicit 1 forces sequential.
+        assert_eq!(
+            execution_plan(2, Some(&net), Some(8)),
+            ExecutionPlan::Parallel {
+                workers: 2,
+                lookahead: SimDuration::from_micros(3)
+            }
+        );
+        assert_eq!(
+            execution_plan(4, Some(&net), Some(1)),
+            ExecutionPlan::Sequential {
+                reason: SequentialReason::SingleWorker
+            }
+        );
+        assert_eq!(
+            execution_plan(4, None, Some(4)),
+            ExecutionPlan::Sequential {
+                reason: SequentialReason::NoNetwork
+            }
+        );
+        assert_eq!(
+            execution_plan(4, Some(&NetworkConfig::ideal()), Some(4)),
+            ExecutionPlan::Sequential {
+                reason: SequentialReason::ZeroLookahead
+            }
+        );
+        assert_eq!(
+            execution_plan(4, Some(&NetworkConfig::flat(SimDuration::ZERO)), Some(4)),
+            ExecutionPlan::Sequential {
+                reason: SequentialReason::ZeroLookahead
+            }
+        );
+        assert_eq!(
+            execution_plan(1, Some(&net), Some(4)),
+            ExecutionPlan::Sequential {
+                reason: SequentialReason::SingleNode
+            }
+        );
+    }
+}

@@ -59,12 +59,15 @@ impl HeapEventId {
     }
 }
 
-/// Internal heap entry. Ordered by `(time, seq)` so that events scheduled for
-/// the same instant are delivered in FIFO order, which makes simulations
+/// Internal heap entry. Ordered by `(time, inserted, seq)` so that events
+/// scheduled for the same instant are delivered in FIFO order — the
+/// `inserted` component only reorders events injected through
+/// [`HeapEventQueue::schedule_backdated`] — which makes simulations
 /// deterministic.
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
+    inserted: SimTime,
     seq: u64,
     id: HeapEventId,
     payload: E,
@@ -72,7 +75,7 @@ struct Entry<E> {
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.inserted == other.inserted && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -89,6 +92,7 @@ impl<E> Ord for Entry<E> {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.inserted.cmp(&self.inserted))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -192,10 +196,25 @@ impl<E> HeapEventQueue<E> {
     /// it is delivered next, which mirrors how hardware would observe a
     /// "should already have happened" condition immediately.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> HeapEventId {
+        self.schedule_backdated(at, self.now, payload)
+    }
+
+    /// Schedules `payload` at `at` with an explicit FIFO rank: at equal
+    /// timestamps the event orders as if scheduled at instant `inserted`
+    /// (clamped to `at`). Mirrors
+    /// [`EventQueue::schedule_backdated`](crate::engine::EventQueue::schedule_backdated);
+    /// see there for why partitioned drivers need it.
+    pub fn schedule_backdated(
+        &mut self,
+        at: SimTime,
+        inserted: SimTime,
+        payload: E,
+    ) -> HeapEventId {
         let time = if at < self.now { self.now } else { at };
         let id = HeapEventId(self.next_seq);
         let entry = Entry {
             time,
+            inserted: inserted.min(time),
             seq: self.next_seq,
             id,
             payload,
@@ -224,6 +243,13 @@ impl<E> HeapEventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.reap_cancelled();
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// The `(timestamp, insertion instant)` key of the next live event, if
+    /// any — the key same-timestamp FIFO order is ranked by.
+    pub fn peek_key(&mut self) -> Option<(SimTime, SimTime)> {
+        self.reap_cancelled();
+        self.heap.peek().map(|e| (e.time, e.inserted))
     }
 
     /// Removes and returns the earliest live event together with its

@@ -29,6 +29,7 @@
 //! causality-clamp interleavings.
 
 pub mod heap;
+pub mod partition;
 mod wheel;
 
 pub use heap::{HeapEventId, HeapEventQueue};

@@ -1,0 +1,378 @@
+//! Conservative-lookahead partitioning primitives: epoch windows, the
+//! barrier the partition workers synchronize on, and the interleaved
+//! per-partition event loop.
+//!
+//! A partitioned simulation splits one logical event loop into several
+//! [`Simulation`]s that advance in lockstep through **epochs** of a fixed
+//! lookahead `L`: if every cross-partition interaction is carried by an
+//! event whose delay is bounded below by `L`, then during epoch
+//! `[kL, (k+1)L)` no partition can affect another *within the same epoch* —
+//! every partition may safely run its local events for the whole window,
+//! and cross-partition messages produced in epoch `k` are exchanged at the
+//! epoch boundary, landing in epoch `k + 1` or later (classic conservative
+//! / bounded-lag PDES). The driver that owns the partitions (see
+//! `apc-server`'s `parallel` module) is responsible for the merge being
+//! deterministic — `(timestamp, scheduling order)` — so the partitioned run
+//! is bit-identical to the sequential one.
+//!
+//! This module hosts the engine-level, payload-agnostic pieces:
+//!
+//! * [`EpochWindows`] — the iterator of `[start, end)` windows covering
+//!   `[0, horizon)` in lookahead-sized steps;
+//! * [`EpochBarrier`] — a spin-then-yield barrier for the per-epoch
+//!   synchronization points (two crossings per epoch: plan published /
+//!   partitions done);
+//! * [`run_interleaved`] — one partition's event loop for one epoch,
+//!   interleaving local dispatches with a sorted list of *foreign
+//!   instants* (timestamps at which other partitions dispatched events
+//!   this partition's observers would have witnessed in the sequential
+//!   loop, and at which the driver samples partition state).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::component::Simulation;
+use crate::time::{SimDuration, SimTime};
+
+/// The lookahead-sized epoch windows `[start, end)` covering
+/// `[SimTime::ZERO, horizon)`, last window clamped to the horizon.
+///
+/// An empty iterator results only from a zero horizon; a zero lookahead is
+/// rejected because it admits no conservative window at all (the caller
+/// must fall back to the sequential loop).
+#[derive(Debug, Clone)]
+pub struct EpochWindows {
+    lookahead_ns: u64,
+    horizon_ns: u64,
+    next_start_ns: u64,
+}
+
+impl EpochWindows {
+    /// Windows of length `lookahead` covering `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero lookahead — conservative partitioning is impossible
+    /// without a positive lower bound on cross-partition delay.
+    #[must_use]
+    pub fn new(lookahead: SimDuration, horizon: SimTime) -> Self {
+        assert!(
+            !lookahead.is_zero(),
+            "conservative partitioning needs a positive lookahead"
+        );
+        EpochWindows {
+            lookahead_ns: lookahead.as_nanos(),
+            horizon_ns: horizon.as_nanos(),
+            next_start_ns: 0,
+        }
+    }
+
+    /// Total number of windows the iteration will yield.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.horizon_ns.div_ceil(self.lookahead_ns)) as usize
+    }
+
+    /// `true` when the horizon is zero (no windows).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.horizon_ns == 0
+    }
+}
+
+impl Iterator for EpochWindows {
+    /// One `[start, end)` window.
+    type Item = (SimTime, SimTime);
+
+    fn next(&mut self) -> Option<(SimTime, SimTime)> {
+        if self.next_start_ns >= self.horizon_ns {
+            return None;
+        }
+        let start = self.next_start_ns;
+        let end = start.saturating_add(self.lookahead_ns).min(self.horizon_ns);
+        self.next_start_ns = end;
+        Some((SimTime::from_nanos(start), SimTime::from_nanos(end)))
+    }
+}
+
+/// A reusable barrier for the per-epoch synchronization points.
+///
+/// Epochs are short (a lookahead window is typically a handful of
+/// microseconds of simulated time, a few events per partition), so the
+/// barrier is crossed a great many times per run and its latency is pure
+/// overhead on the critical path. Waiters therefore spin briefly — the
+/// common case on a multi-core host, where the other parties arrive within
+/// nanoseconds — and fall back to [`std::thread::yield_now`] so progress is
+/// still made when workers outnumber cores (including the 1-CPU CI case).
+///
+/// Unlike [`std::sync::Barrier`], waiting never allocates, never parks
+/// through a mutex, and the generation counter makes the barrier reusable
+/// for back-to-back crossings without a reset.
+#[derive(Debug)]
+pub struct EpochBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl EpochBarrier {
+    /// A barrier releasing every [`EpochBarrier::wait`] once `parties`
+    /// threads have arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parties` is zero.
+    #[must_use]
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        EpochBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until `parties` threads (this one included) have called
+    /// `wait` for the current generation, then releases them all.
+    pub fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arrival: reset the count, then advance the generation to
+            // release the spinners (in this order — a released spinner may
+            // immediately re-enter `wait` for the next generation).
+            self.arrived.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            spins = spins.saturating_add(1);
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Runs one partition's event loop for one epoch: dispatches every local
+/// event with timestamp below `horizon`, interleaving a sorted list of
+/// foreign `instants` so the caller can replicate cross-partition observer
+/// effects and sample partition state at exact sequential-loop timestamps.
+///
+/// Each instant is the `(timestamp, insertion instant)` key of a foreign
+/// event — the key the engine queues rank same-timestamp FIFO order by.
+/// `visit(shared, i)` is called exactly once per instant index, in order, at
+/// the point where every local event whose key orders *before*
+/// `instants[i]` has dispatched and none at-or-after it has — i.e. the
+/// partition state is exactly the sequential state at the moment the foreign
+/// event would have dispatched. At equal timestamps, a local event scheduled
+/// at an earlier simulated instant than the foreign event was therefore
+/// still runs first, exactly as the sequential queue's FIFO tie-break would
+/// have ordered it; a full `(timestamp, insertion)` tie resolves in the
+/// foreign event's favor, matching the driver's convention of replaying
+/// hub-side emissions with [`Simulation::schedule_backdated`] ranks that
+/// precede same-key local schedules. Instants at or beyond `horizon` are not
+/// visited and must be re-presented next epoch.
+///
+/// Returns the number of local events dispatched, the partition's share of
+/// the sequential loop's dispatch count.
+pub fn run_interleaved<E, S>(
+    sim: &mut Simulation<E, S>,
+    horizon: SimTime,
+    instants: &[(SimTime, SimTime)],
+    mut visit: impl FnMut(&mut S, usize),
+) -> u64 {
+    debug_assert!(instants.windows(2).all(|w| w[0] <= w[1]));
+    let mut next = 0;
+    let mut dispatched = 0;
+    while let Some(key) = sim.peek_key() {
+        if key.0 >= horizon {
+            break;
+        }
+        while next < instants.len() && instants[next] <= key {
+            if instants[next].0 >= horizon {
+                return dispatched;
+            }
+            visit(sim.shared_mut(), next);
+            next += 1;
+        }
+        sim.step();
+        dispatched += 1;
+    }
+    while next < instants.len() && instants[next].0 < horizon {
+        visit(sim.shared_mut(), next);
+        next += 1;
+    }
+    dispatched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{EventHandler, SimulationContext};
+
+    #[test]
+    fn epoch_windows_cover_the_horizon_exactly() {
+        let l = SimDuration::from_micros(3);
+        let horizon = SimTime::from_nanos(10_000); // 3 full + 1 short window
+        let windows: Vec<_> = EpochWindows::new(l, horizon).collect();
+        assert_eq!(EpochWindows::new(l, horizon).len(), 4);
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0], (SimTime::ZERO, SimTime::from_nanos(3_000)));
+        assert_eq!(
+            windows[3],
+            (SimTime::from_nanos(9_000), SimTime::from_nanos(10_000))
+        );
+        // Contiguous and clamped.
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0);
+        }
+        assert!(EpochWindows::new(l, SimTime::ZERO).is_empty());
+        assert_eq!(EpochWindows::new(l, SimTime::ZERO).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_is_rejected() {
+        let _ = EpochWindows::new(SimDuration::ZERO, SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn barrier_releases_all_parties_across_generations() {
+        let barrier = EpochBarrier::new(4);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        barrier.wait();
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                    }
+                });
+            }
+            for round in 0..50 {
+                barrier.wait(); // everyone entered the round
+                barrier.wait(); // everyone finished the round
+                assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * 3);
+            }
+        });
+    }
+
+    /// A counter component: every event re-arms itself `step` later and
+    /// increments the shared count.
+    struct Ticker {
+        step: SimDuration,
+    }
+
+    impl EventHandler<(), Vec<SimTime>> for Ticker {
+        fn on_event(
+            &mut self,
+            _event: (),
+            shared: &mut Vec<SimTime>,
+            ctx: &mut SimulationContext<'_, ()>,
+        ) {
+            shared.push(ctx.now());
+            ctx.emit_self(self.step, ());
+        }
+    }
+
+    #[test]
+    fn interleaved_run_visits_instants_between_the_right_events() {
+        let mut sim: Simulation<(), Vec<SimTime>> = Simulation::new(7, Vec::new());
+        let ticker = sim.add_component(
+            "ticker",
+            Ticker {
+                step: SimDuration::from_nanos(100),
+            },
+        );
+        sim.schedule(ticker, SimTime::from_nanos(100), ());
+
+        // Foreign instants: one between events, one exactly *at* a local
+        // event (inserted no later than it, so visited before it), one past
+        // the horizon.
+        let instants = [
+            (SimTime::from_nanos(150), SimTime::from_nanos(150)),
+            (SimTime::from_nanos(300), SimTime::from_nanos(100)),
+            (SimTime::from_nanos(990), SimTime::from_nanos(900)),
+        ];
+        let mut visited = Vec::new();
+        let dispatched = run_interleaved(
+            &mut sim,
+            SimTime::from_nanos(450),
+            &instants,
+            |shared, i| visited.push((instants[i].0, shared.len())),
+        );
+        // Events at 100, 200, 300, 400 dispatched; 150 visited after one
+        // event, 300 visited after two (before the event at 300, which was
+        // scheduled at 200 — later than the instant's insertion at 100); 990
+        // is beyond the horizon and left for a later epoch.
+        assert_eq!(dispatched, 4);
+        assert_eq!(
+            visited,
+            vec![(SimTime::from_nanos(150), 1), (SimTime::from_nanos(300), 2)]
+        );
+        // The next epoch picks up seamlessly.
+        let mut visited = Vec::new();
+        let dispatched = run_interleaved(
+            &mut sim,
+            SimTime::from_nanos(1_000),
+            &instants[2..],
+            |shared, i| visited.push((instants[2 + i].0, shared.len())),
+        );
+        assert_eq!(dispatched, 5); // 500..900
+        assert_eq!(visited, vec![(SimTime::from_nanos(990), 9)]);
+    }
+
+    #[test]
+    fn instants_inserted_after_a_tied_local_event_run_after_it() {
+        // A foreign instant at the same timestamp as a local event, but
+        // *inserted later* than the local event was scheduled: the sequential
+        // FIFO tie-break would dispatch the local event first, so the visit
+        // must land after it.
+        let mut sim: Simulation<(), Vec<SimTime>> = Simulation::new(7, Vec::new());
+        let ticker = sim.add_component(
+            "ticker",
+            Ticker {
+                step: SimDuration::from_nanos(100),
+            },
+        );
+        // Local events at 100 (scheduled at 0), 200 (scheduled at 100), ...
+        sim.schedule(ticker, SimTime::from_nanos(100), ());
+        // Foreign event at 200 inserted at 150 > 100: local event first.
+        let instants = [(SimTime::from_nanos(200), SimTime::from_nanos(150))];
+        let mut visited = Vec::new();
+        run_interleaved(
+            &mut sim,
+            SimTime::from_nanos(250),
+            &instants,
+            |shared, _| {
+                visited.push(shared.len());
+            },
+        );
+        assert_eq!(visited, vec![2], "visited after the tied local event");
+    }
+
+    #[test]
+    fn interleaved_run_flushes_trailing_instants_only_below_horizon() {
+        let mut sim: Simulation<(), Vec<SimTime>> = Simulation::new(7, Vec::new());
+        let ticker = sim.add_component(
+            "ticker",
+            Ticker {
+                step: SimDuration::from_micros(100), // far beyond the epoch
+            },
+        );
+        sim.schedule(ticker, SimTime::from_micros(100), ());
+        let instants = [
+            (SimTime::from_nanos(10), SimTime::ZERO),
+            (SimTime::from_nanos(20), SimTime::ZERO),
+        ];
+        let mut visited = 0;
+        // No local events in the window: trailing instants still visited.
+        let n = run_interleaved(&mut sim, SimTime::from_nanos(30), &instants, |_, _| {
+            visited += 1;
+        });
+        assert_eq!((n, visited), (0, 2));
+    }
+}
