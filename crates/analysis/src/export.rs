@@ -43,6 +43,7 @@ use apc_server::fleet::FleetResult;
 use apc_server::result::RunResult;
 use apc_telemetry::latency::LatencySummary;
 use apc_telemetry::timeseries::TimeSeries;
+use apc_trace::{ProfileReport, TraceLog};
 
 /// A JSON value with insertion-ordered objects.
 ///
@@ -576,9 +577,13 @@ pub fn run_result_json(r: &RunResult) -> JsonValue {
         .push(
             "idle_periods_20_200us",
             JsonValue::Float(r.idle_periods_20_200us),
-        );
+        )
+        .push("events_dispatched", JsonValue::UInt(r.events_dispatched));
     if let Some(ts) = &r.timeseries {
         o.push("timeseries", timeseries_json(ts));
+    }
+    if let Some(profile) = &r.profile {
+        o.push("profile", profile_report_json(profile));
     }
     o
 }
@@ -608,6 +613,7 @@ pub fn fleet_result_json(f: &FleetResult) -> JsonValue {
         )
         .push("worst_p99_ns", JsonValue::UInt(f.worst_p99().as_nanos()))
         .push("worst_p999_ns", JsonValue::UInt(f.worst_p999().as_nanos()))
+        .push("events_dispatched", JsonValue::UInt(f.events_dispatched()))
         .push(
             "runs",
             JsonValue::Array(f.runs.iter().map(run_result_json).collect()),
@@ -617,8 +623,11 @@ pub fn fleet_result_json(f: &FleetResult) -> JsonValue {
 
 /// Network fabric stats as an object: the topology and link parameters the
 /// fabric ran with, then the traffic census (message count, total / mean /
-/// maximum wire delay). `bandwidth_bytes_per_sec` is `null` for
-/// infinite-bandwidth links.
+/// maximum wire delay) and the per-link breakdown (messages, serialization
+/// occupancy and store-and-forward queueing per link, indexed by link id —
+/// see `apc_network::Topology::link_label` for the id → name mapping).
+/// `bandwidth_bytes_per_sec` is `null` for infinite-bandwidth links; links
+/// that never carried a message are omitted from `per_link`.
 #[must_use]
 pub fn network_stats_json(n: &NetworkStats) -> JsonValue {
     let config = &n.config;
@@ -651,6 +660,28 @@ pub fn network_stats_json(n: &NetworkStats) -> JsonValue {
         "max_wire_delay_ns",
         JsonValue::UInt(n.max_wire_delay.as_nanos()),
     );
+    let per_link: Vec<JsonValue> = n
+        .per_link
+        .iter()
+        .enumerate()
+        .filter(|(_, link)| link.messages != 0)
+        .map(|(id, link)| {
+            let mut l = JsonValue::object();
+            l.push("link", JsonValue::UInt(id as u64))
+                .push("messages", JsonValue::UInt(link.messages))
+                .push("busy_ns", JsonValue::UInt(link.busy_time.as_nanos()))
+                .push(
+                    "total_queue_delay_ns",
+                    JsonValue::UInt(link.total_queue_delay.as_nanos()),
+                )
+                .push(
+                    "max_queue_delay_ns",
+                    JsonValue::UInt(link.max_queue_delay.as_nanos()),
+                );
+            l
+        })
+        .collect();
+    o.push("per_link", JsonValue::Array(per_link));
     o
 }
 
@@ -670,9 +701,13 @@ pub fn cluster_result_json(c: &ClusterResult) -> JsonValue {
         .push(
             "idle_periods_20_200us",
             JsonValue::Float(c.idle_periods_20_200us()),
-        );
+        )
+        .push("events_dispatched", JsonValue::UInt(c.events_dispatched));
     if let Some(net) = &c.network {
         o.push("network", network_stats_json(net));
+    }
+    if let Some(profile) = &c.profile {
+        o.push("profile", profile_report_json(profile));
     }
     o.push("nodes", fleet_result_json(&c.nodes));
     o
@@ -698,9 +733,13 @@ pub fn chain_result_json(c: &ChainResult) -> JsonValue {
             JsonValue::Array(c.routed.iter().map(|&n| JsonValue::UInt(n)).collect()),
         )
         .push("total_routed", JsonValue::UInt(c.total_routed()))
-        .push("routing_imbalance", JsonValue::Float(c.routing_imbalance()));
+        .push("routing_imbalance", JsonValue::Float(c.routing_imbalance()))
+        .push("events_dispatched", JsonValue::UInt(c.events_dispatched));
     if let Some(net) = &c.network {
         o.push("network", network_stats_json(net));
+    }
+    if let Some(profile) = &c.profile {
+        o.push("profile", profile_report_json(profile));
     }
     o.push("nodes", fleet_result_json(&c.nodes));
     o
@@ -736,6 +775,98 @@ pub fn timeseries_json(ts: &TimeSeries) -> JsonValue {
     let mut o = JsonValue::object();
     o.push("interval_ns", JsonValue::UInt(ts.interval().as_nanos()))
         .push("samples", JsonValue::Array(samples));
+    o
+}
+
+/// An engine self-profile as an object: the aggregate event-core counters,
+/// the per-event-kind breakdown, the per-worker wall-clock profiles
+/// (parallel runs only) and the hub replay time.
+#[must_use]
+pub fn profile_report_json(p: &ProfileReport) -> JsonValue {
+    let mut engine = JsonValue::object();
+    engine
+        .push("scheduled", JsonValue::UInt(p.engine.scheduled))
+        .push("dispatched", JsonValue::UInt(p.engine.dispatched))
+        .push("cancelled", JsonValue::UInt(p.engine.cancelled))
+        .push("level0_batches", JsonValue::UInt(p.engine.level0_batches))
+        .push("batched_events", JsonValue::UInt(p.engine.batched_events))
+        .push("max_batch", JsonValue::UInt(p.engine.max_batch))
+        .push("overflow_hits", JsonValue::UInt(p.engine.overflow_hits));
+    let events = p
+        .events
+        .iter()
+        .map(|k| {
+            let mut o = JsonValue::object();
+            o.push("kind", JsonValue::Str(k.kind.to_owned()))
+                .push("scheduled", JsonValue::UInt(k.scheduled))
+                .push("dispatched", JsonValue::UInt(k.dispatched))
+                .push("cancelled", JsonValue::UInt(k.cancelled));
+            o
+        })
+        .collect();
+    let workers = p
+        .workers
+        .iter()
+        .map(|w| {
+            let mut o = JsonValue::object();
+            o.push("worker", JsonValue::UInt(u64::from(w.worker)))
+                .push("epochs", JsonValue::UInt(w.epochs))
+                .push("barrier_wait_ns", JsonValue::UInt(w.barrier_wait_ns))
+                .push("cross_wires", JsonValue::UInt(w.cross_wires));
+            o
+        })
+        .collect();
+    let mut o = JsonValue::object();
+    o.push("engine", engine)
+        .push("events", JsonValue::Array(events))
+        .push("workers", JsonValue::Array(workers))
+        .push("hub_replay_ns", JsonValue::UInt(p.hub_replay_ns));
+    o
+}
+
+/// A span log as Chrome trace-event JSON (the format `chrome://tracing` and
+/// [Perfetto](https://ui.perfetto.dev) load directly).
+///
+/// Every span becomes one complete (`"ph": "X"`) event: `ts`/`dur` are the
+/// span's simulated start/length in *microseconds* (the format's unit),
+/// `pid` is the node (chain coordinators use the node count as a
+/// pseudo-node), `tid` the lane within the node, `cat` the span kind and
+/// `args.trace` the trace id. Wake spans are named after the C-state the
+/// core left; every other span is named after its kind. The microsecond
+/// floats are exact (`ns / 1000.0` in IEEE arithmetic) and formatted
+/// shortest-round-trip, so fixed-seed traces export byte-identically.
+#[must_use]
+pub fn chrome_trace_json(log: &TraceLog) -> JsonValue {
+    let events = log
+        .spans()
+        .iter()
+        .map(|s| {
+            let name = if s.label.is_empty() {
+                s.kind.name()
+            } else {
+                s.label
+            };
+            let mut args = JsonValue::object();
+            args.push("trace", JsonValue::UInt(s.trace));
+            let mut e = JsonValue::object();
+            e.push("name", JsonValue::Str(name.to_owned()))
+                .push("cat", JsonValue::Str(s.kind.name().to_owned()))
+                .push("ph", JsonValue::Str("X".to_owned()))
+                .push("ts", JsonValue::Float(s.start.as_nanos() as f64 / 1000.0))
+                .push(
+                    "dur",
+                    JsonValue::Float(s.duration().as_nanos() as f64 / 1000.0),
+                )
+                .push("pid", JsonValue::UInt(u64::from(s.node)))
+                .push("tid", JsonValue::UInt(u64::from(s.lane)))
+                .push("args", args);
+            e
+        })
+        .collect();
+    let mut o = JsonValue::object();
+    o.push("traceEvents", JsonValue::Array(events))
+        .push("displayTimeUnit", JsonValue::Str("ns".to_owned()))
+        .push("dropped_spans", JsonValue::UInt(log.dropped()));
     o
 }
 

@@ -58,6 +58,7 @@ const GOLDEN_CHAIN_JSON: &str = r#"{
   ],
   "total_routed": 18,
   "routing_imbalance": 1.2222222222222223,
+  "events_dispatched": 644,
   "nodes": {
     "servers": 2,
     "total_completed_requests": 18,
@@ -68,6 +69,7 @@ const GOLDEN_CHAIN_JSON: &str = r#"{
     "mean_latency_ns": 51256,
     "worst_p99_ns": 94566,
     "worst_p999_ns": 96587,
+    "events_dispatched": 0,
     "runs": [
       {
         "config": "CPC1A",
@@ -98,7 +100,8 @@ const GOLDEN_CHAIN_JSON: &str = r#"{
         "pc1a_aborted": 0,
         "pc6_transitions": 0,
         "idle_periods": 18,
-        "idle_periods_20_200us": 0.7777777777777778
+        "idle_periods_20_200us": 0.7777777777777778,
+        "events_dispatched": 0
       },
       {
         "config": "CPC1A",
@@ -129,7 +132,8 @@ const GOLDEN_CHAIN_JSON: &str = r#"{
         "pc1a_aborted": 0,
         "pc6_transitions": 0,
         "idle_periods": 12,
-        "idle_periods_20_200us": 0.6666666666666666
+        "idle_periods_20_200us": 0.6666666666666666,
+        "events_dispatched": 0
       }
     ]
   }
@@ -251,6 +255,7 @@ const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
   ],
   "total_routed": 18,
   "routing_imbalance": 1.8888888888888888,
+  "events_dispatched": 588,
   "network": {
     "topology": "two-tier",
     "link_latency_ns": 5000,
@@ -259,7 +264,65 @@ const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
     "messages": 35,
     "total_wire_delay_ns": 525000,
     "mean_wire_delay_ns": 15000,
-    "max_wire_delay_ns": 15000
+    "max_wire_delay_ns": 15000,
+    "per_link": [
+      {
+        "link": 0,
+        "messages": 16,
+        "busy_ns": 0,
+        "total_queue_delay_ns": 0,
+        "max_queue_delay_ns": 0
+      },
+      {
+        "link": 1,
+        "messages": 17,
+        "busy_ns": 0,
+        "total_queue_delay_ns": 0,
+        "max_queue_delay_ns": 0
+      },
+      {
+        "link": 2,
+        "messages": 1,
+        "busy_ns": 0,
+        "total_queue_delay_ns": 0,
+        "max_queue_delay_ns": 0
+      },
+      {
+        "link": 3,
+        "messages": 1,
+        "busy_ns": 0,
+        "total_queue_delay_ns": 0,
+        "max_queue_delay_ns": 0
+      },
+      {
+        "link": 4,
+        "messages": 18,
+        "busy_ns": 0,
+        "total_queue_delay_ns": 0,
+        "max_queue_delay_ns": 0
+      },
+      {
+        "link": 5,
+        "messages": 17,
+        "busy_ns": 0,
+        "total_queue_delay_ns": 0,
+        "max_queue_delay_ns": 0
+      },
+      {
+        "link": 6,
+        "messages": 17,
+        "busy_ns": 0,
+        "total_queue_delay_ns": 0,
+        "max_queue_delay_ns": 0
+      },
+      {
+        "link": 7,
+        "messages": 18,
+        "busy_ns": 0,
+        "total_queue_delay_ns": 0,
+        "max_queue_delay_ns": 0
+      }
+    ]
   },
   "nodes": {
     "servers": 2,
@@ -271,6 +334,7 @@ const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
     "mean_latency_ns": 64485,
     "worst_p99_ns": 108443,
     "worst_p999_ns": 111475,
+    "events_dispatched": 0,
     "runs": [
       {
         "config": "CPC1A",
@@ -301,7 +365,8 @@ const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
         "pc1a_aborted": 0,
         "pc6_transitions": 0,
         "idle_periods": 15,
-        "idle_periods_20_200us": 0.7333333333333333
+        "idle_periods_20_200us": 0.7333333333333333,
+        "events_dispatched": 0
       },
       {
         "config": "CPC1A",
@@ -332,7 +397,8 @@ const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
         "pc1a_aborted": 0,
         "pc6_transitions": 0,
         "idle_periods": 8,
-        "idle_periods_20_200us": 0.375
+        "idle_periods_20_200us": 0.375,
+        "events_dispatched": 0
       }
     ]
   }

@@ -57,7 +57,8 @@ const GOLDEN_JSON: &str = r#"{
   "pc1a_aborted": 0,
   "pc6_transitions": 0,
   "idle_periods": 20,
-  "idle_periods_20_200us": 0.75
+  "idle_periods_20_200us": 0.75,
+  "events_dispatched": 551
 }
 "#;
 

@@ -12,6 +12,8 @@
 //!   power / area models);
 //! * [`workloads`] — Memcached/Kafka/MySQL load generators;
 //! * [`telemetry`] — residency, idle-period and latency telemetry;
+//! * [`trace`] — request-span tracing, head sampling and the engine
+//!   self-profiler (Chrome-trace export lives in [`analysis`]);
 //! * [`network`] — link/topology model and the cluster network fabric
 //!   configuration (flat, two-tier, fat-tree);
 //! * [`server`] — the full-system server simulation;
@@ -55,6 +57,7 @@ pub use apc_server as server;
 pub use apc_sim as sim;
 pub use apc_soc as soc;
 pub use apc_telemetry as telemetry;
+pub use apc_trace as trace;
 pub use apc_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
@@ -96,6 +99,7 @@ pub mod prelude {
     pub use apc_soc::cstate::{CoreCState, PackageCState};
     pub use apc_soc::topology::{SkxSoc, SocConfig};
     pub use apc_telemetry::timeseries::{TimeSeries, TimeSeriesSample};
+    pub use apc_trace::{ProfileReport, Span, SpanKind, TraceConfig, TraceLog};
     pub use apc_workloads::chain::TierService;
     pub use apc_workloads::loadgen::LoadGenerator;
     pub use apc_workloads::spec::WorkloadSpec;

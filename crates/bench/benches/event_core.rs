@@ -161,6 +161,24 @@ fn cluster_run(nodes: usize) -> (f64, ClusterResult) {
     (start.elapsed().as_secs_f64(), result)
 }
 
+/// One untimed profiled run of the same configuration: the self-profiler's
+/// engine counters (wheel batches, overflow-heap hits) for the row. Kept
+/// out of the timed runs so the report never contaminates the wall clock.
+fn cluster_profile(nodes: usize) -> apc_trace::EngineProfile {
+    let base = ServerConfig::c_pc1a().with_duration(WINDOW).with_profile();
+    let result = run_cluster_experiment(
+        &base,
+        nodes,
+        RoutingPolicyKind::JoinShortestQueue,
+        WorkloadSpec::memcached_etc(),
+        RATE_PER_NODE * nodes as f64,
+    );
+    result
+        .profile
+        .expect("profiled run carries a report")
+        .engine
+}
+
 fn json_escape_free(name: &str) -> &str {
     debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
     name
@@ -237,16 +255,35 @@ fn main() {
         let min = walls.iter().copied().fold(f64::MAX, f64::min);
         let ms_per_20ms = min * 1e3;
         let events_per_sec = events as f64 / min;
+        let engine = cluster_profile(nodes);
+        assert_eq!(
+            engine.dispatched, events,
+            "the self-profiler must not perturb the dispatched-event census"
+        );
         println!(
-            "  {nodes:>2} nodes: {ms_per_20ms:>7.3} ms per 20 ms sim   {events:>6} events   {:>6.2} M events/s",
-            events_per_sec / 1e6
+            "  {nodes:>2} nodes: {ms_per_20ms:>7.3} ms per 20 ms sim   {events:>6} events   \
+             {:>6.2} M events/s   {:>5} batches (max {:>3})   {:>4} overflow",
+            events_per_sec / 1e6,
+            engine.level0_batches,
+            engine.max_batch,
+            engine.overflow_hits,
         );
         cluster_json.push(format!(
             concat!(
                 "    {{\"nodes\": {}, \"ms_per_20ms_sim\": {:.3}, ",
-                "\"events_dispatched\": {}, \"events_per_sec\": {:.0}}}"
+                "\"events_dispatched\": {}, \"events_per_sec\": {:.0}, ",
+                "\"events_scheduled\": {}, \"events_cancelled\": {}, ",
+                "\"level0_batches\": {}, \"max_batch\": {}, \"overflow_hits\": {}}}"
             ),
-            nodes, ms_per_20ms, events, events_per_sec,
+            nodes,
+            ms_per_20ms,
+            events,
+            events_per_sec,
+            engine.scheduled,
+            engine.cancelled,
+            engine.level0_batches,
+            engine.max_batch,
+            engine.overflow_hits,
         ));
     }
 
@@ -262,7 +299,8 @@ fn main() {
             "  \"methodology\": \"min over repeats on a shared container; ",
             "micro: {} repeats, cluster: {} repeats; ",
             "identical xoshiro-seeded operation sequences for both queue ",
-            "implementations\",\n",
+            "implementations; wheel-batch/overflow counters from one untimed ",
+            "self-profiled run per row\",\n",
             "  \"baseline_8_nodes_ms_per_20ms_sim\": {{\"recorded_pre_wheel\": 14.9, ",
             "\"this_container_pre_wheel\": 16.06}},\n",
             "  \"event_queue_micro\": [\n{}\n  ],\n",

@@ -56,6 +56,39 @@ fn member(nodes: usize) -> ClusterMember {
     .with_network(NetworkConfig::two_tier(LINK_LATENCY, 4))
 }
 
+/// Parallel-runtime counters for one row, from the engine self-profiler.
+struct RowProfile {
+    events_scheduled: u64,
+    barrier_wait_ns: u64,
+    hub_replay_ns: u64,
+    cross_wires: u64,
+}
+
+/// One untimed profiled run at the row's worker count. Separate from the
+/// timed/asserted runs: barrier-wait and replay times are wall-clock, so a
+/// profiled result never compares equal across worker counts.
+fn row_profile(nodes: usize, workers: usize) -> RowProfile {
+    let base = ServerConfig::c_pc1a().with_duration(WINDOW).with_profile();
+    let m = ClusterMember::homogeneous(
+        &base,
+        nodes,
+        RoutingPolicyKind::JoinShortestQueue,
+        WorkloadSpec::memcached_etc(),
+        RATE_PER_NODE * nodes as f64,
+    )
+    .with_network(NetworkConfig::two_tier(LINK_LATENCY, 4));
+    let report = m
+        .run_with_parallelism(Some(workers))
+        .profile
+        .expect("profiled run carries a report");
+    RowProfile {
+        events_scheduled: report.engine.scheduled,
+        barrier_wait_ns: report.workers.iter().map(|w| w.barrier_wait_ns).sum(),
+        hub_replay_ns: report.hub_replay_ns,
+        cross_wires: report.workers.iter().map(|w| w.cross_wires).sum(),
+    }
+}
+
 /// One timed run at a forced worker count (`1` takes the sequential loop).
 fn timed_run(nodes: usize, workers: usize) -> (f64, ClusterResult) {
     let m = member(nodes);
@@ -158,18 +191,33 @@ fn main() {
             let speedup = sequential
                 .as_ref()
                 .map_or(1.0, |(seq_secs, _)| seq_secs / min_secs);
+            let profile = row_profile(nodes, workers);
             println!(
                 "  {nodes:>2} nodes, {workers} worker(s): {ms:>8.3} ms per 20 ms sim   \
-                 {events:>7} events   {:>6.2} M events/s   {speedup:>5.2}x vs sequential",
-                events_per_sec / 1e6
+                 {events:>7} events   {:>6.2} M events/s   {speedup:>5.2}x vs sequential   \
+                 {:>5} cross-wires   {:>8} ns barrier",
+                events_per_sec / 1e6,
+                profile.cross_wires,
+                profile.barrier_wait_ns,
             );
             rows_json.push(format!(
                 concat!(
                     "    {{\"nodes\": {}, \"workers\": {}, \"ms_per_20ms_sim\": {:.3}, ",
                     "\"events_dispatched\": {}, \"events_per_sec\": {:.0}, ",
-                    "\"speedup_vs_sequential\": {:.3}}}"
+                    "\"speedup_vs_sequential\": {:.3}, \"events_scheduled\": {}, ",
+                    "\"cross_partition_wires\": {}, \"barrier_wait_ns\": {}, ",
+                    "\"hub_replay_ns\": {}}}"
                 ),
-                nodes, workers, ms, events, events_per_sec, speedup,
+                nodes,
+                workers,
+                ms,
+                events,
+                events_per_sec,
+                speedup,
+                profile.events_scheduled,
+                profile.cross_wires,
+                profile.barrier_wait_ns,
+                profile.hub_replay_ns,
             ));
         }
     }
@@ -192,7 +240,8 @@ fn main() {
             "  \"methodology\": \"min over {} repeats on a shared container; 20 ms simulated, ",
             "JSQ, memcached_etc at {} req/s per node; two-tier fabric with {} ns per-link ",
             "latency (the conservative lookahead); workers forced via run_with_parallelism; ",
-            "every parallel run asserted bit-identical to the workers=1 sequential run\",\n",
+            "every parallel run asserted bit-identical to the workers=1 sequential run; ",
+            "barrier/replay/wire counters from one untimed self-profiled run per row\",\n",
             "  \"host_cores\": {},\n",
             "  \"caveat\": \"with host_cores = 1 the parallel rows measure partitioning ",
             "overhead (barrier crossings, hub replay), not speedup; the >=1.5x target at ",

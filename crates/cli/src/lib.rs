@@ -33,7 +33,7 @@ pub mod spec;
 
 use std::fmt;
 
-use apc_analysis::export::{csv_escape, JsonValue};
+use apc_analysis::export::{chrome_trace_json, csv_escape, JsonValue};
 use apc_analysis::report::TextTable;
 use apc_server::balancer::RoutingPolicyKind;
 use apc_server::scenario::{ChainScenario, ClusterScenario, Scenario};
@@ -92,6 +92,10 @@ options:
   --format table|json|csv   output format (default table)
   --out <path>              write the output to a file instead of stdout
   --timeseries-out <path>   write recorded time series as CSV to a file
+  --trace-out <path>        write sampled request spans as Chrome trace
+                            JSON (needs a spec with a [trace] table)
+  --profile                 attach the engine self-profiler report to the
+                            results (spec files only; shown in JSON output)
   --platform <name>         cshallow|cdeep|cpc1a (named scenarios; default cpc1a)
   --policy <name>           random|round-robin|jsq|power-aware
                             (cluster and chain scenarios)
@@ -121,6 +125,8 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
                 "format",
                 "out",
                 "timeseries-out",
+                "trace-out",
+                "profile",
                 "platform",
                 "policy",
                 "duration-ms",
@@ -135,6 +141,7 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
                 "format",
                 "out",
                 "timeseries-out",
+                "profile",
                 "duration-ms",
                 "seed",
                 "parallelism",
@@ -147,6 +154,8 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
                 "format",
                 "out",
                 "timeseries-out",
+                "trace-out",
+                "profile",
                 "platform",
                 "policy",
                 "duration-ms",
@@ -172,6 +181,8 @@ impl Invocation {
     /// `positional` positional arguments. Duplicate flags, unknown flags,
     /// missing values and arity mismatches are usage errors.
     fn parse(args: &[String], allowed: &[&str], positional: usize) -> Result<Self, CliError> {
+        // Boolean switches never consume a value; everything else does.
+        const SWITCHES: [&str; 1] = ["profile"];
         let mut inv = Invocation {
             positional: Vec::new(),
             flags: Vec::new(),
@@ -188,6 +199,10 @@ impl Invocation {
                     return Err(CliError::Usage(format!(
                         "conflicting flags: `--{name}` given twice"
                     )));
+                }
+                if SWITCHES.contains(&name) {
+                    inv.flags.push((name.to_owned(), String::new()));
+                    continue;
                 }
                 let value = iter
                     .next()
@@ -211,6 +226,11 @@ impl Invocation {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the boolean switch `name` was given.
+    fn switch(&self, name: &str) -> bool {
+        self.flag(name).is_some()
     }
 
     fn format(&self) -> Result<OutputFormat, CliError> {
@@ -448,6 +468,31 @@ fn check_timeseries_flag(inv: &Invocation, series_enabled: bool) -> Result<(), C
     Ok(())
 }
 
+/// Rejects `--trace-out` / `--profile` up front when they cannot apply —
+/// before the (possibly long) simulation runs and before `--out` is
+/// written, same stance as [`check_timeseries_flag`].
+fn check_observability_flags(
+    inv: &Invocation,
+    trace_enabled: bool,
+    spec_target: bool,
+) -> Result<(), CliError> {
+    if inv.flag("trace-out").is_some() && !trace_enabled {
+        return Err(CliError::Usage(
+            "conflicting flags: `--trace-out` needs a spec with a [trace] table \
+             (named library scenarios never record request spans)"
+                .to_owned(),
+        ));
+    }
+    if inv.switch("profile") && !spec_target {
+        return Err(CliError::Usage(
+            "conflicting flags: `--profile` applies to spec files \
+             (named library scenarios run without the self-profiler)"
+                .to_owned(),
+        ));
+    }
+    Ok(())
+}
+
 /// The deduplicated `+`-joined workload names of a fleet scenario.
 fn scenario_workloads(s: &Scenario) -> String {
     let mut workloads: Vec<&str> = s.groups.iter().map(|g| g.workload.name()).collect();
@@ -575,6 +620,7 @@ fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
                 ));
             }
             check_timeseries_flag(inv, spec.timeseries_interval.is_some())?;
+            check_observability_flags(inv, spec.trace.is_some(), true)?;
             execute_spec(&override_spec(spec, inv)?, inv.parallelism()?)
         }
         Target::Scenario(s) => {
@@ -585,6 +631,7 @@ fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
                 )));
             }
             check_timeseries_flag(inv, false)?;
+            check_observability_flags(inv, false, false)?;
             run_scenario(
                 s,
                 inv.platform()?.unwrap_or(PlatformKind::Cpc1a),
@@ -595,6 +642,7 @@ fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
         }
         Target::ClusterScenario(s) => {
             check_timeseries_flag(inv, false)?;
+            check_observability_flags(inv, false, false)?;
             run_cluster_scenario(
                 s,
                 inv.platform()?.unwrap_or(PlatformKind::Cpc1a),
@@ -606,6 +654,7 @@ fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
         }
         Target::ChainScenario(s) => {
             check_timeseries_flag(inv, false)?;
+            check_observability_flags(inv, false, false)?;
             run_chain_scenario(
                 s,
                 inv.platform()?.unwrap_or(PlatformKind::Cpc1a),
@@ -634,6 +683,7 @@ fn cmd_sweep(inv: &Invocation) -> Result<String, CliError> {
         )));
     }
     check_timeseries_flag(inv, spec.timeseries_interval.is_some())?;
+    check_observability_flags(inv, spec.trace.is_some(), true)?;
     let outcome = execute_spec(&override_spec(&spec, inv)?, inv.parallelism()?);
     finish(inv, &outcome)
 }
@@ -663,6 +713,7 @@ fn cmd_cluster(inv: &Invocation) -> Result<String, CliError> {
                 ));
             }
             check_timeseries_flag(inv, spec.timeseries_interval.is_some())?;
+            check_observability_flags(inv, spec.trace.is_some(), true)?;
             execute_spec(&override_spec(spec, inv)?, inv.parallelism()?)
         }
         Target::Scenario(s) => {
@@ -679,6 +730,7 @@ fn cmd_cluster(inv: &Invocation) -> Result<String, CliError> {
         }
         Target::ClusterScenario(s) => {
             check_timeseries_flag(inv, false)?;
+            check_observability_flags(inv, false, false)?;
             run_cluster_scenario(
                 s,
                 inv.platform()?.unwrap_or(PlatformKind::Cpc1a),
@@ -708,7 +760,8 @@ fn cmd_validate(inv: &Invocation) -> Result<String, CliError> {
     ))
 }
 
-/// Applies `--duration-ms` / `--seed` overrides to a parsed spec.
+/// Applies `--duration-ms` / `--seed` / `--profile` overrides to a parsed
+/// spec.
 fn override_spec(spec: &ExperimentSpec, inv: &Invocation) -> Result<ExperimentSpec, CliError> {
     let mut spec = spec.clone();
     if let Some(d) = inv.duration()? {
@@ -717,6 +770,7 @@ fn override_spec(spec: &ExperimentSpec, inv: &Invocation) -> Result<ExperimentSp
     if let Some(s) = inv.u64_flag("seed")? {
         spec.seed = s;
     }
+    spec.profile = inv.switch("profile");
     Ok(spec)
 }
 
@@ -744,6 +798,19 @@ fn finish(inv: &Invocation, outcome: &Outcome) -> Result<String, CliError> {
         std::fs::write(path, &csv)
             .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
         stdout.push_str(&format!("wrote {path} ({} bytes)\n", csv.len()));
+    }
+    if let Some(path) = inv.flag("trace-out") {
+        let log = outcome.merged_trace().ok_or_else(|| {
+            CliError::Usage(
+                "conflicting flags: `--trace-out` needs a spec with a [trace] table \
+                 (no run recorded request spans)"
+                    .to_owned(),
+            )
+        })?;
+        let json = chrome_trace_json(&log).to_pretty_string();
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+        stdout.push_str(&format!("wrote {path} ({} bytes)\n", json.len()));
     }
     Ok(stdout)
 }

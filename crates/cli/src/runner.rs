@@ -14,10 +14,12 @@ use apc_analysis::export::{
 use apc_analysis::report::TextTable;
 use apc_server::chain::{ChainFleet, ChainMember, ChainResult, RequestGraph};
 use apc_server::cluster::{ClusterFleet, ClusterMember, ClusterResult};
+use apc_server::config::ServerConfig;
 use apc_server::fleet::{Fleet, FleetMember, FleetResult};
 use apc_server::result::RunResult;
 use apc_server::scenario::{TrafficPattern, WorkloadKind};
 use apc_sim::SimDuration;
+use apc_trace::TraceLog;
 use apc_workloads::chain::TierService;
 
 use crate::spec::{ExperimentSpec, PlatformKind, SpecKind};
@@ -169,6 +171,7 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
                     Some(every) => base.with_timeseries(every),
                     None => base,
                 };
+                let base = observe(base, spec);
                 let rate = spec.traffic.mean_rate_per_sec();
                 let mut member =
                     ClusterMember::homogeneous(&base, *nodes, *policy, spec.workload.spec(), rate);
@@ -205,6 +208,7 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
                     Some(every) => base.with_timeseries(every),
                     None => base,
                 };
+                let base = observe(base, spec);
                 let rate = spec.traffic.mean_rate_per_sec();
                 let mut member =
                     ChainMember::homogeneous(&base, *nodes, *policy, graph.clone(), rate);
@@ -222,6 +226,19 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
             }
         }
     }
+}
+
+/// Applies the spec's observability knobs — `[trace]` and the `--profile`
+/// flag — to a built server config. Neither perturbs the simulation: the
+/// results stay bit-identical with or without them.
+fn observe(mut config: ServerConfig, spec: &ExperimentSpec) -> ServerConfig {
+    if let Some(trace) = spec.trace {
+        config = config.with_trace(trace);
+    }
+    if spec.profile {
+        config = config.with_profile();
+    }
+    config
 }
 
 /// The seed of repeat `i`: the root seed itself for a single run (matching
@@ -245,6 +262,7 @@ fn spec_member(spec: &ExperimentSpec, platform: PlatformKind, seed: u64) -> Flee
         Some(every) => config.with_timeseries(every),
         None => config,
     };
+    let config = observe(config, spec);
     let rate = spec.traffic.mean_rate_per_sec();
     let mut member = FleetMember::new(config, spec.workload.spec(), rate);
     if let Some(arrivals) = spec.traffic.arrival_process(spec.duration) {
@@ -355,6 +373,31 @@ impl Outcome {
                 cluster_node_rows(results.iter().map(|c| &c.nodes).collect())
             }
         }
+    }
+
+    /// Merges every collected request-span log into one (the first log's
+    /// bound wins), or `None` when no run traced. Span `pid`s are node
+    /// indices, so with `repeats > 1` the repeats share the node rows of
+    /// the exported timeline — trace ids still tell them apart.
+    #[must_use]
+    pub fn merged_trace(&self) -> Option<TraceLog> {
+        let logs: Vec<&TraceLog> = match self {
+            Outcome::Runs { fleet, .. } => {
+                fleet.runs.iter().filter_map(|r| r.trace.as_ref()).collect()
+            }
+            Outcome::Clusters { results, .. } => {
+                results.iter().filter_map(|r| r.trace.as_ref()).collect()
+            }
+            Outcome::Chains { results, .. } => {
+                results.iter().filter_map(|r| r.trace.as_ref()).collect()
+            }
+        };
+        let (first, rest) = logs.split_first()?;
+        let mut merged = (*first).clone();
+        for log in rest {
+            merged.absorb(log);
+        }
+        Some(merged)
     }
 
     /// Renders every recorded time series as one concatenated CSV, or

@@ -65,17 +65,31 @@
 //! rpc_bytes = 2_000         # serialized payload size (default 0)
 //! ```
 //!
+//! Single, cluster and chain experiments may add a `[trace]` table turning
+//! on end-to-end request-span tracing (head-sampled off a dedicated RNG
+//! fork, so the simulation itself is bit-identical with or without it);
+//! the collected spans are written by the `--trace-out` flag as Chrome
+//! trace-event JSON:
+//!
+//! ```toml
+//! [trace]
+//! sample_every = 16         # trace one in N root requests (1 = all)
+//! max_spans = 65_536        # retained-span bound (default 65_536)
+//! ```
+//!
 //! Parsing is **strict**: unknown tables, unknown keys, missing required
 //! keys and type mismatches are errors carrying the offending line number,
 //! so a typo fails loudly instead of silently running a default.
-//! `[network]` errors are additionally flagged as *usage* errors (CLI exit
-//! code 2): a bad fabric parameter fails the invocation itself.
+//! `[network]` and `[trace]` errors are additionally flagged as *usage*
+//! errors (CLI exit code 2): a bad fabric or tracing parameter fails the
+//! invocation itself.
 
 use apc_network::NetworkConfig;
 use apc_server::balancer::RoutingPolicyKind;
 use apc_server::config::ServerConfig;
 use apc_server::scenario::{TrafficPattern, WorkloadKind};
 use apc_sim::SimDuration;
+use apc_trace::TraceConfig;
 
 /// A spec parse/validation error with the 1-based line it occurred on
 /// (line 0 marks document-level problems, e.g. a missing table).
@@ -559,6 +573,13 @@ pub struct ExperimentSpec {
     /// Network fabric configuration, when `[network]` declares one
     /// (cluster and chain experiments only).
     pub network: Option<NetworkConfig>,
+    /// Request-span tracing configuration, when `[trace]` declares one
+    /// (single, cluster and chain experiments only). `--trace-out` writes
+    /// the collected spans as Chrome trace-event JSON.
+    pub trace: Option<TraceConfig>,
+    /// Engine self-profiler switch; never set by the spec file itself —
+    /// the `--profile` flag turns it on after parsing.
+    pub profile: bool,
 }
 
 /// Parses a routing-policy spelling shared by spec files and `--policy`.
@@ -606,6 +627,7 @@ impl ExperimentSpec {
                     | "sweep"
                     | "telemetry"
                     | "network"
+                    | "trace"
             ) {
                 return Err(SpecError::at(t.line, format!("unknown table [{}]", t.name)));
             }
@@ -684,6 +706,12 @@ impl ExperimentSpec {
         let network = match find("network") {
             None => None,
             Some(t) => Some(parse_network(t).map_err(SpecError::into_usage)?),
+        };
+
+        // [trace] — same stance: a bad tracing parameter is a usage error.
+        let trace = match find("trace") {
+            None => None,
+            Some(t) => Some(parse_trace(t).map_err(SpecError::into_usage)?),
         };
 
         // kind + its table
@@ -871,6 +899,20 @@ impl ExperimentSpec {
                 ));
             }
         }
+        if let Some(t) = find("trace") {
+            if !matches!(
+                kind,
+                SpecKind::Single | SpecKind::Cluster { .. } | SpecKind::Chain { .. }
+            ) {
+                return Err(SpecError::at(
+                    t.line,
+                    format!(
+                        "[trace] applies to single, cluster and chain experiments, \
+                         not kind = \"{kind_name}\""
+                    ),
+                ));
+            }
+        }
         if repeats > 1 && matches!(kind, SpecKind::Fleet { .. } | SpecKind::Sweep { .. }) {
             return Err(SpecError::doc(format!(
                 "`repeats` applies to single, cluster and chain experiments, \
@@ -921,8 +963,46 @@ impl ExperimentSpec {
             parallelism,
             timeseries_interval,
             network,
+            trace,
+            profile: false,
         })
     }
+}
+
+/// Parses the `[trace]` table into a [`TraceConfig`]. Strict like
+/// [`parse_network`]: unknown keys and out-of-range rates fail with the
+/// offending line (the caller re-flags every error as a usage error).
+fn parse_trace(t: &Table) -> Result<TraceConfig, SpecError> {
+    // Check unknown keys up front so they carry the usage flag instead of
+    // falling through to the generic unused-key sweep.
+    const KNOWN: [&str; 2] = ["sample_every", "max_spans"];
+    for e in &t.entries {
+        if !KNOWN.contains(&e.key.as_str()) {
+            return Err(SpecError::at(
+                e.line,
+                format!("unknown key `{}` in [trace]", e.key),
+            ));
+        }
+    }
+    let (sample_every, line) = t
+        .uint("sample_every")?
+        .ok_or_else(|| SpecError::at(t.line, "[trace] needs `sample_every`"))?;
+    if sample_every == 0 {
+        return Err(SpecError::at(
+            line,
+            "`sample_every` must be at least 1 (1 traces every request)",
+        ));
+    }
+    let mut config = TraceConfig::new(sample_every);
+    if let Some((max_spans, line)) = t.uint("max_spans")? {
+        if max_spans == 0 {
+            return Err(SpecError::at(line, "`max_spans` must be at least 1"));
+        }
+        let max_spans = usize::try_from(max_spans)
+            .map_err(|_| SpecError::at(line, "`max_spans` does not fit in memory"))?;
+        config = config.with_max_spans(max_spans);
+    }
+    Ok(config)
 }
 
 /// Parses the `[network]` table into a [`NetworkConfig`]. Validation is
@@ -1385,6 +1465,65 @@ rpc_bytes = 2_000
         assert!(
             err.message
                 .contains("[network] applies to cluster and chain"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parses_a_trace_table() {
+        let text = "[experiment]\nkind = \"single\"\n\n[workload]\nkind = \"memcached\"\n\
+                    rate_per_sec = 100\n\n[trace]\nsample_every = 16\nmax_spans = 1_000\n";
+        let spec = ExperimentSpec::parse(text).unwrap();
+        assert_eq!(spec.trace, Some(TraceConfig::new(16).with_max_spans(1_000)));
+        assert!(!spec.profile, "profiling is a CLI flag, never a spec key");
+        // `max_spans` is optional and defaults.
+        let text = text.replace("max_spans = 1_000\n", "");
+        let spec = ExperimentSpec::parse(&text).unwrap();
+        assert_eq!(spec.trace, Some(TraceConfig::new(16)));
+    }
+
+    #[test]
+    fn trace_errors_are_usage_flagged_with_line_numbers() {
+        let base = |trace: &str| {
+            format!(
+                "[experiment]\nkind = \"single\"\n\n[workload]\nkind = \"memcached\"\n\
+                 rate_per_sec = 100\n\n[trace]\n{trace}"
+            )
+        };
+        // The [trace] table starts at line 8; its first key is line 9.
+        for (table, needle, line) in [
+            ("sample_every = 16\nbogus = 1\n", "unknown key `bogus`", 10),
+            ("sample_every = 0\n", "`sample_every` must be at least 1", 9),
+            (
+                "sample_every = 1.5\n",
+                "`sample_every` must be a non-negative integer",
+                9,
+            ),
+            (
+                "sample_every = 16\nmax_spans = 0\n",
+                "`max_spans` must be at least 1",
+                10,
+            ),
+        ] {
+            let err = ExperimentSpec::parse(&base(table)).unwrap_err();
+            assert!(err.usage, "{table:?} -> {err}");
+            assert_eq!(err.line, line, "{table:?} -> {err}");
+            assert!(err.message.contains(needle), "{table:?} -> {err}");
+        }
+        // Missing sample_every anchors to the table header line.
+        let err = ExperimentSpec::parse(&base("max_spans = 10\n")).unwrap_err();
+        assert!(err.usage, "{err}");
+        assert_eq!(err.line, 8, "{err}");
+        assert!(err.message.contains("needs `sample_every`"), "{err}");
+        // A [trace] table on fleet/sweep kinds is a plain (non-usage)
+        // shape conflict, like [network] outside cluster/chain.
+        let text = "[experiment]\nkind = \"fleet\"\n\n[workload]\nkind = \"memcached\"\n\
+                    rate_per_sec = 100\n\n[fleet]\nservers = 2\n\n[trace]\nsample_every = 4\n";
+        let err = ExperimentSpec::parse(text).unwrap_err();
+        assert!(!err.usage, "{err}");
+        assert!(
+            err.message
+                .contains("[trace] applies to single, cluster and chain"),
             "{err}"
         );
     }

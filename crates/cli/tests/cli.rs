@@ -416,6 +416,195 @@ fn network_spec_errors_are_line_numbered_usage_errors() {
 }
 
 #[test]
+fn trace_spec_runs_and_writes_chrome_trace_json() {
+    let spec = Scratch::new("trace-chain.toml");
+    // CHAIN_SPEC plus a [trace] table; every root chain is traced.
+    spec.write(&format!("{CHAIN_SPEC}\n[trace]\nsample_every = 1\n"));
+    let json_out = Scratch::new("trace-chain.json");
+    let trace_out = Scratch::new("trace-chain-trace.json");
+    let stdout = execute(&args(&[
+        "run",
+        spec.path(),
+        "--format",
+        "json",
+        "--out",
+        json_out.path(),
+        "--trace-out",
+        trace_out.path(),
+        "--profile",
+    ]))
+    .unwrap();
+    assert!(stdout.contains("wrote"), "{stdout}");
+
+    // The result export gains the self-profiler report (and only that —
+    // simulated values are pinned elsewhere to be identical either way).
+    let parsed = JsonValue::parse(&json_out.read()).expect("result JSON parses");
+    let c = &parsed.as_array().expect("chain JSON is an array")[0];
+    let profile = c.get("profile").expect("profile report exported");
+    let engine = profile.get("engine").expect("engine counters");
+    assert!(
+        engine
+            .get("dispatched")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert!(profile
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .is_some());
+    assert!(
+        c.get("events_dispatched")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    // The Chrome trace file is valid JSON with complete events carrying
+    // the span taxonomy; `validate` round-trips it like any other export.
+    let trace = JsonValue::parse(&trace_out.read()).expect("trace JSON parses");
+    let events = trace
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "no spans exported");
+    for event in events {
+        assert_eq!(event.get("ph").and_then(JsonValue::as_str), Some("X"));
+    }
+    for cat in ["queue", "service", "root", "tier"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("cat").and_then(JsonValue::as_str) == Some(cat)),
+            "no `{cat}` span in the export"
+        );
+    }
+    let report = execute(&args(&["validate", trace_out.path()])).unwrap();
+    assert!(report.contains("valid JSON (object"), "{report}");
+}
+
+#[test]
+fn trace_exports_are_byte_identical_across_pool_sizes() {
+    let spec = Scratch::new("trace-pool.toml");
+    spec.write(&format!("{CHAIN_SPEC}\n[trace]\nsample_every = 2\n"));
+    let run = |workers: &str| {
+        let out = Scratch::new(&format!("trace-pool-{workers}.json"));
+        execute(&args(&[
+            "run",
+            spec.path(),
+            "--trace-out",
+            out.path(),
+            "--parallelism",
+            workers,
+        ]))
+        .unwrap();
+        out.read()
+    };
+    assert_eq!(run("1"), run("8"));
+}
+
+#[test]
+fn trace_spec_errors_are_line_numbered_usage_errors() {
+    // Each bad table: the error names the offending line and exits 2.
+    for (name, trace, needle, line) in [
+        (
+            "trace-key.toml",
+            "sample_every = 4\nspan_cap = 3\n",
+            "unknown key `span_cap`",
+            "line 19",
+        ),
+        (
+            "trace-rate.toml",
+            "sample_every = 0\n",
+            "`sample_every` must be at least 1",
+            "line 18",
+        ),
+        (
+            "trace-float.toml",
+            "sample_every = 0.5\n",
+            "`sample_every` must be a non-negative integer",
+            "line 18",
+        ),
+        (
+            "trace-bound.toml",
+            "sample_every = 4\nmax_spans = 0\n",
+            "`max_spans` must be at least 1",
+            "line 19",
+        ),
+        (
+            "trace-missing.toml",
+            "max_spans = 16\n",
+            "[trace] needs `sample_every`",
+            "line 17",
+        ),
+    ] {
+        let spec = Scratch::new(name);
+        // Same arithmetic as the [network] error tests: CHAIN_SPEC is 16
+        // lines, so [trace] lands on line 17 and its first key on line 18.
+        spec.write(&format!("{CHAIN_SPEC}\n[trace]\n{trace}"));
+        let err = execute(&args(&["run", spec.path()])).unwrap_err();
+        let CliError::Usage(message) = &err else {
+            panic!("expected usage error for {trace:?}, got {err:?}");
+        };
+        assert!(message.contains(needle), "{trace:?} -> {message}");
+        assert!(message.contains(line), "{trace:?} -> {message}");
+        assert_eq!(err.exit_code(), 2);
+    }
+    // A [trace] table on a fleet/sweep kind stays a plain input error
+    // (exit 1), like every other shape conflict.
+    let spec = Scratch::new("trace-kind.toml");
+    spec.write(
+        "[experiment]\nkind = \"fleet\"\n\n[workload]\nkind = \"memcached\"\n\
+         rate_per_sec = 100\n\n[fleet]\nservers = 2\n\n[trace]\nsample_every = 4\n",
+    );
+    let err = execute(&args(&["run", spec.path()])).unwrap_err();
+    let CliError::Input(message) = &err else {
+        panic!("expected input error, got {err:?}");
+    };
+    assert!(
+        message.contains("[trace] applies to single, cluster and chain"),
+        "{message}"
+    );
+    assert_eq!(err.exit_code(), 1);
+}
+
+#[test]
+fn trace_out_needs_a_trace_table_and_profile_needs_a_spec() {
+    // --trace-out without a [trace] table fails before anything runs.
+    let spec = Scratch::new("trace-noflag.toml");
+    spec.write(SINGLE_SPEC);
+    let err = execute(&args(&[
+        "run",
+        spec.path(),
+        "--trace-out",
+        "/tmp/nope.json",
+    ]))
+    .unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("[trace]")),
+        "{err:?}"
+    );
+    assert_eq!(err.exit_code(), 2);
+    // Named library scenarios never trace or profile.
+    let err = execute(&args(&[
+        "run",
+        "mesh-8-fanout4",
+        "--trace-out",
+        "/tmp/nope.json",
+    ]))
+    .unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("--trace-out")),
+        "{err:?}"
+    );
+    let err = execute(&args(&["run", "cluster-8-mid", "--profile"])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("--profile")),
+        "{err:?}"
+    );
+}
+
+#[test]
 fn sweep_expands_the_cartesian_grid() {
     let spec = Scratch::new("sweep.toml");
     spec.write(

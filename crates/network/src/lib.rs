@@ -493,6 +493,31 @@ impl Topology {
         path
     }
 
+    /// Human-readable role of link `id` in the resolved table — e.g.
+    /// `"server3-up"`, `"client-down"`, `"rack1-up"`, `"pod0-down"` — used
+    /// to attribute per-link statistics in exports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not a valid link index.
+    #[must_use]
+    pub fn link_label(&self, id: LinkId) -> String {
+        assert!(id < self.links.len(), "link {id} out of range");
+        let dir = if id % 2 == 0 { "up" } else { "down" };
+        if id < self.rack_base {
+            let endpoint = id / 2;
+            if endpoint == self.client() {
+                format!("client-{dir}")
+            } else {
+                format!("server{endpoint}-{dir}")
+            }
+        } else if id < self.pod_base {
+            format!("rack{}-{dir}", (id - self.rack_base) / 2)
+        } else {
+            format!("pod{}-{dir}", (id - self.pod_base) / 2)
+        }
+    }
+
     /// The minimum propagation latency over the resolved link table — the
     /// conservative lookahead bound for parallel simulation (every path
     /// crosses at least one link; queueing and serialization only add).
@@ -524,6 +549,22 @@ impl Topology {
     }
 }
 
+/// Per-link occupancy and queueing statistics for one simulation run.
+///
+/// Lets a trace attribute wire time to the congested link instead of the
+/// path-level census alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Messages forwarded over this link.
+    pub messages: u64,
+    /// Sum of store-and-forward queueing waits (departure minus arrival).
+    pub total_queue_delay: SimDuration,
+    /// Largest single queueing wait observed on this link.
+    pub max_queue_delay: SimDuration,
+    /// Total time the link spent serializing payloads (occupancy).
+    pub busy_time: SimDuration,
+}
+
 /// Aggregate wire-delay statistics for one simulation run, exported next
 /// to the run results.
 #[derive(Debug, Clone, PartialEq)]
@@ -536,6 +577,9 @@ pub struct NetworkStats {
     pub total_wire_delay: SimDuration,
     /// Largest single wire delay observed.
     pub max_wire_delay: SimDuration,
+    /// Per-link breakdown, indexed by [`LinkId`] (same order as
+    /// [`Topology::links`]).
+    pub per_link: Vec<LinkStats>,
 }
 
 impl NetworkStats {
@@ -547,6 +591,22 @@ impl NetworkStats {
         } else {
             self.total_wire_delay / self.messages
         }
+    }
+
+    /// The link that accumulated the most queueing delay, with its stats
+    /// (ties resolve to the lowest link id; `None` when nothing queued).
+    #[must_use]
+    pub fn most_queued_link(&self) -> Option<(LinkId, LinkStats)> {
+        self.per_link
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.total_queue_delay.is_zero())
+            .max_by(|(ia, a), (ib, b)| {
+                a.total_queue_delay
+                    .cmp(&b.total_queue_delay)
+                    .then(ib.cmp(ia))
+            })
+            .map(|(id, s)| (id, *s))
     }
 }
 
@@ -566,6 +626,7 @@ impl NetworkState {
     pub fn new(config: NetworkConfig, servers: usize) -> Self {
         let topology = Topology::new(config, servers);
         let busy_until = vec![SimTime::ZERO; topology.links().len()];
+        let per_link = vec![LinkStats::default(); topology.links().len()];
         NetworkState {
             topology,
             busy_until,
@@ -574,6 +635,7 @@ impl NetworkState {
                 messages: 0,
                 total_wire_delay: SimDuration::ZERO,
                 max_wire_delay: SimDuration::ZERO,
+                per_link,
             },
         }
     }
@@ -627,6 +689,12 @@ impl NetworkState {
             if !serialize.is_zero() {
                 self.busy_until[link_id] = depart + serialize;
             }
+            let queued = depart.saturating_since(at);
+            let stats = &mut self.stats.per_link[link_id];
+            stats.messages += 1;
+            stats.total_queue_delay += queued;
+            stats.max_queue_delay = stats.max_queue_delay.max(queued);
+            stats.busy_time += serialize;
             at = depart + serialize + link.latency;
         }
         let delay = at.saturating_since(now);
@@ -777,6 +845,60 @@ mod tests {
             net.stats().mean_wire_delay(),
             SimDuration::from_nanos(2_500)
         );
+    }
+
+    #[test]
+    fn per_link_stats_attribute_queueing_to_the_congested_link() {
+        // Same setup as `back_to_back_messages_queue_on_busy_links`: the
+        // second message queues 1 µs behind the first on the shared client
+        // uplink, and nowhere else.
+        let config = NetworkConfig::flat(SimDuration::ZERO)
+            .with_bandwidth(1_000_000_000)
+            .with_rpc_bytes(1000);
+        let mut net = NetworkState::new(config, 2);
+        let client = net.client();
+        net.transmit(client, 0, SimTime::ZERO);
+        net.transmit(client, 1, SimTime::ZERO);
+
+        let up = 2 * client; // client uplink id per the table layout
+        let stats = net.stats();
+        assert_eq!(stats.per_link.len(), net.topology().links().len());
+        assert_eq!(stats.per_link[up].messages, 2);
+        assert_eq!(
+            stats.per_link[up].total_queue_delay,
+            SimDuration::from_micros(1)
+        );
+        assert_eq!(
+            stats.per_link[up].max_queue_delay,
+            SimDuration::from_micros(1)
+        );
+        assert_eq!(stats.per_link[up].busy_time, SimDuration::from_micros(2));
+        // Each server's down link carried one message with no queueing.
+        for server in 0..2 {
+            let down = 2 * server + 1;
+            assert_eq!(stats.per_link[down].messages, 1);
+            assert_eq!(stats.per_link[down].total_queue_delay, SimDuration::ZERO);
+            assert_eq!(stats.per_link[down].busy_time, SimDuration::from_micros(1));
+        }
+        let (congested, link_stats) = stats.most_queued_link().expect("queueing occurred");
+        assert_eq!(congested, up);
+        assert_eq!(link_stats.total_queue_delay, SimDuration::from_micros(1));
+        assert_eq!(net.topology().link_label(congested), "client-up");
+    }
+
+    #[test]
+    fn link_labels_name_every_tier() {
+        let topo = Topology::new(
+            NetworkConfig::fat_tree(SimDuration::from_micros(1), 2, 2, 4.0),
+            8,
+        );
+        assert_eq!(topo.link_label(0), "server0-up");
+        assert_eq!(topo.link_label(7), "server3-down");
+        assert_eq!(topo.link_label(2 * topo.client()), "client-up");
+        assert_eq!(topo.link_label(topo.rack_up(1)), "rack1-up");
+        assert_eq!(topo.link_label(topo.pod_down(1)), "pod1-down");
+        let flat = Topology::new(NetworkConfig::ideal(), 2);
+        assert_eq!(flat.link_label(flat.links().len() - 1), "client-down");
     }
 
     #[test]

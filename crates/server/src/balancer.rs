@@ -235,8 +235,17 @@ impl EventHandler<ServerEvent, ClusterState> for Balancer {
     ) {
         debug_assert!(matches!(event, ServerEvent::ClusterArrival));
         let _ = event;
-        let request = self.loadgen.next_request();
+        let mut request = self.loadgen.next_request();
         let next_arrival = self.loadgen.peek_next_arrival();
+        // Cluster head-sampling site: the decision is drawn before routing
+        // from the cluster's dedicated sampler stream, so a traced request's
+        // span tree starts at the balancer whatever node it lands on.
+        if let Some(trace) = shared.trace.as_mut() {
+            if trace.sampler.sample() {
+                request =
+                    request.with_trace(apc_trace::TraceCtx::root(request.id.0, request.arrival));
+            }
+        }
         let target = self.policy.route(shared, ctx.rng());
         debug_assert!(
             target < shared.node_count(),

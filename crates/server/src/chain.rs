@@ -66,6 +66,7 @@ use apc_sim::component::Simulation;
 use apc_sim::rng::SimRng;
 use apc_sim::{SimDuration, SimTime};
 use apc_telemetry::latency::{LatencyRecorder, LatencySummary};
+use apc_trace::{ProfileReport, Span, SpanKind, TraceCtx, TraceLog, TraceState};
 use apc_workloads::arrival::{ArrivalProcess, PoissonArrivals};
 use apc_workloads::chain::TierService;
 use apc_workloads::request::{ChainTag, Request, RequestId};
@@ -205,6 +206,20 @@ struct ChainProgress {
     /// First completion instant within the current tier (straggler gap =
     /// last − first on the join of a fan-out tier).
     first_done: Option<SimTime>,
+    /// Join bookkeeping for a head-sampled chain (`None` when the chain is
+    /// untraced): when the current tier was issued and when each sibling's
+    /// completion report arrived, turned into join/tier spans when the tier
+    /// joins.
+    trace: Option<TierTrace>,
+}
+
+/// Per-tier span bookkeeping of a traced chain (see [`ChainProgress::trace`]).
+#[derive(Debug)]
+struct TierTrace {
+    /// When the tier's RPCs were issued.
+    tier_start: SimTime,
+    /// Arrival instant of each sibling's completion report, in join order.
+    reports: Vec<SimTime>,
 }
 
 /// The chain-coordinator component: generates root-chain arrivals, fans each
@@ -318,20 +333,32 @@ impl ChainCoordinator {
         let tier = self.graph.tiers()[progress.tier];
         progress.outstanding = tier.width;
         progress.first_done = None;
+        let now = ctx.now();
+        let traced = if let Some(tier_trace) = progress.trace.as_mut() {
+            tier_trace.tier_start = now;
+            tier_trace.reports.clear();
+            true
+        } else {
+            false
+        };
         let tag = ChainTag {
             coordinator: ctx.id(),
             chain: chain_id,
         };
-        let now = ctx.now();
         for _ in 0..tier.width {
             let service = tier.service.sample_service(&mut self.workload_rng);
-            let request = Request::new(
+            let mut request = Request::new(
                 RequestId(self.next_request_id),
                 tier.service.class,
                 now,
                 service,
             )
             .with_chain(tag);
+            if traced {
+                // Chain RPCs trace under the chain id (not the request id),
+                // so every tier's spans join one causal tree.
+                request = request.with_trace(TraceCtx::root(chain_id, now));
+            }
             self.next_request_id += 1;
             let target = self.policy.route(shared, ctx.rng());
             debug_assert!(
@@ -353,6 +380,12 @@ impl ChainCoordinator {
         let chain_id = self.next_chain_id;
         self.next_chain_id += 1;
         self.chains_started += 1;
+        // Chain head-sampling site: one decision per root chain, drawn from
+        // the cluster's dedicated sampler stream.
+        let traced = shared
+            .trace
+            .as_mut()
+            .is_some_and(|trace| trace.sampler.sample());
         self.inflight.insert(
             chain_id,
             ChainProgress {
@@ -360,6 +393,10 @@ impl ChainCoordinator {
                 tier: 0,
                 outstanding: 0,
                 first_done: None,
+                trace: traced.then(|| TierTrace {
+                    tier_start: ctx.now(),
+                    reports: Vec::new(),
+                }),
             },
         );
         self.issue_tier(chain_id, shared, ctx);
@@ -383,6 +420,9 @@ impl ChainCoordinator {
         if progress.first_done.is_none() {
             progress.first_done = Some(now);
         }
+        if let Some(tier_trace) = progress.trace.as_mut() {
+            tier_trace.reports.push(now);
+        }
         progress.outstanding -= 1;
         if progress.outstanding > 0 {
             return;
@@ -394,6 +434,33 @@ impl ChainCoordinator {
             let first = progress.first_done.expect("joined tier saw a completion");
             self.straggler.record(now.saturating_since(first));
         }
+        // A traced chain emits its join/tier spans on the coordinator's
+        // pseudo-node (index = node count): one join span per sibling report
+        // (report arrival → tier join; the straggler's is zero-length) and
+        // one tier span covering issue → join.
+        let coordinator_node = self.routed.len() as u32;
+        if let (Some(tier_trace), Some(trace)) = (progress.trace.as_ref(), shared.trace.as_mut()) {
+            for (sibling, &report) in tier_trace.reports.iter().enumerate() {
+                trace.log.push(Span {
+                    trace: chain_id,
+                    kind: SpanKind::Join,
+                    label: "",
+                    node: coordinator_node,
+                    lane: sibling as u32,
+                    start: report,
+                    end: now,
+                });
+            }
+            trace.log.push(Span {
+                trace: chain_id,
+                kind: SpanKind::Tier,
+                label: "",
+                node: coordinator_node,
+                lane: 0,
+                start: tier_trace.tier_start,
+                end: now,
+            });
+        }
         if progress.tier + 1 < self.graph.tiers().len() {
             progress.tier += 1;
             self.issue_tier(chain_id, shared, ctx);
@@ -401,9 +468,22 @@ impl ChainCoordinator {
         }
         // Last tier joined: the chain is complete end-to-end.
         let root_arrival = progress.root_arrival;
-        self.inflight.remove(&chain_id);
+        let traced = self.inflight.remove(&chain_id).expect("present").trace;
         self.chains_completed += 1;
         self.e2e.record(now.saturating_since(root_arrival));
+        if traced.is_some() {
+            if let Some(trace) = shared.trace.as_mut() {
+                trace.log.push(Span {
+                    trace: chain_id,
+                    kind: SpanKind::Root,
+                    label: "",
+                    node: coordinator_node,
+                    lane: 0,
+                    start: root_arrival,
+                    end: now,
+                });
+            }
+        }
     }
 
     /// Reduces the coordinator's telemetry (consumes the recorders'
@@ -453,6 +533,7 @@ pub struct ChainSimulation {
     nodes: Vec<NodeHandles>,
     coordinator: Rc<RefCell<ChainCoordinator>>,
     end_at: SimTime,
+    profile: bool,
 }
 
 impl ChainSimulation {
@@ -509,6 +590,10 @@ impl ChainSimulation {
         );
         let node_count = configs.len();
         let end_at = SimTime::ZERO + duration;
+        // Observability is a cluster-level concern (one sampler, one span
+        // log, one event loop to profile): the first node's config decides.
+        let trace_config = configs[0].trace;
+        let profile = configs[0].profile;
 
         let mut state = ClusterState::new(configs);
         // Each node's nominal offered rate is its share of the cluster-wide
@@ -552,6 +637,11 @@ impl ChainSimulation {
         }
         sim.shared_mut().fabric =
             network.map(|config| FabricState::new(config, node_count, fabric_id));
+        sim.shared_mut().trace = trace_config
+            .map(|config| TraceState::new(config, SimRng::from_seed(seed).fork("trace-sampler")));
+        if profile {
+            sim.enable_event_profile(ServerEvent::KIND_COUNT, ServerEvent::kind);
+        }
         // Bootstrap in the cluster order: the first root arrival, then every
         // node's background timers / initial idle entries / power sampling.
         let first_arrival = coordinator.borrow().first_arrival();
@@ -565,6 +655,7 @@ impl ChainSimulation {
             nodes,
             coordinator,
             end_at,
+            profile,
         }
     }
 
@@ -584,7 +675,7 @@ impl ChainSimulation {
     /// per-node power/residency into a [`ChainResult`].
     #[must_use]
     pub fn run(mut self) -> ChainResult {
-        self.sim.run_until(self.end_at);
+        let events_dispatched = self.sim.run_until(self.end_at);
         let end = self.end_at;
         let network = self
             .sim
@@ -592,11 +683,15 @@ impl ChainSimulation {
             .fabric
             .as_ref()
             .map(|f| f.net.stats().clone());
+        let profile = self.profile.then(|| {
+            crate::components::profile_report(self.sim.queue_counters(), self.sim.event_profile())
+        });
         let runs = self
             .nodes
             .iter()
             .map(|handles| handles.collect_result(self.sim.shared_mut(), end))
             .collect();
+        let trace = self.sim.shared_mut().trace.take().map(TraceState::into_log);
         let stats = self.coordinator.borrow_mut().stats();
         ChainResult {
             policy: stats.policy,
@@ -608,6 +703,9 @@ impl ChainSimulation {
             straggler: stats.straggler,
             routed: stats.routed,
             network,
+            events_dispatched,
+            trace,
+            profile,
             nodes: FleetResult { runs },
         }
     }
@@ -644,6 +742,16 @@ pub struct ChainResult {
     /// Wire-delay statistics of the network fabric, when one was configured
     /// (`None` for the instantaneous-deposit path).
     pub network: Option<NetworkStats>,
+    /// Events the cluster's event loop dispatched to reach the horizon
+    /// (identical for sequential and parallel executions of the same run).
+    pub events_dispatched: u64,
+    /// Span log of head-sampled chains, when tracing was configured (see
+    /// [`crate::config::ServerConfig::trace`]; the first node's config
+    /// decides for the cluster).
+    pub trace: Option<TraceLog>,
+    /// Engine self-profile, when profiling was configured (see
+    /// [`crate::config::ServerConfig::profile`]).
+    pub profile: Option<ProfileReport>,
     /// Per-node results in node order, with fleet-style aggregates.
     pub nodes: FleetResult,
 }

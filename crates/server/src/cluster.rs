@@ -48,7 +48,9 @@ use std::rc::Rc;
 
 use apc_network::{NetworkConfig, NetworkStats};
 use apc_sim::component::Simulation;
+use apc_sim::rng::SimRng;
 use apc_sim::{SimDuration, SimTime};
+use apc_trace::{ProfileReport, TraceLog, TraceState};
 use apc_workloads::loadgen::LoadGenerator;
 use apc_workloads::spec::WorkloadSpec;
 
@@ -66,6 +68,7 @@ pub struct ClusterSimulation {
     nodes: Vec<NodeHandles>,
     balancer: Rc<RefCell<Balancer>>,
     end_at: SimTime,
+    profile: bool,
 }
 
 impl ClusterSimulation {
@@ -120,6 +123,10 @@ impl ClusterSimulation {
         );
         let node_count = configs.len();
         let end_at = SimTime::ZERO + duration;
+        // Observability is a cluster-level concern (one sampler, one span
+        // log, one event loop to profile): the first node's config decides.
+        let trace_config = configs[0].trace;
+        let profile = configs[0].profile;
 
         let mut state = ClusterState::new(configs);
         // Each node's recorded `offered_rate` is the *nominal* per-node share
@@ -166,6 +173,11 @@ impl ClusterSimulation {
         }
         sim.shared_mut().fabric =
             network.map(|config| FabricState::new(config, node_count, fabric_id));
+        sim.shared_mut().trace = trace_config
+            .map(|config| TraceState::new(config, SimRng::from_seed(seed).fork("trace-sampler")));
+        if profile {
+            sim.enable_event_profile(ServerEvent::KIND_COUNT, ServerEvent::kind);
+        }
         // Bootstrap in the standalone order: the first arrival, then every
         // node's background timers / initial idle entries / power sampling.
         sim.schedule(balancer_id, first_arrival, ServerEvent::ClusterArrival);
@@ -178,6 +190,7 @@ impl ClusterSimulation {
             nodes,
             balancer,
             end_at,
+            profile,
         }
     }
 
@@ -211,11 +224,15 @@ impl ClusterSimulation {
             .fabric
             .as_ref()
             .map(|f| f.net.stats().clone());
+        let profile = self.profile.then(|| {
+            crate::components::profile_report(self.sim.queue_counters(), self.sim.event_profile())
+        });
         let runs = self
             .nodes
             .iter()
             .map(|handles| handles.collect_result(self.sim.shared_mut(), end))
             .collect();
+        let trace = self.sim.shared_mut().trace.take().map(TraceState::into_log);
         let balancer = self.balancer.borrow();
         ClusterResult {
             policy: balancer.policy_name(),
@@ -223,6 +240,8 @@ impl ClusterSimulation {
             duration: self.end_at.saturating_since(SimTime::ZERO),
             events_dispatched,
             network,
+            trace,
+            profile,
             nodes: FleetResult { runs },
         }
     }
@@ -250,6 +269,13 @@ pub struct ClusterResult {
     /// Wire-delay statistics of the network fabric, when one was configured
     /// (`None` for the instantaneous-deposit path).
     pub network: Option<NetworkStats>,
+    /// Span log of head-sampled requests, when tracing was configured (see
+    /// [`crate::config::ServerConfig::trace`]; the first node's config
+    /// decides for the cluster).
+    pub trace: Option<TraceLog>,
+    /// Engine self-profile, when profiling was configured (see
+    /// [`crate::config::ServerConfig::profile`]).
+    pub profile: Option<ProfileReport>,
     /// Per-node results in node order, with fleet-style aggregates.
     pub nodes: FleetResult,
 }

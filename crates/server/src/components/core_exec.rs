@@ -8,11 +8,23 @@ use apc_sim::component::{EventHandler, SimulationContext};
 use apc_sim::SimTime;
 use apc_soc::core::CoreId;
 use apc_soc::cstate::CoreCState;
+use apc_trace::{Span, SpanKind, TraceCtx, TraceState};
 use apc_workloads::spec::BackgroundNoise;
 
 use super::fabric;
 use super::state::{HasNode, ServerState};
 use super::{ServerEvent, WorkItem};
+
+/// Static name of a core C-state, for [`Span`] labels (spans hold
+/// `&'static str`, so the `Display` impl cannot be used).
+fn cstate_name(state: CoreCState) -> &'static str {
+    match state {
+        CoreCState::CC0 => "CC0",
+        CoreCState::CC1 => "CC1",
+        CoreCState::CC1E => "CC1E",
+        CoreCState::CC6 => "CC6",
+    }
+}
 
 /// One simulated core: executes assigned work, runs the OS idle governor
 /// when the run queue drains, and fires the periodic background (OS) timer.
@@ -88,11 +100,21 @@ impl CoreExec {
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
         let now = ctx.now();
+        // Read the C-state being exited before `begin_wakeup` replaces it, so
+        // a traced request's wake span names the state whose exit latency it
+        // actually paid.
+        let leaving = shared.soc.cores().core(self.core_id()).cstate();
         let exit = shared
             .soc
             .cores_mut()
             .core_mut(self.core_id())
             .begin_wakeup(now);
+        if let Some(WorkItem::Client(request)) = shared.sched.pending_start[self.index].as_mut() {
+            if let Some(trace) = request.trace.as_mut() {
+                trace.wake_start = Some(now);
+                trace.wake_cstate = Some(cstate_name(leaving));
+            }
+        }
         shared.telemetry.idle_tracker.core_active(now);
         self.epoch += 1;
         ctx.emit_self(exit, ServerEvent::WakeDone { epoch: self.epoch });
@@ -132,10 +154,15 @@ impl CoreExec {
 
     fn start_service(
         &mut self,
-        item: WorkItem,
+        mut item: WorkItem,
         shared: &mut ServerState,
         ctx: &mut SimulationContext<'_, ServerEvent>,
     ) {
+        if let WorkItem::Client(request) = &mut item {
+            if let Some(trace) = request.trace.as_mut() {
+                trace.service_start = Some(ctx.now());
+            }
+        }
         let service = match &item {
             WorkItem::Client(r) => r.service + shared.config.softirq_overhead,
             WorkItem::Background { work } => *work,
@@ -155,6 +182,7 @@ impl CoreExec {
             .take()
             .expect("core had no running work");
         let mut leaf_report = None;
+        let mut finished_trace = None;
         match item {
             WorkItem::Client(request) => {
                 node.outstanding -= 1;
@@ -169,11 +197,13 @@ impl CoreExec {
                 // coordinator, which joins it into the fan-out and issues
                 // the next tier (or records the chain's end-to-end latency).
                 leaf_report = request.chain;
+                finished_trace = request.trace;
             }
             WorkItem::Background { work } => {
                 node.telemetry.busy_core_time += work;
             }
         }
+        let mut wire_back = None;
         if let Some(tag) = leaf_report {
             // The report crosses the network fabric back to the coordinator
             // endpoint; without a fabric (or with an instantaneous one) the
@@ -188,11 +218,22 @@ impl CoreExec {
                     delay,
                     ServerEvent::ChainLeafDone { chain: tag.chain },
                 );
+                wire_back = Some(delay);
+            }
+        }
+        if let Some(trace_ctx) = finished_trace {
+            if let Some(trace) = shared.trace_mut() {
+                self.push_request_spans(trace, &trace_ctx, now, leaf_report.is_some(), wire_back);
             }
         }
         let shared = shared.node_mut(self.node);
         // Pick up more work without sleeping if any is available.
-        if let Some(next) = shared.sched.client_queue.pop_front() {
+        if let Some(mut next) = shared.sched.client_queue.pop_front() {
+            // Queue exit without a scheduler round: the already-awake core
+            // pops the next request directly, so stamp its queue exit here.
+            if let Some(trace) = next.trace.as_mut() {
+                trace.assigned = Some(now);
+            }
             self.start_service(WorkItem::Client(next), shared, ctx);
             return;
         }
@@ -204,6 +245,70 @@ impl CoreExec {
             return;
         }
         self.begin_idle(now, shared, ctx);
+    }
+
+    /// Turns a completed request's stamps into the causal span chain
+    /// {wire-out, coalesce, queue, wake, service} on this node, plus the
+    /// root span (plain requests) or the wire-back span (chain RPCs, whose
+    /// root/tier/join spans the coordinator owns).
+    ///
+    /// Missing stamps inherit the previous boundary, degrading skipped
+    /// stages to zero-length spans, so the chain is always contiguous:
+    /// the five pipeline spans sum exactly to `now - arrival`.
+    fn push_request_spans(
+        &self,
+        trace: &mut TraceState,
+        trace_ctx: &TraceCtx,
+        now: SimTime,
+        is_chain_rpc: bool,
+        wire_back: Option<apc_sim::SimDuration>,
+    ) {
+        let node = self.node as u32;
+        let lane = 1 + self.index as u32;
+        let arrival = trace_ctx.arrival;
+        let deposited = trace_ctx.deposited.unwrap_or(arrival);
+        let delivered = trace_ctx.delivered.unwrap_or(deposited);
+        let assigned = trace_ctx.assigned.unwrap_or(delivered);
+        let wake_start = trace_ctx.wake_start.unwrap_or(assigned);
+        let service_start = trace_ctx.service_start.unwrap_or(wake_start);
+        let span = |kind, label, lane, start, end| Span {
+            trace: trace_ctx.trace,
+            kind,
+            label,
+            node,
+            lane,
+            start,
+            end,
+        };
+        trace
+            .log
+            .push(span(SpanKind::WireOut, "", 0, arrival, deposited));
+        trace
+            .log
+            .push(span(SpanKind::Coalesce, "", 0, deposited, delivered));
+        trace
+            .log
+            .push(span(SpanKind::Queue, "", 0, delivered, assigned));
+        let cstate = trace_ctx.wake_cstate.unwrap_or("CC0");
+        trace.log.push(span(
+            SpanKind::Wake,
+            cstate,
+            lane,
+            wake_start,
+            service_start,
+        ));
+        trace
+            .log
+            .push(span(SpanKind::Service, "", lane, service_start, now));
+        if is_chain_rpc {
+            if let Some(delay) = wire_back {
+                trace
+                    .log
+                    .push(span(SpanKind::WireBack, "", 0, now, now + delay));
+            }
+        } else {
+            trace.log.push(span(SpanKind::Root, "", 0, arrival, now));
+        }
     }
 
     fn begin_idle(

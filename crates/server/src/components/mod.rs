@@ -125,6 +125,103 @@ pub enum ServerEvent {
     },
 }
 
+impl ServerEvent {
+    /// Number of distinct event kinds (the bound for
+    /// [`ServerEvent::kind`] indices and the length of
+    /// [`ServerEvent::KIND_NAMES`]).
+    pub const KIND_COUNT: usize = 23;
+
+    /// Stable names of every event kind, indexed by [`ServerEvent::kind`].
+    pub const KIND_NAMES: [&'static str; Self::KIND_COUNT] = [
+        "ClientArrival",
+        "ClusterArrival",
+        "NicDeliver",
+        "WireDeliver",
+        "BackgroundTick",
+        "InitIdle",
+        "BeginWake",
+        "WakeDone",
+        "ServiceDone",
+        "IdleEntered",
+        "Dispatch",
+        "PackageWake",
+        "CoreActive",
+        "AllIdleCheck",
+        "StandbyDeadline",
+        "ApmuEntryDone",
+        "ApmuExitDone",
+        "GpmuEntryDone",
+        "GpmuExitDone",
+        "PowerSample",
+        "TimeSeriesSample",
+        "ChainArrival",
+        "ChainLeafDone",
+    ];
+
+    /// Kind index of this event for the engine self-profiler.
+    #[must_use]
+    pub fn kind(&self) -> usize {
+        match self {
+            ServerEvent::ClientArrival => 0,
+            ServerEvent::ClusterArrival => 1,
+            ServerEvent::NicDeliver => 2,
+            ServerEvent::WireDeliver { .. } => 3,
+            ServerEvent::BackgroundTick => 4,
+            ServerEvent::InitIdle => 5,
+            ServerEvent::BeginWake => 6,
+            ServerEvent::WakeDone { .. } => 7,
+            ServerEvent::ServiceDone => 8,
+            ServerEvent::IdleEntered { .. } => 9,
+            ServerEvent::Dispatch => 10,
+            ServerEvent::PackageWake { .. } => 11,
+            ServerEvent::CoreActive => 12,
+            ServerEvent::AllIdleCheck => 13,
+            ServerEvent::StandbyDeadline => 14,
+            ServerEvent::ApmuEntryDone => 15,
+            ServerEvent::ApmuExitDone => 16,
+            ServerEvent::GpmuEntryDone => 17,
+            ServerEvent::GpmuExitDone => 18,
+            ServerEvent::PowerSample => 19,
+            ServerEvent::TimeSeriesSample => 20,
+            ServerEvent::ChainArrival => 21,
+            ServerEvent::ChainLeafDone { .. } => 22,
+        }
+    }
+}
+
+/// Builds the engine self-profile surfaced in run results from one event
+/// queue's counters (`kinds` is the per-event-kind breakdown, present when
+/// the kind classifier was enabled). Event kinds that never appeared are
+/// dropped from the report.
+#[must_use]
+pub fn profile_report(
+    counters: apc_sim::engine::QueueCounters,
+    kinds: Option<&[apc_sim::engine::KindCounters]>,
+) -> apc_trace::ProfileReport {
+    let events = kinds
+        .map(|kinds| {
+            ServerEvent::KIND_NAMES
+                .iter()
+                .zip(kinds)
+                .map(|(name, k)| apc_trace::EventKindCount {
+                    kind: name,
+                    scheduled: k.scheduled,
+                    dispatched: k.dispatched,
+                    cancelled: k.cancelled,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut report = apc_trace::ProfileReport {
+        engine: apc_trace::EngineProfile::from_counters(counters),
+        events,
+        workers: Vec::new(),
+        hub_replay_ns: 0,
+    };
+    report.retain_active_kinds();
+    report
+}
+
 /// A unit of work a core can execute.
 #[derive(Debug, Clone)]
 pub enum WorkItem {

@@ -4,6 +4,7 @@
 use apc_core::apmu::WakeCause;
 use apc_sim::component::{EventHandler, SimulationContext};
 use apc_soc::io::IoId;
+use apc_trace::TraceCtx;
 use apc_workloads::loadgen::LoadGenerator;
 use apc_workloads::request::Request;
 
@@ -21,8 +22,11 @@ use super::ServerEvent;
 pub(crate) fn buffer_request(
     node: &mut ServerState,
     ctx: &mut SimulationContext<'_, ServerEvent>,
-    request: Request,
+    mut request: Request,
 ) {
+    if let Some(trace) = request.trace.as_mut() {
+        trace.deposited = Some(ctx.now());
+    }
     node.nic.buffer.push_back(request);
     node.outstanding += 1;
     if !node.nic.deliver_pending {
@@ -84,8 +88,16 @@ impl NicArrival {
             .loadgen
             .as_mut()
             .expect("a cluster-fed NIC never receives ClientArrival");
-        let request = loadgen.next_request();
+        let mut request = loadgen.next_request();
         let next_arrival = loadgen.peek_next_arrival();
+        // Standalone head-sampling site: the cluster paths sample at the
+        // balancer / chain coordinator instead (a cluster-fed NIC never
+        // receives `ClientArrival`, so node-local trace state is in scope).
+        if let Some(trace) = shared.telemetry.trace.as_mut() {
+            if trace.sampler.sample() {
+                request = request.with_trace(TraceCtx::root(request.id.0, request.arrival));
+            }
+        }
         buffer_request(shared, ctx, request);
         ctx.emit_self_at(next_arrival, ServerEvent::ClientArrival);
     }
@@ -118,7 +130,10 @@ impl NicArrival {
                 },
             );
         }
-        while let Some(r) = shared.nic.buffer.pop_front() {
+        while let Some(mut r) = shared.nic.buffer.pop_front() {
+            if let Some(trace) = r.trace.as_mut() {
+                trace.delivered = Some(now);
+            }
             shared.sched.client_queue.push_back(r);
         }
         ctx.emit_now(shared.addrs.scheduler, ServerEvent::Dispatch);

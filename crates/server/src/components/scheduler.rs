@@ -87,6 +87,12 @@ impl Scheduler {
             "free-core set out of sync: core {core} is not free"
         );
         let dst = shared.addrs.cores[core];
+        let mut item = item;
+        if let WorkItem::Client(request) = &mut item {
+            if let Some(trace) = request.trace.as_mut() {
+                trace.assigned = Some(ctx.now());
+            }
+        }
         shared.sched.pending_start[core] = Some(item);
         shared.sched.mark_occupied(core);
         ctx.emit_now(dst, ServerEvent::BeginWake);

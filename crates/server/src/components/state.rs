@@ -17,6 +17,7 @@ use apc_telemetry::idle::IdlePeriodTracker;
 use apc_telemetry::latency::LatencyRecorder;
 use apc_telemetry::residency::{CoreResidencySet, PackageResidency};
 use apc_telemetry::timeseries::TimeSeries;
+use apc_trace::TraceState;
 use apc_workloads::request::Request;
 
 use super::{Addresses, WorkItem};
@@ -303,6 +304,12 @@ pub struct TelemetryState {
     /// component when [`crate::config::ServerConfig::timeseries_interval`]
     /// is set.
     pub timeseries: Option<TimeSeries>,
+    /// Request span tracing: head-sampler plus the bounded span log. Set by
+    /// the standalone driver when [`crate::config::ServerConfig::trace`] is
+    /// configured; in a cluster the log lives on the shared
+    /// [`ClusterState`] instead (requests cross nodes) and this stays
+    /// `None`. Purely observational — no simulation decision reads it.
+    pub trace: Option<TraceState>,
 }
 
 impl TelemetryState {
@@ -319,6 +326,7 @@ impl TelemetryState {
             busy_core_time: SimDuration::ZERO,
             power_trace: Vec::new(),
             timeseries: None,
+            trace: None,
         }
     }
 }
@@ -515,6 +523,14 @@ pub trait HasNode {
     fn capture_leaf_report(&mut self, _node: usize, _now: SimTime, _chain: u64) -> bool {
         false
     }
+    /// The simulation's request-tracing state, when tracing is enabled.
+    /// Defaults to `None` (tracing off). A standalone server resolves it to
+    /// the node's [`TelemetryState::trace`]; a cluster resolves it to the
+    /// shared [`ClusterState::trace`] so one sampler and one span log cover
+    /// requests that cross nodes.
+    fn trace_mut(&mut self) -> Option<&mut TraceState> {
+        None
+    }
 }
 
 /// The single-server case: the state is its own (only) node.
@@ -532,6 +548,10 @@ impl HasNode for ServerState {
     fn node_count(&self) -> usize {
         1
     }
+
+    fn trace_mut(&mut self) -> Option<&mut TraceState> {
+        self.telemetry.trace.as_mut()
+    }
 }
 
 /// The state shared by every component of a cluster simulation: one complete
@@ -543,6 +563,10 @@ pub struct ClusterState {
     /// The network fabric every routed RPC and leaf report crosses; `None`
     /// keeps the instantaneous-deposit behaviour.
     pub fabric: Option<super::fabric::FabricState>,
+    /// Cluster-wide request tracing: one sampler and one span log shared by
+    /// every node, because a routed request's span tree crosses nodes.
+    /// `None` when tracing is off.
+    pub trace: Option<TraceState>,
 }
 
 impl ClusterState {
@@ -553,6 +577,7 @@ impl ClusterState {
         ClusterState {
             nodes: configs.into_iter().map(ServerState::new).collect(),
             fabric: None,
+            trace: None,
         }
     }
 }
@@ -572,6 +597,10 @@ impl HasNode for ClusterState {
 
     fn fabric_mut(&mut self) -> Option<&mut super::fabric::FabricState> {
         self.fabric.as_mut()
+    }
+
+    fn trace_mut(&mut self) -> Option<&mut TraceState> {
+        self.trace.as_mut()
     }
 }
 

@@ -4,6 +4,7 @@ use apc_pmu::config::PlatformConfig;
 use apc_power::model::PowerModel;
 use apc_sim::SimDuration;
 use apc_soc::topology::SocConfig;
+use apc_trace::TraceConfig;
 use apc_workloads::spec::BackgroundNoise;
 
 /// Configuration of one simulated server run.
@@ -34,6 +35,15 @@ pub struct ServerConfig {
     /// residency deltas and queue depth at this interval, delivered in the
     /// run result's `timeseries` field (off by default: series cost memory).
     pub timeseries_interval: Option<SimDuration>,
+    /// When set, head-sampled requests carry a span-trace context through the
+    /// pipeline and the run result's `trace` field delivers the span log.
+    /// Zero-perturbation: results are bit-identical with tracing on or off.
+    /// In a cluster, the *first* node's config decides for the whole cluster.
+    pub trace: Option<TraceConfig>,
+    /// When `true`, the run result's `profile` field delivers the engine
+    /// self-profile (event-core counters, per-event-kind counts). Also
+    /// zero-perturbation. In a cluster, the first node's config decides.
+    pub profile: bool,
 }
 
 impl ServerConfig {
@@ -70,6 +80,8 @@ impl ServerConfig {
             seed: 0x5eed,
             power_sample_interval: None,
             timeseries_interval: None,
+            trace: None,
+            profile: false,
         }
     }
 
@@ -108,6 +120,24 @@ impl ServerConfig {
     #[must_use]
     pub fn with_timeseries(mut self, every: SimDuration) -> Self {
         self.timeseries_interval = Some(every).filter(|d| !d.is_zero());
+        self
+    }
+
+    /// Enables request span tracing; the log is returned in
+    /// [`RunResult::trace`](crate::result::RunResult::trace) (and the
+    /// cluster/chain equivalents).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Enables the engine self-profiler; the report is returned in
+    /// [`RunResult::profile`](crate::result::RunResult::profile) (and the
+    /// cluster/chain equivalents).
+    #[must_use]
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
         self
     }
 }

@@ -278,6 +278,14 @@ impl FleetResult {
         self.runs.iter().map(|r| r.completed_requests).sum()
     }
 
+    /// Total events dispatched across the fleet's event loops. Zero for the
+    /// node sub-results of a cluster/chain run, whose single shared loop
+    /// reports its census on the cluster-level result instead.
+    #[must_use]
+    pub fn events_dispatched(&self) -> u64 {
+        self.runs.iter().map(|r| r.events_dispatched).sum()
+    }
+
     /// Aggregate achieved throughput (requests per second) across the fleet.
     #[must_use]
     pub fn aggregate_throughput(&self) -> f64 {

@@ -322,6 +322,17 @@ impl NodeHandles {
                 .idle_tracker
                 .fraction_between(SimDuration::from_micros(20), SimDuration::from_micros(200)),
             timeseries: state.telemetry.timeseries.take(),
+            trace: state
+                .telemetry
+                .trace
+                .take()
+                .map(apc_trace::TraceState::into_log),
+            // The driver that owns the event loop fills these in: a
+            // standalone run knows its dispatch count and profiler state;
+            // cluster/chain nodes share one loop, whose totals live on the
+            // cluster-level result instead.
+            profile: None,
+            events_dispatched: 0,
             finished_at: end,
         }
     }

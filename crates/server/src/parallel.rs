@@ -78,13 +78,16 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use apc_network::{NetworkConfig, NetworkState};
 use apc_sim::component::{ComponentId, Simulation};
 use apc_sim::engine::partition::{run_interleaved, EpochBarrier, EpochWindows};
+use apc_sim::engine::{KindCounters, QueueCounters};
 use apc_sim::rng::SimRng;
 use apc_sim::{SimDuration, SimTime};
 use apc_telemetry::latency::LatencyRecorder;
+use apc_trace::{EngineProfile, EventKindCount, ProfileReport, WorkerProfile};
 use apc_workloads::arrival::{ArrivalProcess, PoissonArrivals};
 use apc_workloads::loadgen::LoadGenerator;
 use apc_workloads::request::{ChainTag, Request, RequestId};
@@ -217,7 +220,12 @@ struct Partition {
     handles: NodeHandles,
     fabric: ComponentId,
     dispatched: u64,
+    /// Cross-partition wire messages replayed into this partition.
+    wires: u64,
 }
+
+/// One finished partition's engine counters, collected when profiling.
+type PartitionCounters = (QueueCounters, Vec<KindCounters>);
 
 /// Per-node value shared by every node of a run (what the sequential
 /// drivers write into each node's state before registration).
@@ -228,7 +236,13 @@ struct NodeMeta {
     network_rtt: SimDuration,
 }
 
-fn build_partition(seed: u64, index: usize, config: ServerConfig, meta: NodeMeta) -> Partition {
+fn build_partition(
+    seed: u64,
+    index: usize,
+    config: ServerConfig,
+    meta: NodeMeta,
+    profile: bool,
+) -> Partition {
     let mut inner = ClusterState::new(vec![config]);
     inner.nodes[0].workload_name = meta.workload_name;
     inner.nodes[0].offered_rate = meta.offered_rate;
@@ -239,6 +253,9 @@ fn build_partition(seed: u64, index: usize, config: ServerConfig, meta: NodeMeta
         reports: Vec::new(),
     };
     let mut sim = Simulation::new(seed, state);
+    if profile {
+        sim.enable_event_profile(ServerEvent::KIND_COUNT, ServerEvent::kind);
+    }
     let builder = ServerNode::new(index);
     let handles = builder.register(&mut sim, None);
     // The partition's delivery endpoint for incoming wire messages. As in
@@ -253,6 +270,7 @@ fn build_partition(seed: u64, index: usize, config: ServerConfig, meta: NodeMeta
         handles,
         fabric,
         dispatched: 0,
+        wires: 0,
     }
 }
 
@@ -284,8 +302,9 @@ struct NodeSlot {
     samples: Vec<(usize, bool)>,
     /// Chain leaf reports captured this epoch.
     reports: Vec<(SimTime, u64)>,
-    /// The node's reduced result, parked by its worker after the last epoch.
-    finished: Option<(RunResult, u64)>,
+    /// The node's reduced result (plus its engine counters when profiling),
+    /// parked by its worker after the last epoch.
+    finished: Option<(RunResult, u64, Option<PartitionCounters>)>,
 }
 
 /// Replay of the built-in routing policies against sampled node state —
@@ -484,6 +503,9 @@ struct ChainHub {
     leaf_seq: u64,
     /// RPC batches issued this epoch (one entry per routing instant).
     ops: Vec<(SimTime, Vec<Request>)>,
+    /// Coordinator dispatches replayed (`ChainArrival` + `ChainLeafDone`),
+    /// for the sequential-loop event census.
+    hub_dispatches: u64,
 }
 
 impl ChainHub {
@@ -591,6 +613,7 @@ impl Hub for ChainHub {
                 (None, Some(_)) => false,
                 (Some(a), Some(l)) => a <= l,
             };
+            self.hub_dispatches += 1;
             if take_arrival {
                 let now = self.next_arrival;
                 let inserted = SimTime::from_nanos(self.next_arrival_inserted_ns);
@@ -672,6 +695,7 @@ fn run_epoch_partitions(parts: &mut [Partition], plan: &EpochPlan, slots: &[Mute
     for part in parts.iter_mut() {
         let index = part.handles.index;
         let mailbox = std::mem::take(&mut slots[index].lock().unwrap().mailbox);
+        part.wires += mailbox.len() as u64;
         for (at, emitted, request) in mailbox {
             part.sim.schedule_backdated(
                 part.fabric,
@@ -707,31 +731,122 @@ fn run_epoch_partitions(parts: &mut [Partition], plan: &EpochPlan, slots: &[Mute
 }
 
 /// Reduces this worker's partitions into their node results after the final
-/// epoch.
-fn finish_partitions(parts: Vec<Partition>, slots: &[Mutex<NodeSlot>], end: SimTime) {
+/// epoch, and (when profiling) into one [`WorkerProfile`] for the worker.
+fn finish_partitions(
+    worker: u32,
+    parts: Vec<Partition>,
+    slots: &[Mutex<NodeSlot>],
+    end: SimTime,
+    profile: Option<(u64, u64)>,
+    worker_profiles: &Mutex<Vec<WorkerProfile>>,
+) {
+    if let Some((epochs, barrier_wait_ns)) = profile {
+        worker_profiles.lock().unwrap().push(WorkerProfile {
+            worker,
+            epochs,
+            barrier_wait_ns,
+            cross_wires: parts.iter().map(|part| part.wires).sum(),
+        });
+    }
     for mut part in parts {
         let result = part.handles.collect_result(part.sim.shared_mut(), end);
-        slots[part.handles.index].lock().unwrap().finished = Some((result, part.dispatched));
+        let counters = profile.is_some().then(|| {
+            (
+                part.sim.queue_counters(),
+                part.sim.event_profile().unwrap_or_default().to_vec(),
+            )
+        });
+        slots[part.handles.index].lock().unwrap().finished =
+            Some((result, part.dispatched, counters));
     }
+}
+
+/// Runs `f`, accumulating its wall-clock cost into `acc_ns` when profiling.
+fn timed<T>(profile: bool, acc_ns: &mut u64, f: impl FnOnce() -> T) -> T {
+    if profile {
+        let start = Instant::now();
+        let out = f();
+        *acc_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        out
+    } else {
+        f()
+    }
+}
+
+/// Merges every partition's engine counters, the per-worker wall-clock
+/// profiles and the hub's replay time into one [`ProfileReport`].
+fn merged_profile(
+    partitions: &[PartitionCounters],
+    mut workers: Vec<WorkerProfile>,
+    hub_replay_ns: u64,
+) -> ProfileReport {
+    let mut engine = EngineProfile::default();
+    let mut kinds = vec![KindCounters::default(); ServerEvent::KIND_COUNT];
+    for (counters, partition_kinds) in partitions {
+        engine.merge(*counters);
+        for (total, kind) in kinds.iter_mut().zip(partition_kinds) {
+            total.scheduled += kind.scheduled;
+            total.dispatched += kind.dispatched;
+            total.cancelled += kind.cancelled;
+        }
+    }
+    workers.sort_by_key(|w| w.worker);
+    let events = ServerEvent::KIND_NAMES
+        .iter()
+        .zip(kinds)
+        .map(|(name, k)| EventKindCount {
+            kind: name,
+            scheduled: k.scheduled,
+            dispatched: k.dispatched,
+            cancelled: k.cancelled,
+        })
+        .collect();
+    let mut report = ProfileReport {
+        engine,
+        events,
+        workers,
+        hub_replay_ns,
+    };
+    report.retain_active_kinds();
+    report
+}
+
+/// Scalar parameters of one epoch loop, bundled so `run_epochs` reads as
+/// hub + nodes + knobs.
+#[derive(Clone, Copy)]
+struct EpochParams {
+    seed: u64,
+    workers: usize,
+    lookahead: SimDuration,
+    end_at: SimTime,
+    profile: bool,
 }
 
 /// The barrier-synchronized epoch loop: builds one partition per node
 /// (statically assigned `index % workers`), advances all partitions through
 /// lookahead-sized epochs under `hub`'s plan/replay, and returns each node's
-/// `(result, events dispatched)` in node order.
+/// `(result, events dispatched)` in node order — plus, when `profile` is
+/// set, the merged engine/worker [`ProfileReport`] (hub-side dispatch counts
+/// excluded; the caller owns those).
 fn run_epochs<H: Hub>(
     hub: &mut H,
-    seed: u64,
     configs: Vec<ServerConfig>,
     meta: NodeMeta,
-    workers: usize,
-    lookahead: SimDuration,
-    end_at: SimTime,
-) -> Vec<(RunResult, u64)> {
+    params: EpochParams,
+) -> (Vec<(RunResult, u64)>, Option<ProfileReport>) {
+    let EpochParams {
+        seed,
+        workers,
+        lookahead,
+        end_at,
+        profile,
+    } = params;
     let node_count = configs.len();
     let slots: Vec<Mutex<NodeSlot>> = (0..node_count).map(|_| Mutex::default()).collect();
     let barrier = EpochBarrier::new(workers);
     let plan_slot: Mutex<Option<Arc<EpochPlan>>> = Mutex::new(None);
+    let worker_profiles: Mutex<Vec<WorkerProfile>> = Mutex::new(Vec::new());
+    let mut hub_replay_ns = 0u64;
 
     // Static node → worker assignment. Partitions are built *inside* their
     // worker thread (component handlers are single-threaded by design) from
@@ -744,38 +859,49 @@ fn run_epochs<H: Hub>(
     std::thread::scope(|scope| {
         let mut workers_owned = owned.into_iter();
         let main_owned = workers_owned.next().expect("at least one worker");
-        for worker_owned in workers_owned {
-            let (slots, barrier, plan_slot) = (&slots, &barrier, &plan_slot);
+        for (offset, worker_owned) in workers_owned.enumerate() {
+            let (slots, barrier, plan_slot, worker_profiles) =
+                (&slots, &barrier, &plan_slot, &worker_profiles);
             scope.spawn(move || {
+                let worker = offset as u32 + 1;
                 let mut parts: Vec<Partition> = worker_owned
                     .into_iter()
-                    .map(|(index, config)| build_partition(seed, index, config, meta))
+                    .map(|(index, config)| build_partition(seed, index, config, meta, profile))
                     .collect();
+                let mut epochs = 0u64;
+                let mut wait_ns = 0u64;
                 for _window in EpochWindows::new(lookahead, end_at) {
-                    barrier.wait(); // plan published
+                    epochs += 1;
+                    timed(profile, &mut wait_ns, || barrier.wait()); // plan published
                     let plan = plan_slot
                         .lock()
                         .unwrap()
                         .clone()
                         .expect("epoch plan published before barrier");
                     run_epoch_partitions(&mut parts, &plan, slots);
-                    barrier.wait(); // partitions done
+                    timed(profile, &mut wait_ns, || barrier.wait()); // partitions done
                 }
-                finish_partitions(parts, slots, end_at);
+                let counters = profile.then_some((epochs, wait_ns));
+                finish_partitions(worker, parts, slots, end_at, counters, worker_profiles);
             });
         }
 
         // The main thread doubles as worker 0 and runs the hub phases.
         let mut parts: Vec<Partition> = main_owned
             .into_iter()
-            .map(|(index, config)| build_partition(seed, index, config, meta))
+            .map(|(index, config)| build_partition(seed, index, config, meta, profile))
             .collect();
+        let mut epochs = 0u64;
+        let mut wait_ns = 0u64;
         for (start, end) in EpochWindows::new(lookahead, end_at) {
-            let plan = Arc::new(hub.plan_epoch(start, end, &slots));
+            epochs += 1;
+            let plan = timed(profile, &mut hub_replay_ns, || {
+                Arc::new(hub.plan_epoch(start, end, &slots))
+            });
             *plan_slot.lock().unwrap() = Some(Arc::clone(&plan));
-            barrier.wait(); // plan published
+            timed(profile, &mut wait_ns, || barrier.wait()); // plan published
             run_epoch_partitions(&mut parts, &plan, &slots);
-            barrier.wait(); // partitions done
+            timed(profile, &mut wait_ns, || barrier.wait()); // partitions done
             let rows: Vec<Vec<(usize, bool)>> = slots
                 .iter()
                 .map(|slot| std::mem::take(&mut slot.lock().unwrap().samples))
@@ -790,20 +916,31 @@ fn run_epochs<H: Hub>(
             // completion order; cross-node order at one integer nanosecond
             // is the driver's deterministic convention (see module docs).
             reports.sort_by_key(|r| (r.0, r.1));
-            hub.phase_b(&rows, &reports);
+            timed(profile, &mut hub_replay_ns, || hub.phase_b(&rows, &reports));
         }
-        finish_partitions(parts, &slots, end_at);
+        let counters = profile.then_some((epochs, wait_ns));
+        finish_partitions(0, parts, &slots, end_at, counters, &worker_profiles);
     });
 
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .finished
-                .expect("every node finished")
-        })
-        .collect()
+    let mut results = Vec::with_capacity(node_count);
+    let mut partition_counters = Vec::new();
+    for slot in slots {
+        let (result, dispatched, counters) = slot
+            .into_inner()
+            .unwrap()
+            .finished
+            .expect("every node finished");
+        results.push((result, dispatched));
+        partition_counters.extend(counters);
+    }
+    let report = profile.then(|| {
+        merged_profile(
+            &partition_counters,
+            worker_profiles.into_inner().unwrap(),
+            hub_replay_ns,
+        )
+    });
+    (results, report)
 }
 
 fn shared_duration(nodes: &[ServerConfig]) -> SimDuration {
@@ -855,7 +992,14 @@ fn run_parallel_cluster(
         ops: Vec::new(),
         hub_dispatches: 0,
     };
-    let finished = run_epochs(&mut hub, seed, nodes, meta, workers, lookahead, end_at);
+    let params = EpochParams {
+        seed,
+        workers,
+        lookahead,
+        end_at,
+        profile: nodes[0].profile,
+    };
+    let (finished, profile) = run_epochs(&mut hub, nodes, meta, params);
     let events_dispatched = hub.hub_dispatches
         + finished
             .iter()
@@ -867,6 +1011,10 @@ fn run_parallel_cluster(
         duration,
         events_dispatched,
         network: Some(hub.net.stats().clone()),
+        // Tracing always takes the sequential loop (see
+        // `run_with_parallelism`), so a parallel run never carries spans.
+        trace: None,
+        profile,
         nodes: FleetResult {
             runs: finished.into_iter().map(|(run, _)| run).collect(),
         },
@@ -922,8 +1070,21 @@ fn run_parallel_chain(member: ChainMember, workers: usize, lookahead: SimDuratio
         pending_leaf: BTreeMap::new(),
         leaf_seq: 0,
         ops: Vec::new(),
+        hub_dispatches: 0,
     };
-    let finished = run_epochs(&mut hub, seed, nodes, meta, workers, lookahead, end_at);
+    let params = EpochParams {
+        seed,
+        workers,
+        lookahead,
+        end_at,
+        profile: nodes[0].profile,
+    };
+    let (finished, profile) = run_epochs(&mut hub, nodes, meta, params);
+    let events_dispatched = hub.hub_dispatches
+        + finished
+            .iter()
+            .map(|(_, dispatched)| dispatched)
+            .sum::<u64>();
     ChainResult {
         policy: policy.name(),
         graph: hub.graph.describe(),
@@ -933,7 +1094,12 @@ fn run_parallel_chain(member: ChainMember, workers: usize, lookahead: SimDuratio
         chain_latency: hub.e2e.summary(),
         straggler: hub.straggler.summary(),
         routed: hub.routed,
+        events_dispatched,
         network: Some(hub.net.stats().clone()),
+        // Tracing always takes the sequential loop (see
+        // `run_with_parallelism`), so a parallel run never carries spans.
+        trace: None,
+        profile,
         nodes: FleetResult {
             runs: finished.into_iter().map(|(run, _)| run).collect(),
         },
@@ -947,6 +1113,12 @@ impl ClusterMember {
     /// either way.
     #[must_use]
     pub fn run_with_parallelism(self, workers: Option<usize>) -> ClusterResult {
+        // Request tracing keeps span emission single-threaded by taking the
+        // sequential loop; parallel execution is bit-identical, so nothing
+        // but the span log differs.
+        if self.nodes[0].trace.is_some() {
+            return self.run();
+        }
         match execution_plan(self.nodes.len(), self.network.as_ref(), workers) {
             ExecutionPlan::Sequential { .. } => self.run(),
             ExecutionPlan::Parallel { workers, lookahead } => {
@@ -963,6 +1135,11 @@ impl ChainMember {
     /// either way.
     #[must_use]
     pub fn run_with_parallelism(self, workers: Option<usize>) -> ChainResult {
+        // As for clusters: tracing forces the (bit-identical) sequential
+        // loop so span emission stays single-threaded.
+        if self.nodes[0].trace.is_some() {
+            return self.run();
+        }
         match execution_plan(self.nodes.len(), self.network.as_ref(), workers) {
             ExecutionPlan::Sequential { .. } => self.run(),
             ExecutionPlan::Parallel { workers, lookahead } => {

@@ -5,6 +5,7 @@ use apc_sim::{SimDuration, SimTime};
 use apc_soc::cstate::{CoreCState, PackageCState};
 use apc_telemetry::latency::LatencySummary;
 use apc_telemetry::timeseries::TimeSeries;
+use apc_trace::{ProfileReport, TraceLog};
 
 /// Everything a run produces; the analysis crate and the benches reduce this
 /// into the paper's tables and figures.
@@ -61,6 +62,16 @@ pub struct RunResult {
     /// simulated time), recorded when the configuration sets
     /// [`crate::config::ServerConfig::timeseries_interval`].
     pub timeseries: Option<TimeSeries>,
+    /// Span log of head-sampled requests, recorded when the configuration
+    /// sets [`crate::config::ServerConfig::trace`]. Purely observational:
+    /// every other field is bit-identical with tracing on or off.
+    pub trace: Option<TraceLog>,
+    /// Engine self-profile (event-core counters), recorded when the
+    /// configuration sets [`crate::config::ServerConfig::profile`]. Also
+    /// zero-perturbation.
+    pub profile: Option<ProfileReport>,
+    /// Events the simulation dispatched to reach the horizon.
+    pub events_dispatched: u64,
     /// End of the simulated timeline.
     pub finished_at: SimTime,
 }
@@ -160,6 +171,9 @@ mod tests {
             idle_periods: 100,
             idle_periods_20_200us: 0.6,
             timeseries: None,
+            trace: None,
+            profile: None,
+            events_dispatched: 0,
             finished_at: SimTime::from_secs(1),
         }
     }

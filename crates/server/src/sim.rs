@@ -12,11 +12,13 @@
 //! event loop is [`crate::cluster::ClusterSimulation`].
 
 use apc_sim::component::Simulation;
+use apc_sim::rng::SimRng;
 use apc_sim::SimTime;
+use apc_trace::TraceState;
 use apc_workloads::loadgen::LoadGenerator;
 
 use crate::components::state::ServerState;
-use crate::components::ServerEvent;
+use crate::components::{profile_report, ServerEvent};
 use crate::config::ServerConfig;
 use crate::node::{NodeHandles, ServerNode};
 use crate::result::RunResult;
@@ -26,6 +28,7 @@ pub struct ServerSimulation {
     sim: Simulation<ServerEvent, ServerState>,
     node: NodeHandles,
     end_at: SimTime,
+    profile: bool,
 }
 
 impl ServerSimulation {
@@ -36,11 +39,23 @@ impl ServerSimulation {
         state.workload_name = loadgen.spec().name;
         state.offered_rate = loadgen.rate_per_sec();
         state.network_rtt = loadgen.spec().network_rtt;
+        // Request tracing draws sampling decisions from a dedicated fork of
+        // the experiment seed, so enabling it perturbs no component stream.
+        state.telemetry.trace = state.config.trace.map(|trace| {
+            TraceState::new(
+                trace,
+                SimRng::from_seed(state.config.seed).fork("trace-sampler"),
+            )
+        });
+        let profile = state.config.profile;
         let end_at = SimTime::ZERO + state.config.duration;
         let seed = state.config.seed;
         let first_arrival = loadgen.peek_next_arrival();
 
         let mut sim = Simulation::new(seed, state);
+        if profile {
+            sim.enable_event_profile(ServerEvent::KIND_COUNT, ServerEvent::kind);
+        }
         let builder = ServerNode::standalone();
         let node = builder.register(&mut sim, Some(loadgen));
         // Bootstrap order (first client arrival, then the node's background
@@ -49,7 +64,12 @@ impl ServerSimulation {
         sim.schedule(node.addrs.nic, first_arrival, ServerEvent::ClientArrival);
         builder.bootstrap(&mut sim, &node);
 
-        ServerSimulation { sim, node, end_at }
+        ServerSimulation {
+            sim,
+            node,
+            end_at,
+            profile,
+        }
     }
 
     /// Runs the simulation to completion and returns the result.
@@ -62,8 +82,15 @@ impl ServerSimulation {
     /// with the final shared state (queues, telemetry, power trace).
     #[must_use]
     pub fn run_into_state(mut self) -> (RunResult, ServerState) {
-        self.sim.run_until(self.end_at);
-        let result = self.node.collect_result(self.sim.shared_mut(), self.end_at);
+        let dispatched = self.sim.run_until(self.end_at);
+        let mut result = self.node.collect_result(self.sim.shared_mut(), self.end_at);
+        result.events_dispatched = dispatched;
+        if self.profile {
+            result.profile = Some(profile_report(
+                self.sim.queue_counters(),
+                self.sim.event_profile(),
+            ));
+        }
         (result, self.sim.into_shared())
     }
 

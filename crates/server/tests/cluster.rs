@@ -25,8 +25,13 @@ fn one_node_cluster_reproduces_server_simulation_exactly() {
             .with_duration(SimDuration::from_millis(50))
             .with_seed(9);
         let rate = 30_000.0;
-        let standalone =
+        let mut standalone =
             apc_server::sim::run_experiment(config.clone(), WorkloadSpec::memcached_etc(), rate);
+        // The event census is loop-driver metadata, not node behaviour: a
+        // standalone server counts its own loop, while a cluster node shares
+        // one loop (with balancer/deposit events) whose census lives on the
+        // `ClusterResult`. Every simulated metric must still match exactly.
+        standalone.events_dispatched = 0;
         for policy in RoutingPolicyKind::all() {
             let loadgen = LoadGenerator::new(WorkloadSpec::memcached_etc(), rate, config.seed);
             let cluster =

@@ -486,6 +486,30 @@ impl<E, S> Simulation<E, S> {
         self.queue.delivered()
     }
 
+    /// Snapshot of the event queue's always-on self-profiling counters.
+    #[must_use]
+    pub fn queue_counters(&self) -> crate::engine::QueueCounters {
+        self.queue.counters()
+    }
+
+    /// Enables per-event-kind profiling on the underlying queue: `classify`
+    /// maps each payload to a kind index in `0..kinds`. Purely observational —
+    /// dispatch order and component behaviour are unaffected.
+    pub fn enable_event_profile(&mut self, kinds: usize, classify: impl Fn(&E) -> usize + 'static)
+    where
+        E: 'static,
+    {
+        self.queue
+            .enable_profile(kinds, move |env: &Envelope<E>| classify(&env.payload));
+    }
+
+    /// Per-event-kind counter rows, if [`Simulation::enable_event_profile`]
+    /// was called.
+    #[must_use]
+    pub fn event_profile(&self) -> Option<&[crate::engine::KindCounters]> {
+        self.queue.kind_counters()
+    }
+
     /// Shared state, read-only.
     #[must_use]
     pub fn shared(&self) -> &S {
@@ -721,6 +745,38 @@ mod tests {
         let dispatched = sim.dispatched();
         assert_eq!(sim.shared().pre_calls, dispatched);
         assert_eq!(sim.shared().post_calls, dispatched);
+    }
+
+    #[test]
+    fn event_profile_classifies_payloads_without_perturbing_the_run() {
+        let run = |profile: bool| {
+            let (mut sim, ticker, _sink) = build();
+            if profile {
+                sim.enable_event_profile(3, |e: &Ev| match e {
+                    Ev::Tick => 0,
+                    Ev::Forward => 1,
+                    Ev::Noise => 2,
+                });
+            }
+            sim.schedule(ticker, SimTime::from_micros(1), Ev::Tick);
+            sim.run_until(SimTime::from_secs(1));
+            sim
+        };
+        let plain = run(false);
+        let profiled = run(true);
+        assert_eq!(plain.shared().ticks, profiled.shared().ticks);
+        assert_eq!(plain.dispatched(), profiled.dispatched());
+        assert!(plain.event_profile().is_none());
+        let kinds = profiled.event_profile().expect("profile enabled");
+        assert_eq!(kinds[0].dispatched, 5, "five ticks");
+        assert_eq!(kinds[1].dispatched, 5, "five forwards");
+        assert_eq!(kinds[2].dispatched, 0);
+        let counters = profiled.queue_counters();
+        assert_eq!(counters.dispatched, profiled.dispatched());
+        assert_eq!(
+            counters.scheduled, 10,
+            "bootstrap tick + 4 re-arms + 5 forwards"
+        );
     }
 
     #[test]

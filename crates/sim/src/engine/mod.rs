@@ -33,4 +33,4 @@ pub mod partition;
 mod wheel;
 
 pub use heap::{HeapEventId, HeapEventQueue};
-pub use wheel::{EventId, EventQueue, QueueFootprint};
+pub use wheel::{EventId, EventQueue, KindCounters, QueueCounters, QueueFootprint};

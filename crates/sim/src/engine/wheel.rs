@@ -141,6 +141,65 @@ impl Ord for OverflowRef {
     }
 }
 
+/// Always-on self-profiling counters maintained by the queue.
+///
+/// These are plain monotonic integers incremented alongside existing
+/// operations — cheap enough to keep unconditionally, and purely
+/// observational: no queue decision reads them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueCounters {
+    /// Events scheduled (every `schedule`/`schedule_backdated` call).
+    pub scheduled: u64,
+    /// Events delivered to `pop` callers.
+    pub dispatched: u64,
+    /// Events cancelled while still pending.
+    pub cancelled: u64,
+    /// Level-0 dispatch batches staged by `refill_batch`.
+    pub level0_batches: u64,
+    /// Events staged through level-0 batches (sum of batch sizes).
+    pub batched_events: u64,
+    /// Largest single level-0 batch staged.
+    pub max_batch: u64,
+    /// Schedules that missed the wheel horizon and went to the overflow heap.
+    pub overflow_hits: u64,
+}
+
+/// Scheduled/dispatched/cancelled counts for one event kind, as classified by
+/// the opt-in profiler (see [`EventQueue::enable_profile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindCounters {
+    /// Events of this kind scheduled.
+    pub scheduled: u64,
+    /// Events of this kind dispatched.
+    pub dispatched: u64,
+    /// Events of this kind cancelled.
+    pub cancelled: u64,
+}
+
+/// Opt-in per-event-kind profiler: a caller-supplied classifier plus one
+/// counter row per kind.
+struct QueueProfile<E> {
+    classify: Box<dyn Fn(&E) -> usize>,
+    kinds: Vec<KindCounters>,
+}
+
+impl<E> QueueProfile<E> {
+    fn count(&mut self, payload: &E, bump: impl FnOnce(&mut KindCounters)) {
+        let kind = (self.classify)(payload);
+        if let Some(row) = self.kinds.get_mut(kind) {
+            bump(row);
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for QueueProfile<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueProfile")
+            .field("kinds", &self.kinds)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Memory footprint of a queue's backing storage, for tests and diagnostics.
 #[derive(Debug, Clone, Copy)]
 pub struct QueueFootprint {
@@ -207,6 +266,10 @@ pub struct EventQueue<E> {
     /// (recompute on demand), `Some(None)` = known empty. Keeps `peek_time`
     /// and `peek_key` O(1) on the run-loop's peek-then-pop pattern.
     cached_next: Option<Option<(u64, u64, u64)>>,
+    /// Always-on self-profiling counters (`dispatched` mirrors `delivered`).
+    counters: QueueCounters,
+    /// Opt-in per-event-kind profiler.
+    profile: Option<QueueProfile<E>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -235,6 +298,8 @@ impl<E> EventQueue<E> {
             live: 0,
             delivered: 0,
             cached_next: Some(None),
+            counters: QueueCounters::default(),
+            profile: None,
         }
     }
 
@@ -261,6 +326,33 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// Self-profiling counter snapshot (`dispatched` equals
+    /// [`EventQueue::delivered`]).
+    #[must_use]
+    pub fn counters(&self) -> QueueCounters {
+        QueueCounters {
+            dispatched: self.delivered,
+            ..self.counters
+        }
+    }
+
+    /// Enables per-event-kind profiling: `classify` maps every payload to a
+    /// kind index in `0..kinds` (out-of-range indices are ignored), and the
+    /// queue keeps scheduled/dispatched/cancelled counts per kind. Purely
+    /// observational — delivery order and results are unaffected.
+    pub fn enable_profile(&mut self, kinds: usize, classify: impl Fn(&E) -> usize + 'static) {
+        self.profile = Some(QueueProfile {
+            classify: Box::new(classify),
+            kinds: vec![KindCounters::default(); kinds],
+        });
+    }
+
+    /// Per-kind counter rows, if [`EventQueue::enable_profile`] was called.
+    #[must_use]
+    pub fn kind_counters(&self) -> Option<&[KindCounters]> {
+        self.profile.as_ref().map(|p| p.kinds.as_slice())
     }
 
     /// Backing-storage sizes, for O(live)-memory tests and diagnostics.
@@ -302,6 +394,10 @@ impl<E> EventQueue<E> {
         let ins = inserted.as_nanos().min(t);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.counters.scheduled += 1;
+        if let Some(p) = &mut self.profile {
+            p.count(&payload, |row| row.scheduled += 1);
+        }
         let index = self.alloc(t, ins, seq, payload);
         let generation = self.slab[index as usize].generation;
         self.place(index, t, ins, seq);
@@ -331,6 +427,12 @@ impl<E> EventQueue<E> {
             return false;
         }
         let time = slot.time;
+        self.counters.cancelled += 1;
+        if let Some(p) = &mut self.profile {
+            if let Some(payload) = slot.payload.as_ref() {
+                p.count(payload, |row| row.cancelled += 1);
+            }
+        }
         match slot.loc {
             Loc::Wheel { level, slot: s } => {
                 self.unlink(index, level as usize, s as usize);
@@ -405,6 +507,9 @@ impl<E> EventQueue<E> {
                 self.live -= 1;
                 self.delivered += 1;
                 self.now = self.batch_time;
+                if let Some(p) = &mut self.profile {
+                    p.count(&payload, |row| row.dispatched += 1);
+                }
                 return Some((SimTime::from_nanos(self.batch_time), payload));
             }
             if !self.refill_batch() {
@@ -460,6 +565,7 @@ impl<E> EventQueue<E> {
     fn place(&mut self, index: u32, t: u64, inserted: u64, seq: u64) {
         let x = t ^ self.cursor;
         if x >> WHEEL_BITS != 0 {
+            self.counters.overflow_hits += 1;
             let generation = self.slab[index as usize].generation;
             self.slab[index as usize].loc = Loc::Overflow;
             self.overflow.push(OverflowRef {
@@ -633,6 +739,9 @@ impl<E> EventQueue<E> {
                         self.batch.sort_unstable();
                     }
                 }
+                self.counters.level0_batches += 1;
+                self.counters.batched_events += self.batch.len() as u64;
+                self.counters.max_batch = self.counters.max_batch.max(self.batch.len() as u64);
                 self.batch_time = t;
                 self.cursor = t;
                 return true;
@@ -837,6 +946,44 @@ mod tests {
         }
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn self_profiling_counters_track_operations() {
+        let mut q = EventQueue::new();
+        q.enable_profile(2, |e: &u32| (*e % 2) as usize);
+        let a = q.schedule(SimTime::from_nanos(10), 0u32);
+        q.schedule(SimTime::from_nanos(10), 2);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(1 << 50), 3); // beyond the wheel horizon
+        assert!(q.cancel(a));
+        while q.pop().is_some() {}
+        let c = q.counters();
+        assert_eq!(c.scheduled, 4);
+        assert_eq!(c.cancelled, 1);
+        assert_eq!(c.dispatched, 3);
+        assert_eq!(c.dispatched, q.delivered());
+        assert_eq!(c.overflow_hits, 1);
+        assert_eq!(c.level0_batches, 2);
+        assert_eq!(c.batched_events, 3);
+        assert_eq!(c.max_batch, 2);
+        let kinds = q.kind_counters().expect("profile enabled");
+        assert_eq!(
+            kinds[0],
+            KindCounters {
+                scheduled: 2,
+                dispatched: 1,
+                cancelled: 1
+            }
+        );
+        assert_eq!(
+            kinds[1],
+            KindCounters {
+                scheduled: 2,
+                dispatched: 2,
+                cancelled: 0
+            }
+        );
     }
 
     #[test]
