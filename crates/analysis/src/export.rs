@@ -37,12 +37,16 @@
 use std::fmt::Write as _;
 
 use apc_network::NetworkStats;
+use apc_power::units::Watts;
 use apc_server::chain::ChainResult;
 use apc_server::cluster::ClusterResult;
 use apc_server::fleet::FleetResult;
 use apc_server::result::RunResult;
-use apc_telemetry::latency::LatencySummary;
-use apc_telemetry::timeseries::TimeSeries;
+use apc_sim::{SimDuration, SimTime};
+use apc_soc::cstate::PackageCState;
+use apc_telemetry::latency::{LatencyRecorder, LatencySummary};
+use apc_telemetry::sketch::{QuantileSketch, SketchParts};
+use apc_telemetry::timeseries::{TimeSeries, TimeSeriesSample};
 use apc_trace::{ProfileReport, TraceLog};
 
 /// A JSON value with insertion-ordered objects.
@@ -155,6 +159,19 @@ impl JsonValue {
         let mut out = String::new();
         self.write(&mut out, Some(2), 0);
         out.push('\n');
+        out
+    }
+
+    /// Serialises a pretty-printed *fragment*: the value rendered as if it
+    /// sat at container depth `depth` of a [`Self::to_pretty_string`]
+    /// document (its own first line unindented, nested lines indented
+    /// `2 * (depth + 1)` spaces, no trailing newline). The streaming
+    /// writers in [`crate::stream`] use this to emit array elements one at
+    /// a time while staying byte-identical to the buffered form.
+    #[must_use]
+    pub fn to_pretty_fragment(&self, depth: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), depth);
         out
     }
 
@@ -588,9 +605,124 @@ pub fn run_result_json(r: &RunResult) -> JsonValue {
     o
 }
 
-/// A fleet result: aggregates first, then per-member runs in member order.
+/// Rebuilds a [`RunResult`] from the [`run_result_json`] form plus the
+/// state that form does not carry: the run's latency sketch (checkpoints
+/// store it beside the run, under a `sketch` key) and its end-of-timeline
+/// stamp. The summary facade is re-derived *from the sketch* — never
+/// parsed — so a reconstructed result renders byte-identically to the
+/// original through every exporter; the JSON's own `latency` block is
+/// checked against the re-derivation and a mismatch is rejected
+/// (a corrupted or hand-edited checkpoint, not a format variant).
+///
+/// # Errors
+///
+/// Returns a description of the first missing, malformed or inconsistent
+/// field. Results carrying a `profile` are rejected — profiles are not
+/// round-trippable and sharded sweeps refuse `--profile` up front.
+pub fn run_result_from_json(
+    v: &JsonValue,
+    sketch: QuantileSketch,
+    finished_at: SimTime,
+) -> Result<RunResult, String> {
+    fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("run: missing or non-integer `{key}`"))
+    }
+    fn f64_field(v: &JsonValue, key: &str) -> Result<f64, String> {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("run: missing or non-number `{key}`"))
+    }
+    let config_name = match v.get("config").and_then(JsonValue::as_str) {
+        Some("Cshallow") => "Cshallow",
+        Some("Cdeep") => "Cdeep",
+        Some("CPC1A") => "CPC1A",
+        Some(other) => return Err(format!("run: unknown platform config `{other}`")),
+        None => return Err("run: missing or non-string `config`".to_owned()),
+    };
+    let workload = match v.get("workload").and_then(JsonValue::as_str) {
+        Some("memcached") => "memcached",
+        Some("kafka") => "kafka",
+        Some("mysql") => "mysql",
+        Some(other) => return Err(format!("run: unknown workload `{other}`")),
+        None => return Err("run: missing or non-string `workload`".to_owned()),
+    };
+    if v.get("profile").is_some() {
+        return Err("run: carries a `profile`, which does not round-trip".to_owned());
+    }
+    let latency = LatencyRecorder::from_sketch(sketch.clone()).summary();
+    // Compare rendered text, not `JsonValue` structure: the parser reads
+    // integers that fit as `Int` while the exporter builds `UInt`.
+    let printed = v.get("latency").map_or_else(
+        || JsonValue::Null.to_compact_string(),
+        JsonValue::to_compact_string,
+    );
+    if latency_json(&latency).to_compact_string() != printed {
+        return Err("run: `latency` summary does not match its sketch".to_owned());
+    }
+    let timeseries = v
+        .get("timeseries")
+        .map(timeseries_from_json)
+        .transpose()
+        .map_err(|e| format!("run: {e}"))?;
+    Ok(RunResult {
+        config_name,
+        workload,
+        offered_rate: f64_field(v, "offered_rate_rps")?,
+        duration: SimDuration::from_nanos(u64_field(v, "duration_ns")?),
+        completed_requests: u64_field(v, "completed_requests")?,
+        latency,
+        latency_sketch: sketch,
+        avg_soc_power: Watts(f64_field(v, "avg_soc_power_w")?),
+        avg_dram_power: Watts(f64_field(v, "avg_dram_power_w")?),
+        cpu_utilization: f64_field(v, "cpu_utilization")?,
+        cc0_fraction: f64_field(v, "cc0_fraction")?,
+        cc1_fraction: f64_field(v, "cc1_fraction")?,
+        cc6_fraction: f64_field(v, "cc6_fraction")?,
+        all_idle_fraction: f64_field(v, "all_idle_fraction")?,
+        pc1a_residency: f64_field(v, "pc1a_residency")?,
+        pc6_residency: f64_field(v, "pc6_residency")?,
+        pc1a_transitions: u64_field(v, "pc1a_transitions")?,
+        pc1a_aborted: u64_field(v, "pc1a_aborted")?,
+        pc6_transitions: u64_field(v, "pc6_transitions")?,
+        idle_periods: u64_field(v, "idle_periods")?,
+        idle_periods_20_200us: f64_field(v, "idle_periods_20_200us")?,
+        timeseries,
+        trace: None,
+        profile: None,
+        events_dispatched: u64_field(v, "events_dispatched")?,
+        finished_at,
+    })
+}
+
+/// A fleet result: the per-member runs in member order *first*, then the
+/// aggregates. Runs-first is what lets `--stream-out` write each run the
+/// moment it finishes — the aggregate block only becomes computable once
+/// the last member completes, so it closes the object (see
+/// [`crate::stream::JsonRunsWriter`]).
 #[must_use]
 pub fn fleet_result_json(f: &FleetResult) -> JsonValue {
+    let mut o = JsonValue::object();
+    o.push(
+        "runs",
+        JsonValue::Array(f.runs.iter().map(run_result_json).collect()),
+    );
+    let JsonValue::Object(aggregates) = fleet_aggregates_json(f) else {
+        unreachable!("fleet_aggregates_json builds an object");
+    };
+    let JsonValue::Object(entries) = &mut o else {
+        unreachable!("o is an object");
+    };
+    entries.extend(aggregates);
+    o
+}
+
+/// The aggregate block of [`fleet_result_json`] — everything after the
+/// `runs` array, as its own object. Split out so the streaming writer can
+/// emit bytes identical to the buffered exporter.
+#[must_use]
+pub fn fleet_aggregates_json(f: &FleetResult) -> JsonValue {
     let mut o = JsonValue::object();
     o.push("servers", JsonValue::UInt(f.servers() as u64))
         .push(
@@ -611,14 +743,121 @@ pub fn fleet_result_json(f: &FleetResult) -> JsonValue {
             "mean_latency_ns",
             JsonValue::UInt(f.mean_latency().as_nanos()),
         )
+        .push("combined_latency", latency_json(&f.combined_latency()))
         .push("worst_p99_ns", JsonValue::UInt(f.worst_p99().as_nanos()))
         .push("worst_p999_ns", JsonValue::UInt(f.worst_p999().as_nanos()))
-        .push("events_dispatched", JsonValue::UInt(f.events_dispatched()))
+        .push("events_dispatched", JsonValue::UInt(f.events_dispatched()));
+    o
+}
+
+/// A quantile sketch as JSON: its parameters, the exact scalars
+/// (count/sum/min/max) and the non-zero log-buckets as `[index, count]`
+/// pairs. The `sum` is a `u128` and exports as a decimal *string* — JSON
+/// implementations only guarantee `u64` integers. Round-trips exactly
+/// through [`sketch_from_json`]: the sweep-shard checkpoint format relies
+/// on `parse(sketch_json(s)) == s`, bit for bit.
+#[must_use]
+pub fn sketch_json(s: &QuantileSketch) -> JsonValue {
+    let parts = s.parts();
+    let mut o = JsonValue::object();
+    o.push("relative_error", JsonValue::Float(parts.relative_error))
+        .push("max_buckets", JsonValue::UInt(parts.max_buckets as u64))
         .push(
-            "runs",
-            JsonValue::Array(f.runs.iter().map(run_result_json).collect()),
+            "floor_index",
+            parts
+                .floor_index
+                .map_or(JsonValue::Null, |i| JsonValue::Int(i64::from(i))),
+        )
+        .push("zero_count", JsonValue::UInt(parts.zero_count))
+        .push("sum", JsonValue::Str(parts.sum.to_string()))
+        .push("min_ns", JsonValue::UInt(parts.min))
+        .push("max_ns", JsonValue::UInt(parts.max))
+        .push(
+            "buckets",
+            JsonValue::Array(
+                parts
+                    .buckets
+                    .iter()
+                    .map(|&(index, count)| {
+                        JsonValue::Array(vec![
+                            JsonValue::Int(i64::from(index)),
+                            JsonValue::UInt(count),
+                        ])
+                    })
+                    .collect(),
+            ),
         );
     o
+}
+
+/// Rebuilds a [`QuantileSketch`] from the [`sketch_json`] form.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or inconsistent field —
+/// missing keys, out-of-range parameters, unsorted buckets.
+pub fn sketch_from_json(v: &JsonValue) -> Result<QuantileSketch, String> {
+    fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("sketch: missing or non-integer `{key}`"))
+    }
+    let relative_error = v
+        .get("relative_error")
+        .and_then(JsonValue::as_f64)
+        .ok_or("sketch: missing or non-number `relative_error`")?;
+    let floor_index = match v.get("floor_index") {
+        None => return Err("sketch: missing `floor_index`".to_owned()),
+        Some(JsonValue::Null) => None,
+        Some(value) => Some(
+            value
+                .as_f64()
+                .and_then(|f| {
+                    let i = f as i32;
+                    (f64::from(i) == f).then_some(i)
+                })
+                .ok_or("sketch: `floor_index` must be null or a 32-bit integer")?,
+        ),
+    };
+    let sum = v
+        .get("sum")
+        .and_then(JsonValue::as_str)
+        .ok_or("sketch: missing or non-string `sum`")?
+        .parse::<u128>()
+        .map_err(|e| format!("sketch: invalid `sum`: {e}"))?;
+    let buckets =
+        v.get("buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or("sketch: missing or non-array `buckets`")?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or("sketch: every bucket must be an `[index, count]` pair".to_owned())?;
+                let index = match pair[0] {
+                    JsonValue::Int(i) => i32::try_from(i)
+                        .map_err(|_| "sketch: bucket index out of range".to_owned())?,
+                    _ => return Err("sketch: bucket index must be an integer".to_owned()),
+                };
+                let count = pair[1]
+                    .as_u64()
+                    .ok_or("sketch: bucket count must be a non-negative integer")?;
+                Ok((index, count))
+            })
+            .collect::<Result<Vec<(i32, u64)>, String>>()?;
+    let parts = SketchParts {
+        relative_error,
+        max_buckets: usize::try_from(u64_field(v, "max_buckets")?)
+            .map_err(|_| "sketch: `max_buckets` out of range".to_owned())?,
+        floor_index,
+        zero_count: u64_field(v, "zero_count")?,
+        sum,
+        min: u64_field(v, "min_ns")?,
+        max: u64_field(v, "max_ns")?,
+        buckets,
+    };
+    QuantileSketch::from_parts(&parts).map_err(|e| format!("sketch: {e}"))
 }
 
 /// Network fabric stats as an object: the topology and link parameters the
@@ -776,6 +1015,79 @@ pub fn timeseries_json(ts: &TimeSeries) -> JsonValue {
     o.push("interval_ns", JsonValue::UInt(ts.interval().as_nanos()))
         .push("samples", JsonValue::Array(samples));
     o
+}
+
+/// Rebuilds a [`TimeSeries`] from the [`timeseries_json`] form — the other
+/// half of the sweep-shard checkpoint round-trip (`parse(timeseries_json(
+/// ts))` reproduces `ts` exactly: every field is an integer, a
+/// shortest-round-trip float or a C-state name).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn timeseries_from_json(v: &JsonValue) -> Result<TimeSeries, String> {
+    fn duration_field(v: &JsonValue, key: &str) -> Result<SimDuration, String> {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .map(SimDuration::from_nanos)
+            .ok_or_else(|| format!("timeseries: missing or non-integer `{key}`"))
+    }
+    let interval = duration_field(v, "interval_ns")?;
+    if interval.is_zero() {
+        return Err("timeseries: `interval_ns` must be non-zero".to_owned());
+    }
+    let mut ts = TimeSeries::new(interval);
+    let samples = v
+        .get("samples")
+        .and_then(JsonValue::as_array)
+        .ok_or("timeseries: missing or non-array `samples`")?;
+    let mut previous_at = None;
+    for s in samples {
+        let at = SimTime::ZERO
+            + duration_field(s, "at_ns").map_err(|e| e.replace("timeseries:", "sample:"))?;
+        // `TimeSeries::push` only debug-asserts monotonicity; parsing
+        // hostile input must not rely on debug assertions.
+        if previous_at.is_some_and(|prev| at <= prev) {
+            return Err("timeseries: sample timestamps must be strictly increasing".to_owned());
+        }
+        previous_at = Some(at);
+        let package_state = match s.get("package_state").and_then(JsonValue::as_str) {
+            Some("PC0") => PackageCState::PC0,
+            Some("PC0Idle") => PackageCState::PC0Idle,
+            Some("PC2") => PackageCState::PC2,
+            Some("PC6") => PackageCState::PC6,
+            Some("PC1A") => PackageCState::PC1A,
+            Some(other) => return Err(format!("sample: unknown package state `{other}`")),
+            None => return Err("sample: missing or non-string `package_state`".to_owned()),
+        };
+        ts.push(TimeSeriesSample {
+            at,
+            soc_power_w: s
+                .get("soc_power_w")
+                .and_then(JsonValue::as_f64)
+                .ok_or("sample: missing or non-number `soc_power_w`")?,
+            queue_depth: s
+                .get("queue_depth")
+                .and_then(JsonValue::as_u64)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or("sample: missing or non-integer `queue_depth`")?,
+            busy_cores: s
+                .get("busy_cores")
+                .and_then(JsonValue::as_u64)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or("sample: missing or non-integer `busy_cores`")?,
+            package_state,
+            pc0_delta: duration_field(s, "pc0_delta_ns")
+                .map_err(|e| e.replace("timeseries:", "sample:"))?,
+            pc0_idle_delta: duration_field(s, "pc0_idle_delta_ns")
+                .map_err(|e| e.replace("timeseries:", "sample:"))?,
+            pc1a_delta: duration_field(s, "pc1a_delta_ns")
+                .map_err(|e| e.replace("timeseries:", "sample:"))?,
+            pc6_delta: duration_field(s, "pc6_delta_ns")
+                .map_err(|e| e.replace("timeseries:", "sample:"))?,
+        });
+    }
+    Ok(ts)
 }
 
 /// An engine self-profile as an object: the aggregate event-core counters,
@@ -946,14 +1258,22 @@ pub fn csv_escape(cell: &str) -> String {
     }
 }
 
+/// One labelled run row of [`run_results_csv`], newline-terminated — the
+/// unit the streaming CSV writer emits per finished run.
+#[must_use]
+pub fn run_csv_line(label: &str, r: &RunResult) -> String {
+    let mut out = format!("{},", csv_escape(label));
+    run_csv_row(&mut out, r);
+    out
+}
+
 /// Labelled run results as CSV: a `label` column (the caller's row names —
 /// member indices, sweep points) followed by [`RUN_CSV_HEADER`].
 #[must_use]
 pub fn run_results_csv<'a>(rows: impl IntoIterator<Item = (&'a str, &'a RunResult)>) -> String {
     let mut out = format!("label,{RUN_CSV_HEADER}\n");
     for (label, r) in rows {
-        let _ = write!(out, "{},", csv_escape(label));
-        run_csv_row(&mut out, r);
+        out.push_str(&run_csv_line(label, r));
     }
     out
 }
@@ -996,6 +1316,41 @@ fn push_network_cells(out: &mut String, n: Option<&NetworkStats>) {
     }
 }
 
+/// The header line of [`cluster_results_csv`], newline-terminated.
+/// `with_network` inserts the [`NETWORK_CSV_COLUMNS`]; pass whether any
+/// exported result crossed a fabric (for a streamed spec run that is known
+/// up front: every repeat shares the spec's `[network]` table).
+#[must_use]
+pub fn cluster_csv_header(with_network: bool) -> String {
+    if with_network {
+        format!("repeat,node,policy,routed,{NETWORK_CSV_COLUMNS},{RUN_CSV_HEADER}\n")
+    } else {
+        format!("repeat,node,policy,routed,{RUN_CSV_HEADER}\n")
+    }
+}
+
+/// The rows of one cluster run of [`cluster_results_csv`] (one per node),
+/// newline-terminated — the unit the streaming CSV writer emits per
+/// finished repeat. `with_network` must match the header's.
+#[must_use]
+pub fn cluster_csv_rows(repeat: usize, c: &ClusterResult, with_network: bool) -> String {
+    let mut out = String::new();
+    for (i, r) in c.nodes.runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{repeat},{i},{},{},",
+            csv_escape(c.policy),
+            c.routed.get(i).copied().unwrap_or(0)
+        );
+        if with_network {
+            push_network_cells(&mut out, c.network.as_ref());
+            out.push(',');
+        }
+        run_csv_row(&mut out, r);
+    }
+    out
+}
+
 /// Several cluster runs (e.g. repeats of one spec) as a single CSV with a
 /// leading `repeat` column: `repeat,node,policy,routed,` then the run
 /// columns. When any run crossed a network fabric, the
@@ -1004,25 +1359,9 @@ fn push_network_cells(out: &mut String, n: Option<&NetworkStats>) {
 #[must_use]
 pub fn cluster_results_csv(results: &[ClusterResult]) -> String {
     let with_network = results.iter().any(|c| c.network.is_some());
-    let mut out = if with_network {
-        format!("repeat,node,policy,routed,{NETWORK_CSV_COLUMNS},{RUN_CSV_HEADER}\n")
-    } else {
-        format!("repeat,node,policy,routed,{RUN_CSV_HEADER}\n")
-    };
+    let mut out = cluster_csv_header(with_network);
     for (repeat, c) in results.iter().enumerate() {
-        for (i, r) in c.nodes.runs.iter().enumerate() {
-            let _ = write!(
-                out,
-                "{repeat},{i},{},{},",
-                csv_escape(c.policy),
-                c.routed.get(i).copied().unwrap_or(0)
-            );
-            if with_network {
-                push_network_cells(&mut out, c.network.as_ref());
-                out.push(',');
-            }
-            run_csv_row(&mut out, r);
-        }
+        out.push_str(&cluster_csv_rows(repeat, c, with_network));
     }
     out
 }
@@ -1038,6 +1377,60 @@ e2e_p99_ns,e2e_p999_ns,e2e_max_ns,straggler_p50_ns,straggler_p99_ns,\
 straggler_p999_ns,total_routed,routing_imbalance,fleet_power_w,\
 mean_pc1a_residency,worst_rpc_p99_ns";
 
+/// The header line of [`chain_results_csv`], newline-terminated.
+/// `with_network` appends the [`NETWORK_CSV_COLUMNS`] (see
+/// [`cluster_csv_header`] for the streaming contract).
+#[must_use]
+pub fn chain_csv_header(with_network: bool) -> String {
+    if with_network {
+        format!("{CHAIN_CSV_HEADER},{NETWORK_CSV_COLUMNS}\n")
+    } else {
+        format!("{CHAIN_CSV_HEADER}\n")
+    }
+}
+
+/// The single row one chain run contributes to [`chain_results_csv`],
+/// newline-terminated. `with_network` must match the header's.
+#[must_use]
+pub fn chain_csv_row(repeat: usize, c: &ChainResult, with_network: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{repeat},{},{},{},{},{},",
+        csv_escape(c.policy),
+        csv_escape(&c.graph),
+        c.duration.as_nanos(),
+        c.chains_started,
+        c.chains_completed,
+    );
+    push_f64(&mut out, c.chains_per_sec());
+    let _ = write!(
+        out,
+        ",{},{},{},{},{},{},{},{},{},",
+        c.chain_latency.mean.as_nanos(),
+        c.chain_latency.p50.as_nanos(),
+        c.chain_latency.p99.as_nanos(),
+        c.chain_latency.p999.as_nanos(),
+        c.chain_latency.max.as_nanos(),
+        c.straggler.p50.as_nanos(),
+        c.straggler.p99.as_nanos(),
+        c.straggler.p999.as_nanos(),
+        c.total_routed(),
+    );
+    push_f64(&mut out, c.routing_imbalance());
+    out.push(',');
+    push_f64(&mut out, c.nodes.total_power_w());
+    out.push(',');
+    push_f64(&mut out, c.nodes.mean_pc1a_residency());
+    let _ = write!(out, ",{}", c.nodes.worst_p99().as_nanos());
+    if with_network {
+        out.push(',');
+        push_network_cells(&mut out, c.network.as_ref());
+    }
+    out.push('\n');
+    out
+}
+
 /// Several chain runs (e.g. repeats of one spec, or one run per platform)
 /// as a single CSV, one row per run (see [`CHAIN_CSV_HEADER`]). When any
 /// run crossed a network fabric, the [`NETWORK_CSV_COLUMNS`] are appended
@@ -1045,46 +1438,9 @@ mean_pc1a_residency,worst_rpc_p99_ns";
 #[must_use]
 pub fn chain_results_csv(results: &[ChainResult]) -> String {
     let with_network = results.iter().any(|c| c.network.is_some());
-    let mut out = if with_network {
-        format!("{CHAIN_CSV_HEADER},{NETWORK_CSV_COLUMNS}\n")
-    } else {
-        format!("{CHAIN_CSV_HEADER}\n")
-    };
+    let mut out = chain_csv_header(with_network);
     for (repeat, c) in results.iter().enumerate() {
-        let _ = write!(
-            out,
-            "{repeat},{},{},{},{},{},",
-            csv_escape(c.policy),
-            csv_escape(&c.graph),
-            c.duration.as_nanos(),
-            c.chains_started,
-            c.chains_completed,
-        );
-        push_f64(&mut out, c.chains_per_sec());
-        let _ = write!(
-            out,
-            ",{},{},{},{},{},{},{},{},{},",
-            c.chain_latency.mean.as_nanos(),
-            c.chain_latency.p50.as_nanos(),
-            c.chain_latency.p99.as_nanos(),
-            c.chain_latency.p999.as_nanos(),
-            c.chain_latency.max.as_nanos(),
-            c.straggler.p50.as_nanos(),
-            c.straggler.p99.as_nanos(),
-            c.straggler.p999.as_nanos(),
-            c.total_routed(),
-        );
-        push_f64(&mut out, c.routing_imbalance());
-        out.push(',');
-        push_f64(&mut out, c.nodes.total_power_w());
-        out.push(',');
-        push_f64(&mut out, c.nodes.mean_pc1a_residency());
-        let _ = write!(out, ",{}", c.nodes.worst_p99().as_nanos());
-        if with_network {
-            out.push(',');
-            push_network_cells(&mut out, c.network.as_ref());
-        }
-        out.push('\n');
+        out.push_str(&chain_csv_row(repeat, c, with_network));
     }
     out
 }

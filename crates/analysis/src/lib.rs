@@ -7,7 +7,9 @@
 //! * [`report`] — fixed-width table rendering shared by the experiment
 //!   harnesses;
 //! * [`export`] — deterministic JSON/CSV export of run, fleet, cluster and
-//!   time-series results (the `apc-cli` output layer).
+//!   time-series results (the `apc-cli` output layer);
+//! * [`stream`] — incremental writers over the same formats, byte-identical
+//!   to the buffered exporters (the `apc-cli --stream-out` output layer).
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@ pub mod export;
 pub mod impact;
 pub mod report;
 pub mod savings;
+pub mod stream;
 
 pub use export::JsonValue;
 pub use impact::ImpactInputs;

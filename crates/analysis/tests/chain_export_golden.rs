@@ -7,6 +7,12 @@
 //! order / float formatting *and* the chain simulation's determinism on the
 //! export path — if a behavioural change is intentional, re-capture and say
 //! so in the commit.
+//!
+//! Re-captured when the latency path moved to the quantile sketch (the
+//! percentile fields are sketch estimates now, ≤ 1 % relative error;
+//! count, mean and max stayed exact) and the `nodes` object was
+//! restructured runs-first
+//! with a `combined_latency` aggregate for the streaming exporters.
 
 use apc_analysis::export::{chain_result_json, chain_results_csv, JsonValue, CHAIN_CSV_HEADER};
 use apc_network::NetworkConfig;
@@ -37,19 +43,19 @@ const GOLDEN_CHAIN_JSON: &str = r#"{
   "chain_latency": {
     "count": 6,
     "mean_ns": 105376,
-    "p50_ns": 101703,
-    "p95_ns": 131032,
-    "p99_ns": 136303,
-    "p999_ns": 137489,
+    "p50_ns": 97766,
+    "p95_ns": 110231,
+    "p99_ns": 110231,
+    "p999_ns": 110231,
     "max_ns": 137621
   },
   "straggler": {
     "count": 6,
     "mean_ns": 12882,
-    "p50_ns": 15217,
-    "p95_ns": 22154,
-    "p99_ns": 22399,
-    "p999_ns": 22454,
+    "p50_ns": 12712,
+    "p95_ns": 21382,
+    "p99_ns": 21382,
+    "p999_ns": 21382,
     "max_ns": 22460
   },
   "routed": [
@@ -60,16 +66,6 @@ const GOLDEN_CHAIN_JSON: &str = r#"{
   "routing_imbalance": 1.2222222222222223,
   "events_dispatched": 644,
   "nodes": {
-    "servers": 2,
-    "total_completed_requests": 18,
-    "aggregate_throughput_rps": 9000.0,
-    "total_power_w": 69.06819764499997,
-    "mean_soc_power_w": 32.071684584999986,
-    "mean_pc1a_residency": 0.7881389999999999,
-    "mean_latency_ns": 51256,
-    "worst_p99_ns": 94566,
-    "worst_p999_ns": 96587,
-    "events_dispatched": 0,
     "runs": [
       {
         "config": "CPC1A",
@@ -81,10 +77,10 @@ const GOLDEN_CHAIN_JSON: &str = r#"{
         "latency": {
           "count": 11,
           "mean_ns": 53327,
-          "p50_ns": 48030,
-          "p95_ns": 85582,
-          "p99_ns": 94566,
-          "p999_ns": 96587,
+          "p50_ns": 47587,
+          "p95_ns": 73889,
+          "p99_ns": 73889,
+          "p999_ns": 73889,
           "max_ns": 96812
         },
         "avg_soc_power_w": 32.14215511999998,
@@ -113,10 +109,10 @@ const GOLDEN_CHAIN_JSON: &str = r#"{
         "latency": {
           "count": 7,
           "mean_ns": 48001,
-          "p50_ns": 45313,
-          "p95_ns": 59689,
-          "p99_ns": 61830,
-          "p999_ns": 62311,
+          "p50_ns": 45721,
+          "p95_ns": 53654,
+          "p99_ns": 53654,
+          "p999_ns": 53654,
           "max_ns": 62365
         },
         "avg_soc_power_w": 32.00121404999999,
@@ -135,7 +131,26 @@ const GOLDEN_CHAIN_JSON: &str = r#"{
         "idle_periods_20_200us": 0.6666666666666666,
         "events_dispatched": 0
       }
-    ]
+    ],
+    "servers": 2,
+    "total_completed_requests": 18,
+    "aggregate_throughput_rps": 9000.0,
+    "total_power_w": 69.06819764499997,
+    "mean_soc_power_w": 32.071684584999986,
+    "mean_pc1a_residency": 0.7881389999999999,
+    "mean_latency_ns": 51256,
+    "combined_latency": {
+      "count": 18,
+      "mean_ns": 51256,
+      "p50_ns": 45721,
+      "p95_ns": 73889,
+      "p99_ns": 73889,
+      "p999_ns": 73889,
+      "max_ns": 96812
+    },
+    "worst_p99_ns": 73889,
+    "worst_p999_ns": 73889,
+    "events_dispatched": 0
   }
 }
 "#;
@@ -146,8 +161,8 @@ e2e_p99_ns,e2e_p999_ns,e2e_max_ns,straggler_p50_ns,straggler_p99_ns,\
 straggler_p999_ns,total_routed,routing_imbalance,fleet_power_w,\
 mean_pc1a_residency,worst_rpc_p99_ns\n\
 0,join-shortest-queue,1x frontend -> 2x kv-get,2000000,6,6,3000,105376,\
-101703,136303,137489,137621,15217,22399,22454,18,1.2222222222222223,\
-69.06819764499997,0.7881389999999999,94566\n";
+97766,110231,110231,137621,12712,21382,21382,18,1.2222222222222223,\
+69.06819764499997,0.7881389999999999,73889\n";
 
 #[test]
 fn chain_json_export_matches_golden_bytes() {
@@ -179,14 +194,14 @@ fn golden_chain_json_round_trips_through_the_parser() {
             .get("chain_latency")
             .and_then(|l| l.get("p999_ns"))
             .and_then(JsonValue::as_u64),
-        Some(137_489)
+        Some(110_231)
     );
     assert_eq!(
         parsed
             .get("straggler")
             .and_then(|l| l.get("p99_ns"))
             .and_then(JsonValue::as_u64),
-        Some(22_399)
+        Some(21_382)
     );
     // Every end-to-end latency bounds its chain's straggler gap.
     let e2e = parsed
@@ -234,19 +249,19 @@ const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
   "chain_latency": {
     "count": 5,
     "mean_ns": 160824,
-    "p50_ns": 155591,
-    "p95_ns": 189393,
-    "p99_ns": 195975,
-    "p999_ns": 197456,
+    "p50_ns": 154871,
+    "p95_ns": 158000,
+    "p99_ns": 158000,
+    "p999_ns": 158000,
     "max_ns": 197621
   },
   "straggler": {
     "count": 5,
     "mean_ns": 11212,
-    "p50_ns": 12669,
-    "p95_ns": 21521,
-    "p99_ns": 22272,
-    "p999_ns": 22441,
+    "p50_ns": 12712,
+    "p95_ns": 17859,
+    "p99_ns": 17859,
+    "p999_ns": 17859,
     "max_ns": 22460
   },
   "routed": [
@@ -325,16 +340,6 @@ const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
     ]
   },
   "nodes": {
-    "servers": 2,
-    "total_completed_requests": 17,
-    "aggregate_throughput_rps": 8500.0,
-    "total_power_w": 67.56982478999998,
-    "mean_soc_power_w": 31.463871169999987,
-    "mean_pc1a_residency": 0.824281,
-    "mean_latency_ns": 64485,
-    "worst_p99_ns": 108443,
-    "worst_p999_ns": 111475,
-    "events_dispatched": 0,
     "runs": [
       {
         "config": "CPC1A",
@@ -346,10 +351,10 @@ const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
         "latency": {
           "count": 16,
           "mean_ns": 64879,
-          "p50_ns": 59554,
-          "p95_ns": 94967,
-          "p99_ns": 108443,
-          "p999_ns": 111475,
+          "p50_ns": 59297,
+          "p95_ns": 88462,
+          "p99_ns": 88462,
+          "p999_ns": 88462,
           "max_ns": 111812
         },
         "avg_soc_power_w": 31.886016959999985,
@@ -400,7 +405,26 @@ const GOLDEN_NETWORK_CHAIN_JSON: &str = r#"{
         "idle_periods_20_200us": 0.375,
         "events_dispatched": 0
       }
-    ]
+    ],
+    "servers": 2,
+    "total_completed_requests": 17,
+    "aggregate_throughput_rps": 8500.0,
+    "total_power_w": 67.56982478999998,
+    "mean_soc_power_w": 31.463871169999987,
+    "mean_pc1a_residency": 0.824281,
+    "mean_latency_ns": 64485,
+    "combined_latency": {
+      "count": 17,
+      "mean_ns": 64486,
+      "p50_ns": 59297,
+      "p95_ns": 88462,
+      "p99_ns": 88462,
+      "p999_ns": 88462,
+      "max_ns": 111812
+    },
+    "worst_p99_ns": 88462,
+    "worst_p999_ns": 88462,
+    "events_dispatched": 0
   }
 }
 "#;
@@ -412,8 +436,8 @@ straggler_p999_ns,total_routed,routing_imbalance,fleet_power_w,\
 mean_pc1a_residency,worst_rpc_p99_ns,net_topology,net_link_latency_ns,\
 net_messages,net_mean_wire_delay_ns,net_max_wire_delay_ns\n\
 0,join-shortest-queue,1x frontend -> 2x kv-get,2000000,6,5,2500,160824,\
-155591,195975,197456,197621,12669,22272,22441,18,1.8888888888888888,\
-67.56982478999998,0.824281,108443,two-tier,5000,35,15000,15000\n";
+154871,158000,158000,197621,12712,17859,17859,18,1.8888888888888888,\
+67.56982478999998,0.824281,88462,two-tier,5000,35,15000,15000\n";
 
 #[test]
 fn network_chain_json_export_matches_golden_bytes() {
@@ -451,7 +475,7 @@ fn golden_network_chain_json_round_trips_through_the_parser() {
         Some(JsonValue::Null)
     ));
     // The wired run is strictly slower end-to-end than the fabric-less
-    // golden above (155_591 ns vs 101_703 ns at p50): the fabric is not
+    // golden above (154_871 ns vs 97_766 ns at p50): the fabric is not
     // a no-op when links cost real time.
     let wired_p50 = parsed
         .get("chain_latency")

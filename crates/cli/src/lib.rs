@@ -28,18 +28,22 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod checkpoint;
 pub mod runner;
 pub mod spec;
+mod stream_out;
 
 use std::fmt;
 
 use apc_analysis::export::{chrome_trace_json, csv_escape, JsonValue};
 use apc_analysis::report::TextTable;
 use apc_server::balancer::RoutingPolicyKind;
+use apc_server::fleet::Fleet;
 use apc_server::scenario::{ChainScenario, ClusterScenario, Scenario};
 use apc_sim::SimDuration;
 
-use crate::runner::{execute_spec, Outcome, OutputFormat};
+use crate::checkpoint::{merge_checkpoints, Checkpoint, CheckpointPoint};
+use crate::runner::{execute_spec, plan_spec, sweep_grid, Outcome, OutputFormat};
 use crate::spec::{parse_policy, ExperimentSpec, PlatformKind, SpecKind};
 
 /// A CLI failure: what went wrong and which exit code it maps to.
@@ -85,12 +89,20 @@ commands:
   run <spec|name>           run a spec file or a named scenario
                             (fleet, cluster or fan-out chain)
   sweep <spec>              run a spec's [sweep] grid (rates x platforms)
+  merge <checkpoint...>     combine `sweep --shard` checkpoints (one per
+                            shard) into the unsharded sweep output
   cluster <spec|name>       run a cluster spec or named cluster scenario
   validate <file.json>      parse a JSON export (round-trip check)
 
 options:
   --format table|json|csv   output format (default table)
   --out <path>              write the output to a file instead of stdout
+  --stream-out <path>       write json/csv output to a file incrementally,
+                            flushing each result as it finishes — the final
+                            file is byte-identical to --out (spec files)
+  --shard <i/n>             with `sweep --out <path>`: run only grid points
+                            with index ≡ i (mod n) and write a checkpoint
+                            for `merge` instead of results
   --timeseries-out <path>   write recorded time series as CSV to a file
   --trace-out <path>        write sampled request spans as Chrome trace
                             JSON (needs a spec with a [trace] table)
@@ -124,6 +136,7 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
             &[
                 "format",
                 "out",
+                "stream-out",
                 "timeseries-out",
                 "trace-out",
                 "profile",
@@ -140,6 +153,8 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
             &[
                 "format",
                 "out",
+                "stream-out",
+                "shard",
                 "timeseries-out",
                 "profile",
                 "duration-ms",
@@ -148,11 +163,17 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
             ],
             1,
         )?),
+        "merge" => cmd_merge(&Invocation::parse_at_least(
+            rest,
+            &["format", "out", "timeseries-out"],
+            1,
+        )?),
         "cluster" => cmd_cluster(&Invocation::parse(
             rest,
             &[
                 "format",
                 "out",
+                "stream-out",
                 "timeseries-out",
                 "trace-out",
                 "profile",
@@ -177,10 +198,10 @@ struct Invocation {
 }
 
 impl Invocation {
-    /// Parses `args`, accepting only `allowed` flags and exactly
-    /// `positional` positional arguments. Duplicate flags, unknown flags,
-    /// missing values and arity mismatches are usage errors.
-    fn parse(args: &[String], allowed: &[&str], positional: usize) -> Result<Self, CliError> {
+    /// Parses `args`, accepting only `allowed` flags. Duplicate flags,
+    /// unknown flags and missing values are usage errors; arity is the
+    /// caller's to check (see [`Invocation::parse`]).
+    fn parse_free(args: &[String], allowed: &[&str]) -> Result<Self, CliError> {
         // Boolean switches never consume a value; everything else does.
         const SWITCHES: [&str; 1] = ["profile"];
         let mut inv = Invocation {
@@ -212,9 +233,28 @@ impl Invocation {
                 inv.positional.push(arg.clone());
             }
         }
+        Ok(inv)
+    }
+
+    /// Parses `args` with exactly `positional` positional arguments.
+    fn parse(args: &[String], allowed: &[&str], positional: usize) -> Result<Self, CliError> {
+        let inv = Self::parse_free(args, allowed)?;
         if inv.positional.len() != positional {
             return Err(CliError::Usage(format!(
                 "expected {positional} positional argument(s), got {}",
+                inv.positional.len()
+            )));
+        }
+        Ok(inv)
+    }
+
+    /// Parses `args` with at least `min` positional arguments (the `merge`
+    /// command takes one checkpoint per shard).
+    fn parse_at_least(args: &[String], allowed: &[&str], min: usize) -> Result<Self, CliError> {
+        let inv = Self::parse_free(args, allowed)?;
+        if inv.positional.len() < min {
+            return Err(CliError::Usage(format!(
+                "expected at least {min} positional argument(s), got {}",
                 inv.positional.len()
             )));
         }
@@ -490,7 +530,61 @@ fn check_observability_flags(
                 .to_owned(),
         ));
     }
+    if inv.flag("stream-out").is_some() && !spec_target {
+        return Err(CliError::Usage(
+            "conflicting flags: `--stream-out` applies to spec files \
+             (named library scenarios render their output whole; use `--out`)"
+                .to_owned(),
+        ));
+    }
     Ok(())
+}
+
+/// Resolves `--stream-out`: `Some((path, format))` when incremental output
+/// was requested, after rejecting the combinations it cannot serve. Tables
+/// need the whole result set for column widths, so streaming is json/csv
+/// only; `--out` would write the same artefact twice.
+fn stream_request(inv: &Invocation) -> Result<Option<(&str, OutputFormat)>, CliError> {
+    let Some(path) = inv.flag("stream-out") else {
+        return Ok(None);
+    };
+    if inv.flag("out").is_some() {
+        return Err(CliError::Usage(
+            "conflicting flags: `--stream-out` and `--out` write the same artefact; give one"
+                .to_owned(),
+        ));
+    }
+    let format = inv.format()?;
+    if format == OutputFormat::Table {
+        return Err(CliError::Usage(
+            "conflicting flags: `--stream-out` needs `--format json` or `--format csv` \
+             (tables are rendered whole)"
+                .to_owned(),
+        ));
+    }
+    Ok(Some((path, format)))
+}
+
+/// The `--stream-out` execution path for a spec target: plans the spec,
+/// streams the artefact (and any `--timeseries-out`) while it runs, then
+/// honours `--trace-out` on the completed outcome.
+fn finish_streamed(
+    inv: &Invocation,
+    spec: &ExperimentSpec,
+    path: &str,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    let plan = plan_spec(spec, inv.parallelism()?);
+    let (outcome, mut stdout) = stream_out::execute_plan_streamed(
+        plan,
+        format,
+        path,
+        inv.flag("timeseries-out"),
+        spec.repeats,
+        spec.network.is_some(),
+    )?;
+    write_trace_out(inv, &outcome, &mut stdout)?;
+    Ok(stdout)
 }
 
 /// The deduplicated `+`-joined workload names of a fleet scenario.
@@ -621,7 +715,11 @@ fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
             }
             check_timeseries_flag(inv, spec.timeseries_interval.is_some())?;
             check_observability_flags(inv, spec.trace.is_some(), true)?;
-            execute_spec(&override_spec(spec, inv)?, inv.parallelism()?)
+            let spec = override_spec(spec, inv)?;
+            if let Some((path, format)) = stream_request(inv)? {
+                return finish_streamed(inv, &spec, path, format);
+            }
+            execute_spec(&spec, inv.parallelism()?)
         }
         Target::Scenario(s) => {
             if inv.flag("policy").is_some() {
@@ -682,9 +780,112 @@ fn cmd_sweep(inv: &Invocation) -> Result<String, CliError> {
             inv.positional[0]
         )));
     }
+    if let Some(shard) = inv.flag("shard") {
+        return cmd_sweep_shard(inv, &spec, shard);
+    }
     check_timeseries_flag(inv, spec.timeseries_interval.is_some())?;
     check_observability_flags(inv, spec.trace.is_some(), true)?;
-    let outcome = execute_spec(&override_spec(&spec, inv)?, inv.parallelism()?);
+    let spec = override_spec(&spec, inv)?;
+    if let Some((path, format)) = stream_request(inv)? {
+        return finish_streamed(inv, &spec, path, format);
+    }
+    let outcome = execute_spec(&spec, inv.parallelism()?);
+    finish(inv, &outcome)
+}
+
+/// Parses a `--shard i/n` spelling.
+fn parse_shard(s: &str) -> Result<(usize, usize), CliError> {
+    let err = || {
+        CliError::Usage(format!(
+            "`--shard` must be `i/n` with 0 <= i < n, got `{s}`"
+        ))
+    };
+    let (i, n) = s.split_once('/').ok_or_else(err)?;
+    let i: usize = i.parse().map_err(|_| err())?;
+    let n: usize = n.parse().map_err(|_| err())?;
+    if n == 0 || i >= n {
+        return Err(err());
+    }
+    Ok((i, n))
+}
+
+/// The `sweep --shard i/n` path: runs only the grid points whose global
+/// index is congruent to `i` modulo `n`, and writes a [`Checkpoint`] to
+/// `--out` for `merge` to recombine — not rendered results, which is why
+/// the result-shaping flags conflict with `--shard`.
+fn cmd_sweep_shard(
+    inv: &Invocation,
+    spec: &ExperimentSpec,
+    shard: &str,
+) -> Result<String, CliError> {
+    let (i, n) = parse_shard(shard)?;
+    for flag in ["format", "stream-out", "timeseries-out", "profile"] {
+        if inv.flag(flag).is_some() {
+            return Err(CliError::Usage(format!(
+                "conflicting flags: `--shard` writes a checkpoint, not results; \
+                 `--{flag}` does not apply (give it to `merge` instead)"
+            )));
+        }
+    }
+    let Some(out_path) = inv.flag("out") else {
+        return Err(CliError::Usage(
+            "`--shard` needs `--out <path>` for the checkpoint".to_owned(),
+        ));
+    };
+    let spec = override_spec(spec, inv)?;
+    let grid = sweep_grid(&spec).expect("checked above: sweep kind");
+    let total_points = grid.len();
+    let mut points_meta = Vec::new();
+    let mut fleet = Fleet::new();
+    for (index, (label, member)) in grid.into_iter().enumerate() {
+        if index % n != i {
+            continue;
+        }
+        points_meta.push((index, label));
+        fleet.push(member);
+    }
+    if let Some(workers) = inv.parallelism()?.or(spec.parallelism) {
+        fleet = fleet.with_parallelism(workers);
+    }
+    let result = fleet.run();
+    let points = points_meta
+        .into_iter()
+        .zip(result.runs)
+        .map(|((index, label), run)| CheckpointPoint { index, label, run })
+        .collect();
+    let ck = Checkpoint {
+        spec_name: spec.name.clone(),
+        shard: i,
+        of: n,
+        total_points,
+        seed: spec.seed,
+        duration: spec.duration,
+        points,
+    };
+    let text = ck.to_json().to_pretty_string();
+    std::fs::write(out_path, &text)
+        .map_err(|e| CliError::Io(format!("cannot write `{out_path}`: {e}")))?;
+    Ok(format!("wrote {out_path} ({} bytes)\n", text.len()))
+}
+
+/// The `merge` command: parses one checkpoint per shard and renders the
+/// recombined sweep exactly as an unsharded run would have.
+fn cmd_merge(inv: &Invocation) -> Result<String, CliError> {
+    let mut shards = Vec::new();
+    for path in &inv.positional {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+        let value = JsonValue::parse(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+        let ck =
+            Checkpoint::from_json(&value).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+        shards.push(ck);
+    }
+    let (name, labels, fleet) = merge_checkpoints(shards).map_err(CliError::Input)?;
+    let outcome = Outcome::Runs {
+        name,
+        labels,
+        fleet,
+    };
     finish(inv, &outcome)
 }
 
@@ -714,7 +915,11 @@ fn cmd_cluster(inv: &Invocation) -> Result<String, CliError> {
             }
             check_timeseries_flag(inv, spec.timeseries_interval.is_some())?;
             check_observability_flags(inv, spec.trace.is_some(), true)?;
-            execute_spec(&override_spec(spec, inv)?, inv.parallelism()?)
+            let spec = override_spec(spec, inv)?;
+            if let Some((path, format)) = stream_request(inv)? {
+                return finish_streamed(inv, &spec, path, format);
+            }
+            execute_spec(&spec, inv.parallelism()?)
         }
         Target::Scenario(s) => {
             return Err(CliError::Input(format!(
@@ -799,18 +1004,28 @@ fn finish(inv: &Invocation, outcome: &Outcome) -> Result<String, CliError> {
             .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
         stdout.push_str(&format!("wrote {path} ({} bytes)\n", csv.len()));
     }
-    if let Some(path) = inv.flag("trace-out") {
-        let log = outcome.merged_trace().ok_or_else(|| {
-            CliError::Usage(
-                "conflicting flags: `--trace-out` needs a spec with a [trace] table \
-                 (no run recorded request spans)"
-                    .to_owned(),
-            )
-        })?;
-        let json = chrome_trace_json(&log).to_pretty_string();
-        std::fs::write(path, &json)
-            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
-        stdout.push_str(&format!("wrote {path} ({} bytes)\n", json.len()));
-    }
+    write_trace_out(inv, outcome, &mut stdout)?;
     Ok(stdout)
+}
+
+/// Honours `--trace-out`, appending its `wrote …` line to `stdout`.
+fn write_trace_out(
+    inv: &Invocation,
+    outcome: &Outcome,
+    stdout: &mut String,
+) -> Result<(), CliError> {
+    let Some(path) = inv.flag("trace-out") else {
+        return Ok(());
+    };
+    let log = outcome.merged_trace().ok_or_else(|| {
+        CliError::Usage(
+            "conflicting flags: `--trace-out` needs a spec with a [trace] table \
+             (no run recorded request spans)"
+                .to_owned(),
+        )
+    })?;
+    let json = chrome_trace_json(&log).to_pretty_string();
+    std::fs::write(path, &json).map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+    stdout.push_str(&format!("wrote {path} ({} bytes)\n", json.len()));
+    Ok(())
 }

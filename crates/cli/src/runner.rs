@@ -111,13 +111,146 @@ pub fn chain_graph(
     RequestGraph::fanout(frontend, leaf, fanout)
 }
 
-/// Executes a parsed spec end-to-end; `parallelism` pins the worker pool
-/// (`None` falls back to the spec's own `parallelism` knob, then the host).
-/// Single cluster/chain runs route the budget *inside* the simulation — the
-/// conservative-lookahead partitioned path — whenever the `[network]`
-/// topology admits it; results are bit-identical either way.
+/// A materialised spec, ready to run: the built pool plus the display
+/// metadata the [`Outcome`] needs. Splitting planning from execution is
+/// what lets `--stream-out` pick its writer (by kind and format) *before*
+/// the simulation starts, then observe results through
+/// [`ExecutionPlan::run_streamed`] as they finish.
+pub enum ExecutionPlan {
+    /// Run-level plan (single, fleet and sweep specs): one [`Fleet`] member
+    /// per run/grid-point.
+    Fleet {
+        /// Experiment name.
+        name: String,
+        /// One label per member, in member order.
+        labels: Vec<String>,
+        /// The built fleet.
+        fleet: Fleet,
+    },
+    /// Cluster plan: one [`ClusterFleet`] member per repeat.
+    Cluster {
+        /// Experiment name.
+        name: String,
+        /// The built cluster fleet.
+        fleet: ClusterFleet,
+    },
+    /// Chain plan: one [`ChainFleet`] member per repeat.
+    Chain {
+        /// Experiment name.
+        name: String,
+        /// The built chain fleet.
+        fleet: ChainFleet,
+    },
+}
+
+impl ExecutionPlan {
+    /// Executes the plan to completion.
+    #[must_use]
+    pub fn run(self) -> Outcome {
+        match self {
+            ExecutionPlan::Fleet {
+                name,
+                labels,
+                fleet,
+            } => Outcome::Runs {
+                name,
+                labels,
+                fleet: fleet.run(),
+            },
+            ExecutionPlan::Cluster { name, fleet } => Outcome::Clusters {
+                name,
+                results: fleet.run(),
+            },
+            ExecutionPlan::Chain { name, fleet } => Outcome::Chains {
+                name,
+                results: fleet.run(),
+            },
+        }
+    }
+
+    /// Executes the plan, handing each result to `sink` in member order as
+    /// soon as it (and every earlier member) has finished — the in-order
+    /// frontier of the parallel pool, so a sink writing a file produces the
+    /// same bytes whatever the worker count. A sink error stops emission
+    /// and is returned; the simulation results are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first sink error.
+    pub fn run_streamed<E, S: StreamSink<E>>(self, sink: &mut S) -> Result<Outcome, E> {
+        match self {
+            ExecutionPlan::Fleet {
+                name,
+                labels,
+                fleet,
+            } => {
+                let fleet = fleet.run_streamed(|i, r| sink.on_run(i, &labels[i], r))?;
+                Ok(Outcome::Runs {
+                    name,
+                    labels,
+                    fleet,
+                })
+            }
+            ExecutionPlan::Cluster { name, fleet } => {
+                let results = fleet.run_streamed(|i, c| sink.on_cluster(i, c))?;
+                Ok(Outcome::Clusters { name, results })
+            }
+            ExecutionPlan::Chain { name, fleet } => {
+                let results = fleet.run_streamed(|i, c| sink.on_chain(i, c))?;
+                Ok(Outcome::Chains { name, results })
+            }
+        }
+    }
+}
+
+/// Observer of streamed execution: one callback per outcome kind, invoked
+/// in member order (see [`ExecutionPlan::run_streamed`]). A plan only ever
+/// calls the callback matching its kind.
+pub trait StreamSink<E> {
+    /// One run-level result (single/fleet/sweep plans): member index, its
+    /// display label and the finished run.
+    fn on_run(&mut self, index: usize, label: &str, run: &RunResult) -> Result<(), E>;
+    /// One cluster repeat.
+    fn on_cluster(&mut self, repeat: usize, result: &ClusterResult) -> Result<(), E>;
+    /// One chain repeat.
+    fn on_chain(&mut self, repeat: usize, result: &ChainResult) -> Result<(), E>;
+}
+
+/// The full sweep grid of a sweep spec, in declaration order
+/// (platform-major, then rates): one `(label, member)` per grid point.
+/// Grid index `i` of the returned vector is the *global point index* the
+/// sweep-shard checkpoints key on. `None` for non-sweep specs.
 #[must_use]
-pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcome {
+pub fn sweep_grid(spec: &ExperimentSpec) -> Option<Vec<(String, FleetMember)>> {
+    let SpecKind::Sweep { rates, platforms } = &spec.kind else {
+        return None;
+    };
+    let mut grid = Vec::new();
+    for &platform in platforms {
+        for &rate in rates {
+            let sweep_spec = ExperimentSpec {
+                traffic: TrafficPattern::Constant { rate_per_sec: rate },
+                ..spec.clone()
+            };
+            // Every grid point reuses the root seed: points differ
+            // only along the declared axes, maximising comparability.
+            grid.push((
+                format!("{}@{rate}", platform.name()),
+                spec_member(&sweep_spec, platform, spec.seed),
+            ));
+        }
+    }
+    Some(grid)
+}
+
+/// Materialises a parsed spec into an [`ExecutionPlan`]; `parallelism`
+/// pins the worker pool (`None` falls back to the spec's own
+/// `parallelism` knob, then the host). Single cluster/chain runs route the
+/// budget *inside* the simulation — the conservative-lookahead partitioned
+/// path — whenever the `[network]` topology admits it; results are
+/// bit-identical either way.
+#[must_use]
+pub fn plan_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> ExecutionPlan {
     let parallelism = parallelism.or(spec.parallelism);
     match &spec.kind {
         SpecKind::Single => {
@@ -127,7 +260,7 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
                     (format!("run {i}"), spec_member(spec, spec.platform, seed))
                 })
                 .unzip();
-            run_fleet(spec, labels, members, parallelism)
+            plan_fleet(spec, labels, members, parallelism)
         }
         SpecKind::Fleet { servers } => {
             let (labels, members) = (0..*servers)
@@ -139,24 +272,14 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
                     )
                 })
                 .unzip();
-            run_fleet(spec, labels, members, parallelism)
+            plan_fleet(spec, labels, members, parallelism)
         }
-        SpecKind::Sweep { rates, platforms } => {
-            let mut labels = Vec::new();
-            let mut members = Vec::new();
-            for &platform in platforms {
-                for &rate in rates {
-                    labels.push(format!("{}@{rate}", platform.name()));
-                    let sweep_spec = ExperimentSpec {
-                        traffic: TrafficPattern::Constant { rate_per_sec: rate },
-                        ..spec.clone()
-                    };
-                    // Every grid point reuses the root seed: points differ
-                    // only along the declared axes, maximising comparability.
-                    members.push(spec_member(&sweep_spec, platform, spec.seed));
-                }
-            }
-            run_fleet(spec, labels, members, parallelism)
+        SpecKind::Sweep { .. } => {
+            let (labels, members) = sweep_grid(spec)
+                .expect("sweep kind has a grid")
+                .into_iter()
+                .unzip();
+            plan_fleet(spec, labels, members, parallelism)
         }
         SpecKind::Cluster { nodes, policy } => {
             let mut cluster_fleet = ClusterFleet::new();
@@ -183,9 +306,9 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
             if let Some(workers) = parallelism {
                 cluster_fleet = cluster_fleet.with_parallelism(workers);
             }
-            Outcome::Clusters {
+            ExecutionPlan::Cluster {
                 name: spec.name.clone(),
-                results: cluster_fleet.run(),
+                fleet: cluster_fleet,
             }
         }
         SpecKind::Chain {
@@ -220,12 +343,19 @@ pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcom
             if let Some(workers) = parallelism {
                 chain_fleet = chain_fleet.with_parallelism(workers);
             }
-            Outcome::Chains {
+            ExecutionPlan::Chain {
                 name: spec.name.clone(),
-                results: chain_fleet.run(),
+                fleet: chain_fleet,
             }
         }
     }
+}
+
+/// Executes a parsed spec end-to-end (see [`plan_spec`] for the
+/// `parallelism` contract).
+#[must_use]
+pub fn execute_spec(spec: &ExperimentSpec, parallelism: Option<usize>) -> Outcome {
+    plan_spec(spec, parallelism).run()
 }
 
 /// Applies the spec's observability knobs — `[trace]` and the `--profile`
@@ -271,12 +401,12 @@ fn spec_member(spec: &ExperimentSpec, platform: PlatformKind, seed: u64) -> Flee
     member
 }
 
-fn run_fleet(
+fn plan_fleet(
     spec: &ExperimentSpec,
     labels: Vec<String>,
     members: Vec<FleetMember>,
     parallelism: Option<usize>,
-) -> Outcome {
+) -> ExecutionPlan {
     let mut fleet = Fleet::new();
     for member in members {
         fleet.push(member);
@@ -284,10 +414,10 @@ fn run_fleet(
     if let Some(workers) = parallelism {
         fleet = fleet.with_parallelism(workers);
     }
-    Outcome::Runs {
+    ExecutionPlan::Fleet {
         name: spec.name.clone(),
         labels,
-        fleet: fleet.run(),
+        fleet,
     }
 }
 

@@ -1,0 +1,248 @@
+//! The `--stream-out` execution path: runs a spec through
+//! [`ExecutionPlan::run_streamed`] and writes each result to disk the
+//! moment it (and every earlier member) finishes.
+//!
+//! The artefact is byte-identical to `--out` with the same format — the
+//! writers come from [`apc_analysis::stream`], whose contract is exactly
+//! that — so streaming changes *when* bytes appear, never *which* bytes.
+//! A consumer can `tail -f` the file and see complete rows (CSV) or
+//! complete array elements (JSON) as the simulation progresses; memory
+//! stays bounded by the in-flight results instead of the whole run set.
+//! When the spec also records time series, `--timeseries-out` is streamed
+//! the same way, one block per finished run.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+
+use apc_analysis::export::{
+    chain_csv_header, chain_csv_row, chain_result_json, cluster_csv_header, cluster_csv_rows,
+    cluster_result_json, run_csv_line, timeseries_csv, RUN_CSV_HEADER,
+};
+use apc_analysis::stream::{CsvWriter, JsonArrayWriter, JsonRunsWriter};
+use apc_server::chain::ChainResult;
+use apc_server::cluster::ClusterResult;
+use apc_server::result::RunResult;
+
+use crate::runner::{ExecutionPlan, Outcome, OutputFormat, StreamSink};
+use crate::CliError;
+
+/// A [`Write`] adapter that counts the bytes accepted, so the CLI can
+/// report the streamed file's size without re-reading it.
+struct CountingWriter {
+    inner: BufWriter<File>,
+    bytes: u64,
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn create(path: &str) -> Result<CountingWriter, CliError> {
+    let file =
+        File::create(path).map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+    Ok(CountingWriter {
+        inner: BufWriter::new(file),
+        bytes: 0,
+    })
+}
+
+/// The format-specific artefact writer behind the sink.
+enum ArtifactWriter {
+    RunsJson(JsonRunsWriter<CountingWriter>),
+    ArrayJson(JsonArrayWriter<CountingWriter>),
+    Csv(CsvWriter<CountingWriter>),
+}
+
+/// Incremental `--timeseries-out` writer: the same concatenation the
+/// buffered [`Outcome::timeseries_csv`] produces (one header line tops the
+/// file), flushed block by block.
+struct TsStream {
+    out: CountingWriter,
+    path: String,
+    any: bool,
+}
+
+impl TsStream {
+    fn push(&mut self, label: &str, run: &RunResult) -> Result<(), CliError> {
+        let Some(ts) = &run.timeseries else {
+            return Ok(());
+        };
+        let block = timeseries_csv(label, ts);
+        let text = if self.any {
+            // Drop the repeated header; one header tops the file.
+            block.split_once('\n').map_or("", |(_, rest)| rest)
+        } else {
+            &block
+        };
+        self.any = true;
+        self.out
+            .write_all(text.as_bytes())
+            .and_then(|()| self.out.flush())
+            .map_err(|e| CliError::Io(format!("cannot write `{}`: {e}", self.path)))
+    }
+}
+
+/// The streaming sink: owns the artefact writer (and the optional
+/// time-series stream) for the duration of the run.
+struct Streamer {
+    writer: ArtifactWriter,
+    path: String,
+    ts: Option<TsStream>,
+    /// Repeat count of the plan, for the cluster/chain time-series labels
+    /// (`node <i>` vs `repeat <r> node <i>` — the buffered convention).
+    repeats: usize,
+    /// Whether the spec declared a `[network]` table (fixes the CSV column
+    /// set up front; every repeat of one spec shares it).
+    with_network: bool,
+}
+
+impl Streamer {
+    fn io_err(&self, e: &io::Error) -> CliError {
+        CliError::Io(format!("cannot write `{}`: {e}", self.path))
+    }
+
+    fn node_rows_ts(&mut self, repeat: usize, runs: &[RunResult]) -> Result<(), CliError> {
+        if self.ts.is_none() {
+            return Ok(());
+        }
+        for (i, r) in runs.iter().enumerate() {
+            let label = if self.repeats > 1 {
+                format!("repeat {repeat} node {i}")
+            } else {
+                format!("node {i}")
+            };
+            if let Some(ts) = &mut self.ts {
+                ts.push(&label, r)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StreamSink<CliError> for Streamer {
+    fn on_run(&mut self, _index: usize, label: &str, run: &RunResult) -> Result<(), CliError> {
+        match &mut self.writer {
+            ArtifactWriter::RunsJson(w) => w.push(run),
+            ArtifactWriter::Csv(w) => w.push(&run_csv_line(label, run)),
+            ArtifactWriter::ArrayJson(_) => {
+                unreachable!("run-level plans never stream a top-level array")
+            }
+        }
+        .map_err(|e| self.io_err(&e))?;
+        if let Some(ts) = &mut self.ts {
+            ts.push(label, run)?;
+        }
+        Ok(())
+    }
+
+    fn on_cluster(&mut self, repeat: usize, result: &ClusterResult) -> Result<(), CliError> {
+        match &mut self.writer {
+            ArtifactWriter::ArrayJson(w) => w.push(&cluster_result_json(result)),
+            ArtifactWriter::Csv(w) => w.push(&cluster_csv_rows(repeat, result, self.with_network)),
+            ArtifactWriter::RunsJson(_) => {
+                unreachable!("cluster plans never stream a fleet object")
+            }
+        }
+        .map_err(|e| self.io_err(&e))?;
+        self.node_rows_ts(repeat, &result.nodes.runs)
+    }
+
+    fn on_chain(&mut self, repeat: usize, result: &ChainResult) -> Result<(), CliError> {
+        match &mut self.writer {
+            ArtifactWriter::ArrayJson(w) => w.push(&chain_result_json(result)),
+            ArtifactWriter::Csv(w) => w.push(&chain_csv_row(repeat, result, self.with_network)),
+            ArtifactWriter::RunsJson(_) => {
+                unreachable!("chain plans never stream a fleet object")
+            }
+        }
+        .map_err(|e| self.io_err(&e))?;
+        self.node_rows_ts(repeat, &result.nodes.runs)
+    }
+}
+
+/// Executes `plan`, streaming the rendered artefact to `path` (and the
+/// time series to `ts_path` when given). Returns the completed outcome
+/// (for `--trace-out` and the table the caller may still want) and the
+/// `wrote …` stdout lines.
+///
+/// The caller has already rejected `--format table` and validated the
+/// flag set; `repeats` and `with_network` describe the spec (see
+/// [`Streamer`]).
+///
+/// # Errors
+///
+/// Returns the first file-creation or write failure as [`CliError::Io`].
+pub(crate) fn execute_plan_streamed(
+    plan: ExecutionPlan,
+    format: OutputFormat,
+    path: &str,
+    ts_path: Option<&str>,
+    repeats: usize,
+    with_network: bool,
+) -> Result<(Outcome, String), CliError> {
+    let out = create(path)?;
+    let io_err = |e: &io::Error| CliError::Io(format!("cannot write `{path}`: {e}"));
+    let writer = match (&plan, format) {
+        (_, OutputFormat::Table) => unreachable!("the caller rejects `--format table`"),
+        (ExecutionPlan::Fleet { .. }, OutputFormat::Json) => {
+            ArtifactWriter::RunsJson(JsonRunsWriter::new(out).map_err(|e| io_err(&e))?)
+        }
+        (ExecutionPlan::Fleet { .. }, OutputFormat::Csv) => ArtifactWriter::Csv(
+            CsvWriter::new(out, &format!("label,{RUN_CSV_HEADER}\n")).map_err(|e| io_err(&e))?,
+        ),
+        (ExecutionPlan::Cluster { .. } | ExecutionPlan::Chain { .. }, OutputFormat::Json) => {
+            ArtifactWriter::ArrayJson(JsonArrayWriter::new(out))
+        }
+        (ExecutionPlan::Cluster { .. }, OutputFormat::Csv) => ArtifactWriter::Csv(
+            CsvWriter::new(out, &cluster_csv_header(with_network)).map_err(|e| io_err(&e))?,
+        ),
+        (ExecutionPlan::Chain { .. }, OutputFormat::Csv) => ArtifactWriter::Csv(
+            CsvWriter::new(out, &chain_csv_header(with_network)).map_err(|e| io_err(&e))?,
+        ),
+    };
+    let ts = ts_path
+        .map(|p| {
+            Ok::<TsStream, CliError>(TsStream {
+                out: create(p)?,
+                path: p.to_owned(),
+                any: false,
+            })
+        })
+        .transpose()?;
+    let mut sink = Streamer {
+        writer,
+        path: path.to_owned(),
+        ts,
+        repeats,
+        with_network,
+    };
+    let outcome = plan.run_streamed(&mut sink)?;
+    let finished = match (sink.writer, &outcome) {
+        (ArtifactWriter::RunsJson(w), Outcome::Runs { labels, fleet, .. }) => {
+            w.finish(fleet, Some(labels)).map_err(|e| io_err(&e))?
+        }
+        (ArtifactWriter::RunsJson(_), _) => unreachable!("fleet writer implies a runs outcome"),
+        (ArtifactWriter::ArrayJson(w), _) => w.finish().map_err(|e| io_err(&e))?,
+        (ArtifactWriter::Csv(w), _) => w.finish().map_err(|e| io_err(&e))?,
+    };
+    let mut stdout = format!("wrote {path} ({} bytes)\n", finished.bytes);
+    if let Some(ts) = sink.ts {
+        if !ts.any {
+            return Err(CliError::Usage(
+                "conflicting flags: `--timeseries-out` needs a spec with a [telemetry] table \
+                 (no run recorded a time series)"
+                    .to_owned(),
+            ));
+        }
+        stdout.push_str(&format!("wrote {} ({} bytes)\n", ts.path, ts.out.bytes));
+    }
+    Ok((outcome, stdout))
+}

@@ -80,7 +80,7 @@ use crate::components::fabric::{deliver_routed, Fabric, FabricState};
 use crate::components::state::{ClusterState, HasNode};
 use crate::components::ServerEvent;
 use crate::config::ServerConfig;
-use crate::fleet::{effective_workers, run_pool, Fleet, FleetResult};
+use crate::fleet::{effective_workers, run_pool, run_pool_streamed, Fleet, FleetResult};
 use crate::node::{NodeHandles, ServerNode};
 
 /// One tier of a request chain: `width` parallel RPCs drawn from one
@@ -950,6 +950,29 @@ impl ChainFleet {
     #[must_use]
     pub fn run_sequential(self) -> Vec<ChainResult> {
         self.members.into_iter().map(ChainMember::run).collect()
+    }
+
+    /// Like [`ChainFleet::run`], but invokes `emit(i, &result)` once per
+    /// repeat, in member order, as soon as repeat `i` and all its
+    /// predecessors have finished (the CLI's `--stream-out` hook). Results
+    /// are bit-identical to [`ChainFleet::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns `emit`'s first error; remaining repeats still run but
+    /// nothing further is emitted.
+    pub fn run_streamed<E>(
+        mut self,
+        mut emit: impl FnMut(usize, &ChainResult) -> Result<(), E>,
+    ) -> Result<Vec<ChainResult>, E> {
+        if self.members.len() == 1 {
+            let member = self.members.pop().expect("one member");
+            let result = member.run_with_parallelism(self.parallelism);
+            emit(0, &result)?;
+            return Ok(vec![result]);
+        }
+        let workers = effective_workers(self.parallelism, self.members.len());
+        run_pool_streamed(self.members, workers, ChainMember::run, emit)
     }
 }
 

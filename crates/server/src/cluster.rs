@@ -59,7 +59,7 @@ use crate::components::fabric::{Fabric, FabricState};
 use crate::components::state::ClusterState;
 use crate::components::ServerEvent;
 use crate::config::ServerConfig;
-use crate::fleet::{effective_workers, run_pool, Fleet, FleetResult};
+use crate::fleet::{effective_workers, run_pool, run_pool_streamed, Fleet, FleetResult};
 use crate::node::{NodeHandles, ServerNode};
 
 /// N complete servers and a load balancer sharing one event loop.
@@ -489,6 +489,29 @@ impl ClusterFleet {
     #[must_use]
     pub fn run_sequential(self) -> Vec<ClusterResult> {
         self.members.into_iter().map(ClusterMember::run).collect()
+    }
+
+    /// Like [`ClusterFleet::run`], but invokes `emit(i, &result)` once per
+    /// repeat, in member order, as soon as repeat `i` and all its
+    /// predecessors have finished (the CLI's `--stream-out` hook). Results
+    /// are bit-identical to [`ClusterFleet::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns `emit`'s first error; remaining repeats still run but
+    /// nothing further is emitted.
+    pub fn run_streamed<E>(
+        mut self,
+        mut emit: impl FnMut(usize, &ClusterResult) -> Result<(), E>,
+    ) -> Result<Vec<ClusterResult>, E> {
+        if self.members.len() == 1 {
+            let member = self.members.pop().expect("one member");
+            let result = member.run_with_parallelism(self.parallelism);
+            emit(0, &result)?;
+            return Ok(vec![result]);
+        }
+        let workers = effective_workers(self.parallelism, self.members.len());
+        run_pool_streamed(self.members, workers, ClusterMember::run, emit)
     }
 }
 

@@ -26,10 +26,12 @@
 //! run-to-run while its members remain pairwise independent.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 use apc_sim::rng::SimRng;
 use apc_sim::SimDuration;
+use apc_telemetry::latency::{LatencyRecorder, LatencySummary};
+use apc_telemetry::sketch::QuantileSketch;
 use apc_workloads::arrival::ArrivalProcess;
 use apc_workloads::loadgen::LoadGenerator;
 use apc_workloads::spec::WorkloadSpec;
@@ -95,6 +97,94 @@ pub(crate) fn run_pool<T: Send, R: Send>(
                 .expect("pool worker exited without storing a result")
         })
         .collect()
+}
+
+/// [`run_pool`] with an in-order progress callback: `emit(i, &result)` is
+/// called exactly once per job, in job order, as soon as job `i` **and every
+/// job before it** have finished — while later jobs may still be running.
+/// This is what lets the CLI's `--stream-out` flush sweep rows to disk as
+/// the grid progresses, with byte-identical output to the buffered path.
+///
+/// `emit` runs on the calling thread. Its first error stops further
+/// emission (workers still drain the queue so the pool joins cleanly) and is
+/// returned after the pool finishes; the computed results are dropped in
+/// that case.
+pub(crate) fn run_pool_streamed<T: Send, R: Send, E>(
+    jobs: Vec<T>,
+    workers: usize,
+    run: impl Fn(T) -> R + Sync,
+    mut emit: impl FnMut(usize, &R) -> Result<(), E>,
+) -> Result<Vec<R>, E> {
+    if workers <= 1 {
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut failure = None;
+        for (i, job) in jobs.into_iter().enumerate() {
+            let result = run(job);
+            if failure.is_none() {
+                failure = emit(i, &result).err();
+            }
+            results.push(result);
+        }
+        return match failure {
+            Some(e) => Err(e),
+            None => Ok(results),
+        };
+    }
+
+    let job_slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let total = job_slots.len();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    let (results, failure) = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let job_slots = &job_slots;
+            let cursor = &cursor;
+            let run = &run;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = job_slots.get(i) else { break };
+                let job = job
+                    .lock()
+                    .expect("pool job slot poisoned")
+                    .take()
+                    .expect("pool job claimed twice");
+                if tx.send((i, run(job))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // The calling thread plays collector: results arrive in completion
+        // order, land in their job-order slot, and are emitted as the
+        // in-order frontier advances.
+        let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        let mut next = 0;
+        let mut failure = None;
+        for (i, result) in rx {
+            slots[i] = Some(result);
+            while next < total {
+                let Some(result) = slots[next].as_ref() else {
+                    break;
+                };
+                if failure.is_none() {
+                    failure = emit(next, result).err();
+                }
+                next += 1;
+            }
+        }
+        (slots, failure)
+    });
+
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(results
+        .into_iter()
+        .map(|slot| slot.expect("pool worker exited without storing a result"))
+        .collect())
 }
 
 /// One server instance within a fleet.
@@ -253,6 +343,26 @@ impl Fleet {
         let runs: Vec<RunResult> = self.members.into_iter().map(FleetMember::run).collect();
         FleetResult { runs }
     }
+
+    /// Like [`Fleet::run`], but invokes `emit(i, &result)` once per member,
+    /// in member order, as soon as member `i` and all its predecessors have
+    /// finished — the hook behind the CLI's incremental `--stream-out`
+    /// export. The returned [`FleetResult`] is bit-identical to
+    /// [`Fleet::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns `emit`'s first error; the remaining members still run (the
+    /// pool joins cleanly) but nothing further is emitted.
+    pub fn run_streamed<E>(
+        self,
+        emit: impl FnMut(usize, &RunResult) -> Result<(), E>,
+    ) -> Result<FleetResult, E> {
+        let workers = effective_workers(self.parallelism, self.members.len());
+        Ok(FleetResult {
+            runs: run_pool_streamed(self.members, workers, FleetMember::run, emit)?,
+        })
+    }
 }
 
 /// The aggregated outcome of a fleet run.
@@ -359,6 +469,27 @@ impl FleetResult {
             .map(|r| r.latency.mean.as_secs_f64() * r.completed_requests as f64)
             .sum();
         SimDuration::from_secs_f64(weighted / total as f64)
+    }
+
+    /// The fleet-wide latency distribution: every member's sketch merged
+    /// (exact counts/sums/extremes — see [`QuantileSketch::merge`]), in
+    /// member order for determinism.
+    #[must_use]
+    pub fn combined_sketch(&self) -> QuantileSketch {
+        let mut merged = QuantileSketch::latency_default();
+        for r in &self.runs {
+            merged.merge(&r.latency_sketch);
+        }
+        merged
+    }
+
+    /// Summary of the fleet-wide latency distribution (all members' samples
+    /// pooled), as opposed to the per-member worst/mean aggregates: the
+    /// cross-fleet p99 of a 100-node experiment is this summary's `p99`,
+    /// not [`FleetResult::worst_p99`].
+    #[must_use]
+    pub fn combined_latency(&self) -> LatencySummary {
+        LatencyRecorder::from_sketch(self.combined_sketch()).summary()
     }
 
     /// Fleet-level power saving relative to a baseline fleet (positive when

@@ -292,6 +292,7 @@ impl NodeHandles {
             duration: state.config.duration,
             completed_requests: state.telemetry.completed_requests,
             latency: state.telemetry.latency.summary(),
+            latency_sketch: state.telemetry.latency.sketch().clone(),
             avg_soc_power: state.telemetry.energy.average_soc_power(),
             avg_dram_power: state.telemetry.energy.average_dram_power(),
             cpu_utilization: util,

@@ -4,6 +4,7 @@ use apc_power::units::Watts;
 use apc_sim::{SimDuration, SimTime};
 use apc_soc::cstate::{CoreCState, PackageCState};
 use apc_telemetry::latency::LatencySummary;
+use apc_telemetry::sketch::QuantileSketch;
 use apc_telemetry::timeseries::TimeSeries;
 use apc_trace::{ProfileReport, TraceLog};
 
@@ -26,8 +27,14 @@ pub struct RunResult {
     pub duration: SimDuration,
     /// Requests completed (client-visible only).
     pub completed_requests: u64,
-    /// End-to-end latency summary (client-visible requests).
+    /// End-to-end latency summary (client-visible requests), derived from
+    /// [`RunResult::latency_sketch`].
     pub latency: LatencySummary,
+    /// The bounded-memory quantile sketch behind [`RunResult::latency`]:
+    /// full latency distribution state, mergeable across runs (fleet /
+    /// cluster / chain aggregation) and serializable (sweep-shard
+    /// checkpoints). See [`apc_telemetry::sketch`] for the error contract.
+    pub latency_sketch: QuantileSketch,
     /// Average SoC (package) power over the run.
     pub avg_soc_power: Watts,
     /// Average DRAM power over the run.
@@ -156,6 +163,7 @@ mod tests {
                 p999: SimDuration::from_micros(mean_latency_us * 4),
                 max: SimDuration::from_micros(mean_latency_us * 5),
             },
+            latency_sketch: QuantileSketch::latency_default(),
             avg_soc_power: Watts(power),
             avg_dram_power: Watts(5.0),
             cpu_utilization: 0.1,
